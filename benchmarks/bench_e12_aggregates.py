@@ -1,0 +1,79 @@
+"""E12 -- aggregation over supplementary tuples with cascading group_by
+(Section 3.3).
+
+Semantics checks as executable claims: (1) aggregators range over the
+tuples of the supplementary relation, *not* over the projection onto the
+argument term (the paper's duplicate-temperatures example); (2) group_by
+partitions cascade.  The cost series sweeps the number of groups.
+"""
+
+import pytest
+
+from benchmarks._workloads import print_series, system_with
+
+GROUPED = """
+course_average(C, A) :=
+  course_student_grade(C, S, G) & group_by(C) & A = mean(G).
+"""
+
+
+def make_grades(courses, students_per_course):
+    rows = []
+    for c in range(courses):
+        for s in range(students_per_course):
+            rows.append((f"course{c}", f"student{c}_{s}", 50 + (s * 7) % 50))
+    return {"course_student_grade": rows}
+
+
+def run_grouped(courses, students):
+    system = system_with(GROUPED, make_grades(courses, students))
+    system.run_script()
+    return system
+
+
+@pytest.mark.parametrize("courses", [5, 50])
+def test_group_by_mean(benchmark, courses):
+    system = benchmark(run_grouped, courses, 20)
+    assert len(system.relation_rows("course_average", 2)) == courses
+
+
+def test_shape_duplicate_preserving_and_cascading(benchmark):
+    # (1) Duplicate readings count once per *tuple*, not once per value.
+    system = system_with(
+        "avg(A) := reading(Site, T) & A = mean(T).",
+        {"reading": [("north", 10), ("south", 10), ("east", 40)]},
+    )
+    system.run_script()
+    (row,) = system.relation_rows("avg", 1)
+    assert row[0].value == 20  # (10+10+40)/3, NOT (10+40)/2 = 25
+    wrong_projection_mean = (10 + 40) / 2
+    assert row[0].value != wrong_projection_mean
+
+    # (2) Cascading group_by refines partitions.
+    system = system_with(
+        """
+        fine(D, T, S) := emp(D, T, Pay) & group_by(D) & group_by(T) & S = sum(Pay).
+        coarse(D, S) := emp(D, T, Pay) & group_by(D) & S = sum(Pay).
+        """,
+        {"emp": [("eng", "a", 1), ("eng", "a", 2), ("eng", "b", 4), ("ops", "a", 8)]},
+    )
+    system.run_script()
+    fine = {(str(r[0]), str(r[1])): r[2].value for r in system.relation_rows("fine", 3)}
+    coarse = {str(r[0]): r[1].value for r in system.relation_rows("coarse", 2)}
+    assert fine == {("eng", "a"): 3, ("eng", "b"): 4, ("ops", "a"): 8}
+    assert coarse == {"eng": 7, "ops": 8}
+
+    # Cost series: work grows linearly with input, not with group count.
+    rows = []
+    for courses in (2, 20, 200):
+        system = run_grouped(courses, 10)
+        rows.append(
+            (courses, courses * 10, system.counters.tuples_scanned,
+             len(system.relation_rows("course_average", 2)))
+        )
+    print_series(
+        "E12: group_by aggregation (tuples scanned vs group count)",
+        ("groups", "input tuples", "tuples scanned", "output rows"),
+        rows,
+    )
+    benchmark(run_grouped, 20, 20)

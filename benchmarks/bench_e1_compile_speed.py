@@ -1,0 +1,57 @@
+"""E1 -- compiler throughput (paper Section 9).
+
+    "The system compiles about two statements per Mips-second in compiled
+    Sicstus Prolog on an IBM PC/RT."
+
+The reproducible content is that compilation cost is linear in program
+size, i.e. statements-per-second is roughly flat as programs grow.  The
+bench reports the measured statements/second (this host's analogue of the
+Mips-second figure) and asserts throughput does not collapse with size.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._workloads import generate_program, print_series
+from repro.lang.parser import parse_program
+from repro.vm.compiler import ProgramCompiler
+
+
+def _compile(source: str):
+    program = parse_program(source)
+    compiled = ProgramCompiler().compile_program(program)
+    return program, compiled
+
+
+@pytest.mark.parametrize("statements", [10, 50, 200])
+def test_compile_throughput(benchmark, statements):
+    source = generate_program(statements)
+    program, compiled = benchmark(_compile, source)
+    assert compiled.statement_count == program.statement_count()
+
+
+def test_throughput_stable_across_sizes(benchmark):
+    """The paper-shape check: statements/second flat (linear compile)."""
+    sizes = [10, 40, 160, 640]
+    rows = []
+    throughput = {}
+    for size in sizes:
+        source = generate_program(size)
+        start = time.perf_counter()
+        repeats = 3
+        for _ in range(repeats):
+            _compile(source)
+        elapsed = (time.perf_counter() - start) / repeats
+        throughput[size] = size / elapsed
+        rows.append((size, f"{elapsed * 1000:.1f} ms", f"{throughput[size]:.0f} stmt/s"))
+    print_series(
+        "E1: compile speed (paper: ~2 statements per Mips-second, 1991)",
+        ("statements", "compile time", "throughput"),
+        rows,
+    )
+    # Linearity: throughput at the largest size within 4x of the smallest
+    # (allows constant setup overhead to favour large programs).
+    ratio = throughput[sizes[0]] / throughput[sizes[-1]]
+    assert 0.25 < ratio < 4.0, f"compile cost is not linear: ratio {ratio:.2f}"
+    benchmark(_compile, generate_program(100))

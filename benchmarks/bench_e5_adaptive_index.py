@@ -1,0 +1,77 @@
+"""E5 -- adaptive run-time index creation (Section 10).
+
+    "an index could be created for a relation after the cumulative cost of
+    selection by scanning the relation reaches the cost of creating the
+    index."
+
+Sweep the number of repeated selections; compare never-index,
+always-index, and the adaptive policy.  Expected shape: adaptive tracks
+never-index for few lookups (no wasted build) and always-index for many
+(amortized build), with the crossover near #lookups x per-scan-cost =
+build cost, i.e. around one full scan's worth of queries.
+"""
+
+import pytest
+
+from benchmarks._workloads import print_series
+from repro.storage.adaptive import AdaptiveIndexPolicy, AlwaysIndexPolicy, NeverIndexPolicy
+from repro.storage.relation import Relation
+from repro.terms.term import Atom, Num, Var
+
+RELATION_SIZE = 400
+DISTINCT_KEYS = 40
+
+
+def build_relation(policy):
+    relation = Relation(Atom("r"), 2, index_policy=policy)
+    relation.insert_many(
+        [(Num(i % DISTINCT_KEYS), Num(i)) for i in range(RELATION_SIZE)]
+    )
+    relation.counters.reset()
+    return relation
+
+
+def run_lookups(policy_factory, lookups):
+    relation = build_relation(policy_factory())
+    for i in range(lookups):
+        for _ in relation.select((Num(i % DISTINCT_KEYS), Var("Y"))):
+            pass
+    return relation.counters.total_tuple_touches
+
+
+POLICIES = {
+    "never": NeverIndexPolicy,
+    "always": AlwaysIndexPolicy,
+    "adaptive": AdaptiveIndexPolicy,
+}
+
+
+@pytest.mark.parametrize("policy", list(POLICIES))
+def test_lookup_workload(benchmark, policy):
+    cost = benchmark(run_lookups, POLICIES[policy], 50)
+    assert cost > 0
+
+
+def test_shape_adaptive_tracks_the_better_policy(benchmark):
+    rows = []
+    sweep = [1, 2, 5, 20, 100]
+    for lookups in sweep:
+        never = run_lookups(NeverIndexPolicy, lookups)
+        always = run_lookups(AlwaysIndexPolicy, lookups)
+        adaptive = run_lookups(AdaptiveIndexPolicy, lookups)
+        best = min(never, always)
+        rows.append((lookups, never, always, adaptive,
+                     "never" if never <= always else "always"))
+        # Adaptive never does much worse than the better fixed policy: at
+        # most one wasted full scan beyond it (the probe before crossover).
+        assert adaptive <= best + RELATION_SIZE + lookups * RELATION_SIZE // DISTINCT_KEYS
+    print_series(
+        "E5: adaptive index creation (total tuple touches; crossover ~1 scan)",
+        ("lookups", "never-index", "always-index", "adaptive", "best fixed"),
+        rows,
+    )
+    # Few lookups: building is a waste; adaptive sides with never.
+    assert run_lookups(AdaptiveIndexPolicy, 1) == run_lookups(NeverIndexPolicy, 1)
+    # Many lookups: adaptive beats never-index by a growing margin.
+    assert run_lookups(AdaptiveIndexPolicy, 100) < run_lookups(NeverIndexPolicy, 100) / 2
+    benchmark(run_lookups, AdaptiveIndexPolicy, 50)

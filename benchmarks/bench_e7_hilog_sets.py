@@ -1,0 +1,93 @@
+"""E7 -- HiLog name-sets vs. LDL extensional sets (Sections 5.1 and 8.1).
+
+    "if two set valued attributes contain the same predicate name, then
+    the two sets are identical.  Hence much of the time a simple
+    string-string matching suffices. ... The only type of set equality
+    available [in LDL] is set unification, which can be expensive."
+
+Expected shape: HiLog name equality is O(1)-flat in the set size; the
+extensional baseline's member-level comparison grows with the set, and
+its full set-unification search grows much faster when element patterns
+contain variables.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._workloads import print_series
+from repro.baselines.extensional_sets import (
+    make_set,
+    set_unify,
+    sets_equal_extensional,
+)
+from repro.hilog.sets import set_name
+from repro.terms.term import Atom, Compound, Num, Var
+
+
+def hilog_equal(size):
+    left = set_name("employees", f"dept{size}")
+    right = set_name("employees", f"dept{size}")
+    return left == right
+
+
+def extensional_equal(size):
+    left = make_set(range(size))
+    right = make_set(range(size))
+    return sets_equal_extensional(left, right)
+
+
+def unify_with_variables(size):
+    """Set unification where the last two elements are variables: the
+    backtracking search LDL-style systems must implement."""
+    ground = make_set(range(size))
+    pattern_elems = tuple(Num(i) for i in range(size - 2)) + (Var("X"), Var("Y"))
+    pattern = Compound(Atom("$set"), pattern_elems)
+    return set_unify(pattern, ground)
+
+
+@pytest.mark.parametrize("size", [10, 100])
+def test_hilog_name_equality(benchmark, size):
+    assert benchmark(hilog_equal, size)
+
+
+@pytest.mark.parametrize("size", [10, 100])
+def test_extensional_equality(benchmark, size):
+    assert benchmark(extensional_equal, size)
+
+
+def _time(fn, *args, repeats=200):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn(*args)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_shape_name_equality_flat_extensional_grows(benchmark):
+    rows = []
+    hilog_times = {}
+    ext_times = {}
+    for size in (10, 100, 1000):
+        hilog_times[size] = _time(hilog_equal, size)
+        ext_times[size] = _time(extensional_equal, size, repeats=20)
+        unify_time = _time(unify_with_variables, min(size, 100), repeats=5)
+        rows.append(
+            (
+                size,
+                f"{hilog_times[size] * 1e6:.2f} us",
+                f"{ext_times[size] * 1e6:.1f} us",
+                f"{unify_time * 1e6:.1f} us (n<=100)",
+            )
+        )
+    print_series(
+        "E7: set equality cost by set size (HiLog names vs extensional)",
+        ("set size", "HiLog name eq", "extensional eq", "set unification"),
+        rows,
+    )
+    # Name equality flat: 100x bigger sets cost < 5x more (noise bound).
+    assert hilog_times[1000] < hilog_times[10] * 5
+    # Extensional equality grows with the set (>= 10x from 10 to 1000).
+    assert ext_times[1000] > ext_times[10] * 10
+    # And both answer the same question correctly on small sets.
+    assert extensional_equal(5) and hilog_equal(5)
+    benchmark(extensional_equal, 100)

@@ -1,0 +1,68 @@
+"""E9 -- procedural Glue for speed-critical queries (Section 1).
+
+    "Sometimes it might be useful to use Glue for a particularly
+    speed-critical query, for which an especially efficient special
+    purpose algorithm is known.  Such a practice is analogous to writing
+    speed critical sections of a C program in assembler."
+
+Workload: single-source reachability on a graph with many components.
+The declarative NAIL! formulation materializes the full transitive
+closure; the hand-written Glue procedure (the paper's tc_e) explores only
+the source's component.  Expected shape: Glue does asymptotically less
+work, and the gap grows with the amount of irrelevant graph.
+"""
+
+import pytest
+
+from benchmarks._workloads import GLUE_TC, PATH_RULES, chain_edges, print_series, system_with
+
+
+def make_edges(components, chain_len):
+    edges = []
+    for c in range(components):
+        base = c * 10_000
+        edges.extend((base + a, base + b) for a, b in chain_edges(chain_len))
+    return edges
+
+
+def run_nail(components, chain_len):
+    edges = make_edges(components, chain_len)
+    system = system_with(PATH_RULES, {"edge": edges})
+    answers = system.query("path(0, Y)?")
+    return system, answers
+
+
+def run_glue(components, chain_len):
+    edges = make_edges(components, chain_len)
+    system = system_with(GLUE_TC, {"e": edges})
+    answers = system.call("tc_e", [(0,)])
+    return system, answers
+
+
+@pytest.mark.parametrize("route", ["nail", "glue"])
+def test_single_source_reachability(benchmark, route):
+    fn = run_nail if route == "nail" else run_glue
+    system, answers = benchmark(fn, 4, 20)
+    assert len(answers) == 20
+
+
+def test_shape_procedural_wins_on_point_queries(benchmark):
+    rows = []
+    gaps = []
+    for components in (2, 8):
+        nail_system, nail_answers = run_nail(components, 20)
+        glue_system, glue_answers = run_glue(components, 20)
+        assert {str(a[1]) for a in nail_answers} == {str(a[1]) for a in glue_answers}
+        nail_cost = nail_system.counters.tuples_scanned
+        glue_cost = glue_system.counters.tuples_scanned
+        gaps.append(nail_cost / glue_cost)
+        rows.append((components, len(glue_answers), glue_cost, nail_cost,
+                     f"{nail_cost / glue_cost:.1f}x"))
+    print_series(
+        "E9: hand-written Glue tc_e vs declarative NAIL! (tuples scanned)",
+        ("components", "answers", "glue proc", "nail full", "nail/glue"),
+        rows,
+    )
+    assert gaps[0] > 1, "Glue should win even with little irrelevant graph"
+    assert gaps[1] > gaps[0], "the gap should grow with irrelevant graph"
+    benchmark(run_glue, 4, 20)

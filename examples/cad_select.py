@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Figure 1 of the paper: the micro-CAD ``select`` module, end to end.
+
+The user clicks near some drawing elements; ``select`` ranks the
+candidates by distance, offers them one at a time, and returns the key of
+the confirmed element.  The windowing system of the original (mouse and
+keyboard events, element highlighting) is simulated with foreign
+procedures fed by a scripted event queue -- the reproduction's substitute
+for the paper's C-based window system.
+
+Run:  python examples/cad_select.py
+"""
+
+import io
+
+from repro import GlueNailSystem, mk, rows_to_python
+
+CAD_MODULE = """
+module example;
+export select(:Key);
+from windows import event(:Type, Data);
+from graphics import highlight(Key:), dehighlight(Key:);
+edb element(Key, Origin, P1, P2, DS), tolerance(T);
+
+proc select(:Key)
+rels possible(Key, D), try(Key), confirmed(Key);
+  possible(Key, D) :=
+    event(mouse, p(X, Y)) & graphic_search(p(X, Y), Key, D).
+  repeat
+    try(Key) :=
+      possible(Key, D) & D = min(D) & It = arbitrary(Key) &
+      --possible(It, D).
+    confirmed(K) :=
+      try(K) & highlight(K) & write('This one? ') &
+      event(keyboard, KeyBuffer) & dehighlight(K) & KeyBuffer = 'y'.
+  until { confirmed(K) | empty(possible(K, _)) };
+  return(:Key) := confirmed(Key).
+end
+
+graphic_search(p(X, Y), Key, Dist) :-
+  element(Key, _, p(Xmin, Ymin), _, _) & tolerance(T) &
+  Dist = (X - Xmin) * (X - Xmin) + (Y - Ymin) * (Y - Ymin) &
+  Dist < T.
+end
+"""
+
+
+class WindowSystem:
+    """A tiny scripted window system behind the foreign interface."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+    def event(self, ctx, rows):
+        if not self.events:
+            return []
+        kind, data = self.events.pop(0)
+        print(f"  [window] event: {kind} {data}")
+        return [(mk(kind), mk(data))]
+
+    def highlight(self, ctx, rows):
+        for row in rows:
+            print(f"  [window] highlight {row[0]}")
+        return rows
+
+    def dehighlight(self, ctx, rows):
+        for row in rows:
+            print(f"  [window] dehighlight {row[0]}")
+        return rows
+
+
+def build_system(events) -> GlueNailSystem:
+    windows = WindowSystem(events)
+    system = GlueNailSystem(out=io.StringIO())
+    system.register_foreign("windows", "event", 2, 0, windows.event)
+    system.register_foreign("graphics", "highlight", 1, 1, windows.highlight)
+    system.register_foreign("graphics", "dehighlight", 1, 1, windows.dehighlight)
+    system.load(CAD_MODULE)
+    system.facts(
+        "element",
+        [
+            ("line_17", "layer0", ("p", 10, 11), ("p", 40, 41), "solid"),
+            ("circle_3", "layer0", ("p", 12, 14), ("p", 5, 0), "dashed"),
+            ("text_9", "layer1", ("p", 30, 9), ("p", 0, 0), "plain"),
+        ],
+    )
+    system.facts("tolerance", [(200,)])
+    return system
+
+
+def session(title, events):
+    print(title)
+    system = build_system(events)
+    picked = rows_to_python(system.call("select"))
+    prompt = system.ctx.out.getvalue()
+    if prompt:
+        print(f"  [prompted] {prompt.strip()!r} x{prompt.count('This one?')}")
+    if picked:
+        print(f"  => user selected: {picked[0][0]}\n")
+    else:
+        print("  => nothing selected\n")
+    return picked
+
+
+def main() -> None:
+    # Click at (11, 12): line_17 is nearest (distance 2), circle_3 next (5).
+    session(
+        "Session 1: accept the nearest element",
+        [("mouse", ("p", 11, 12)), ("keyboard", "y")],
+    )
+    session(
+        "Session 2: reject the nearest, accept the second",
+        [("mouse", ("p", 11, 12)), ("keyboard", "n"), ("keyboard", "y")],
+    )
+    session(
+        "Session 3: reject everything in tolerance",
+        [("mouse", ("p", 11, 12)),
+         ("keyboard", "n"), ("keyboard", "n"), ("keyboard", "n")],
+    )
+
+
+if __name__ == "__main__":
+    main()

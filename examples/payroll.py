@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A stateful payroll application: the procedural side of Glue.
+
+Exercises what NAIL! alone cannot express (paper Section 1): EDB updates
+with an order -- the modify-by-key assignment ``+=[K]``, update subgoals
+in bodies, a repeat loop draining a work queue -- next to declarative
+aggregation with cascading group_by.
+
+Run:  python examples/payroll.py
+"""
+
+from repro import GlueNailSystem, rows_to_python
+
+PROGRAM = """
+% Declarative reporting (NAIL!).
+dept_of(E, D) :- employee(E, D, _).
+
+% Procedural payroll maintenance (Glue).
+
+% Apply one raise round: every employee in a department listed in
+% raise_request gets the requested percentage, by keyed update.
+proc apply_raises(:E, NewSalary)
+rels changed(E, S);
+  changed(E, NewS) :=
+    raise_request(D, Pct) & employee(E, D, S) &
+    NewS = S + S * Pct / 100.
+  employee(E, D, S) +=[E] changed(E, S) & employee(E, D, _).
+  return(:E, NewSalary) := changed(E, NewSalary).
+end
+
+% Drain the termination queue: remove employees one batch at a time,
+% logging each removal (update subgoals are fixed: order is guaranteed).
+proc process_terminations(:E)
+rels done(E);
+  repeat
+    done(E) += termination_queue(E) & --termination_queue(E) &
+               --employee(E, _, _) & ++termination_log(E).
+  until empty(termination_queue(_));
+  return(:E) := done(E).
+end
+
+% Cascading group_by: totals per department, then per (dept, grade).
+proc payroll_report(:D, Total, Headcount)
+  return(:D, Total, Headcount) :=
+    employee(E, D, S) & group_by(D) &
+    Total = sum(S) & Headcount = count(E).
+end
+"""
+
+
+def show_employees(system):
+    for row in sorted(rows_to_python(system.relation_rows("employee", 3))):
+        print(f"  {row[0]:8s} {row[1]:6s} {row[2]:>8}")
+
+
+def main() -> None:
+    system = GlueNailSystem()
+    system.load(PROGRAM)
+    system.facts(
+        "employee",
+        [
+            ("ann", "eng", 100),
+            ("bob", "eng", 90),
+            ("cat", "ops", 80),
+            ("dan", "ops", 70),
+            ("eve", "sales", 60),
+        ],
+    )
+
+    print("== initial payroll ==")
+    show_employees(system)
+
+    print("\n== raise round: eng +10%, ops +5% (update by key) ==")
+    system.facts("raise_request", [("eng", 10), ("ops", 5)])
+    raised = system.call("apply_raises")
+    for row in sorted(rows_to_python(raised)):
+        print(f"  {row[0]} -> {row[1]}")
+    show_employees(system)
+
+    print("\n== terminations: queue drained by a repeat loop ==")
+    system.facts("termination_queue", [("bob",), ("eve",)])
+    gone = system.call("process_terminations")
+    print("  removed:", sorted(r[0] for r in rows_to_python(gone)))
+    print("  queue now:", rows_to_python(system.relation_rows("termination_queue", 1)))
+    print("  log:", sorted(rows_to_python(system.relation_rows("termination_log", 1))))
+    show_employees(system)
+
+    print("\n== report: sum + count per department (group_by) ==")
+    for row in sorted(rows_to_python(system.call("payroll_report"))):
+        print(f"  {row[0]:6s} total={row[1]:>6} headcount={row[2]}")
+
+    print("\n== the declarative view reflects every update ==")
+    print("  dept_of(E, eng)? ->", rows_to_python(system.query("dept_of(E, eng)?")))
+
+
+if __name__ == "__main__":
+    main()

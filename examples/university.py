@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""HiLog set-valued attributes: the paper's class_info schema (Section 5).
+
+A set-valued attribute holds the *name* of a predicate -- here the
+compound terms ``tas(cs99)`` and ``students(cs99)`` -- so set equality is
+name matching, and only an explicit ``set_eq`` compares members.  This
+example runs the paper's schema, dereferences the set names from Glue, and
+contrasts name-based equality with member-level equality.
+
+Run:  python examples/university.py
+"""
+
+from repro import GlueNailSystem, rows_to_python, term_to_python
+from repro.hilog.sets import SET_EQ_GLUE_SOURCE, set_eq, set_name
+
+PROGRAM = """
+% The paper's class_info predicate: code, instructor, room, set of TAs,
+% set of students.  The fourth and fifth attributes are set *names*.
+class_info(ID, Instructor, Room, tas(ID), students(ID)) :-
+  class_instructor(ID, Instructor) &
+  class_room(ID, Room) &
+  class_subject(ID, _).
+
+% TAs for a course: graduate students who failed the qualifying exam in
+% the course's subject area (the paper's joke, faithfully reproduced).
+tas(ID)(TA) :-
+  class_subject(ID, Subject) & failed_exam(TA, Subject).
+
+students(ID)(Student) :- attends(Student, ID).
+
+% Dereferencing the sets from Glue: T and S are bound to predicate names,
+% then used in predicate position.
+proc roster(:Course, Person, Role)
+rels members(C, P, R);
+  members(Course, Person, ta) :=
+    class_info(Course, _, _, T, _) & T(Person).
+  members(Course, Person, student) +=
+    class_info(Course, _, _, _, S) & S(Person).
+  return(:Course, Person, Role) := members(Course, Person, Role).
+end
+"""
+
+
+def main() -> None:
+    system = GlueNailSystem()
+    system.load(PROGRAM)
+    system.load(SET_EQ_GLUE_SOURCE)
+
+    system.facts("class_instructor", [("cs99", "smith"), ("cs1", "jones")])
+    system.facts("class_room", [("cs99", "mjh460a"), ("cs1", "gates104")])
+    system.facts("class_subject", [("cs99", "databases"), ("cs1", "intro")])
+    system.facts("failed_exam", [("jones", "databases"), ("lee", "intro")])
+    system.facts(
+        "attends",
+        [("wilson", "cs99"), ("green", "cs99"), ("wilson", "cs1")],
+    )
+
+    print("== class_info: set-valued attributes are predicate names ==")
+    for row in system.query("class_info(ID, I, R, T, S)?"):
+        values = [term_to_python(v) for v in row]
+        print(f"  class_info{tuple(values)}")
+
+    print("\n== implied IDB tuples (the paper's example output) ==")
+    for course in ("cs99", "cs1"):
+        members = system.idb_rows(set_name("students", course), 1)
+        print(f"  students({course}) = {sorted(str(m[0]) for m in members)}")
+
+    print("\n== dereferencing sets from Glue ==")
+    for row in sorted(rows_to_python(system.call("roster"))):
+        print(f"  {row[0]}: {row[1]} ({row[2]})")
+
+    print("\n== set equality ==")
+    a = set_name("students", "cs99")
+    b = set_name("students", "cs99")
+    c = set_name("students", "cs1")
+    print(f"  {a} == {b} by name?     ", a == b, " (no member scan needed)")
+    print(f"  {a} == {c} by name?     ", a == c)
+
+    # Member-level equality needs the explicit set_eq (the paper's proc).
+    system.engine.materialize_all()
+    idb = system.engine.idb
+    print(
+        f"  set_eq(students(cs99), students(cs1))? ",
+        set_eq(idb, a, c),
+    )
+
+    # Two differently-named sets with the same members: name inequality,
+    # member equality -- exactly why set_eq exists.
+    system.facts("attends", [("green", "retaken_cs99")])
+    system.facts("attends", [("wilson", "retaken_cs99")])
+    system.facts("class_subject", [("retaken_cs99", "databases")])
+    system.engine.materialize_all()
+    idb = system.engine.idb
+    d = set_name("students", "retaken_cs99")
+    print(f"  {a} == {d} by name?     ", a == d)
+    print(f"  set_eq members equal?   ", set_eq(idb, a, d))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Glue-Nail: a deductive database system.
+
+A from-scratch Python reproduction of *Glue-Nail: A Deductive Database
+System* (Phipps, Derr & Ross, SIGMOD 1991): the procedural Glue language,
+the declarative NAIL! rule language, HiLog-style higher-order terms and
+set-valued attributes, the compile-time module system, the NAIL!-to-Glue
+compiler, and the main-memory relational back end with uniondiff and
+adaptive indexing.
+
+Quick start::
+
+    from repro import GlueNailSystem
+
+    system = GlueNailSystem()
+    system.load('''
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y) & edge(Y, Z).
+    ''')
+    system.facts("edge", [(1, 2), (2, 3), (3, 4)])
+    for row in system.query("path(1, Y)?"):
+        print(row)
+"""
+
+from repro.core.query import rows_to_python, term_to_python
+from repro.core.system import GlueNailSystem
+from repro.errors import CompileError, GlueNailError, GlueRuntimeError, UnsafeRuleError
+from repro.storage.database import Database
+from repro.terms.term import Atom, Compound, Num, Term, Var, mk
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "CompileError",
+    "Compound",
+    "Database",
+    "GlueNailError",
+    "GlueNailSystem",
+    "GlueRuntimeError",
+    "Num",
+    "Term",
+    "UnsafeRuleError",
+    "Var",
+    "mk",
+    "rows_to_python",
+    "term_to_python",
+]

@@ -1,0 +1,130 @@
+"""Subgoal reordering (paper Section 3.1).
+
+    "A Glue system is free to reorder the non-fixed subgoals, although
+    procedures must still have their input arguments bound, and subgoals
+    cannot be moved past an aggregator."
+
+The optimizer splits the body into segments delimited by fixed subgoals
+(which keep their positions) and greedily orders each segment: filters that
+are already evaluable come first, then the scan whose arguments are most
+bound.  The heuristic is deterministic; ties break on source order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.analysis.bindings import (
+    BindingError,
+    check_subgoal_safety,
+    subgoal_binds,
+    term_vars,
+    terms_vars,
+)
+from repro.analysis.fixedness import CallFixedness, is_fixed_subgoal
+from repro.lang.ast import CompareSubgoal, EmptyCond, PredSubgoal
+
+# Returns the bound arity of a callable subgoal, or None for relations.
+CallBoundArity = Callable[[PredSubgoal], Optional[int]]
+
+
+def _never_callable(_subgoal: PredSubgoal) -> Optional[int]:
+    return None
+
+
+def _admissible(subgoal, bound: Set[str], call_bound_arity: CallBoundArity) -> bool:
+    try:
+        check_subgoal_safety(subgoal, bound)
+    except BindingError:
+        return False
+    if isinstance(subgoal, PredSubgoal) and not subgoal.negated:
+        bound_arity = call_bound_arity(subgoal)
+        if bound_arity is not None:
+            inputs = subgoal.args[:bound_arity]
+            if terms_vars(inputs) - bound:
+                return False
+    return True
+
+
+# Estimates the current cardinality of a subgoal's relation, or None when
+# unknown (procedures, predicate variables, derived predicates).  Supplied
+# by the adaptive run-time re-optimizer (paper Section 10).
+SizeOf = Callable[[PredSubgoal], Optional[int]]
+
+
+def _no_sizes(_subgoal: PredSubgoal) -> Optional[int]:
+    return None
+
+
+def _score(subgoal, bound: Set[str], size_of: SizeOf = _no_sizes) -> tuple:
+    """Lower scores run earlier.  Filters (no new bindings) first, then
+    negations, then scans -- by estimated result size when cardinalities
+    are known, by descending bound-argument ratio otherwise."""
+    if isinstance(subgoal, (CompareSubgoal, EmptyCond)):
+        return (0, 0.0)
+    if isinstance(subgoal, PredSubgoal):
+        if subgoal.negated:
+            return (1, 0.0)
+        if not subgoal.args:
+            return (2, 0.0)
+        bound_args = sum(1 for arg in subgoal.args if not (term_vars(arg) - bound))
+        unbound_ratio = 1.0 - bound_args / len(subgoal.args)
+        size = size_of(subgoal)
+        if size is not None:
+            # Crude selectivity model: a bound argument divides the
+            # relation's contribution; fully bound ~ O(1) lookups.
+            estimate = size * (unbound_ratio ** 2) if size else 0.0
+            return (2, estimate)
+        return (2, unbound_ratio)
+    return (3, 0.0)
+
+
+def reorder_body(
+    body: Sequence[object],
+    initially_bound: Set[str] = frozenset(),
+    call_fixedness: CallFixedness = lambda s: None,
+    call_bound_arity: CallBoundArity = _never_callable,
+    size_of: SizeOf = _no_sizes,
+) -> List[object]:
+    """Reorder the non-fixed subgoals of a body; fixed subgoals stay put.
+
+    If the greedy schedule gets stuck (no admissible subgoal), the original
+    order of the remaining subgoals is preserved -- the later safety check
+    in the compiler reports the real error with source positions.
+    """
+    result: List[object] = []
+    bound: Set[str] = set(initially_bound)
+    segment: List[tuple] = []  # (source_index, subgoal)
+
+    def flush_segment() -> None:
+        nonlocal bound
+        pending = list(segment)
+        segment.clear()
+        while pending:
+            best = None
+            for entry in pending:
+                if not _admissible(entry[1], bound, call_bound_arity):
+                    continue
+                key = (_score(entry[1], bound, size_of), entry[0])
+                if best is None or key < best[0]:
+                    best = (key, entry)
+            if best is None:
+                # Stuck: emit the remainder in source order.
+                for entry in pending:
+                    result.append(entry[1])
+                    bound |= subgoal_binds(entry[1], bound)
+                return
+            _, entry = best
+            pending.remove(entry)
+            result.append(entry[1])
+            bound |= subgoal_binds(entry[1], bound)
+
+    for index, subgoal in enumerate(body):
+        if is_fixed_subgoal(subgoal, call_fixedness):
+            flush_segment()
+            result.append(subgoal)
+            bound |= subgoal_binds(subgoal, bound)
+        else:
+            segment.append((index, subgoal))
+    flush_segment()
+    return result

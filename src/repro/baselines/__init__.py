@@ -1,0 +1,40 @@
+"""Baselines the paper compares against (Section 8) and design alternatives
+it argues against (Sections 9-10), implemented so the comparisons are
+runnable:
+
+* :mod:`repro.baselines.extensional_sets` -- LDL/CORAL-style sets whose
+  value *is* the member collection, with set-unification equality and
+  explicit flattening; contrasted with HiLog name-sets in experiment E7.
+* :mod:`repro.baselines.runtime_dispatch` -- predicate-variable subgoals
+  resolved by a run-time four-way class check instead of compile-time
+  dereferencing; experiment E8.
+* the ``naive`` strategy of :class:`repro.nail.engine.NailEngine` -- full
+  re-derivation instead of seminaive/uniondiff; experiment E6.
+* :class:`repro.storage.adaptive.NeverIndexPolicy` /
+  :class:`~repro.storage.adaptive.AlwaysIndexPolicy` -- the degenerate
+  indexing policies around the adaptive one; experiment E5.
+"""
+
+from repro.baselines.extensional_sets import (
+    ExtensionalSetError,
+    flatten_set_of_sets,
+    ldl_group,
+    make_set,
+    set_member,
+    set_union,
+    set_unify,
+    sets_equal_extensional,
+)
+from repro.baselines.runtime_dispatch import make_runtime_dispatch_system
+
+__all__ = [
+    "ExtensionalSetError",
+    "flatten_set_of_sets",
+    "ldl_group",
+    "make_set",
+    "make_runtime_dispatch_system",
+    "set_member",
+    "set_union",
+    "set_unify",
+    "sets_equal_extensional",
+]

@@ -1,0 +1,146 @@
+"""LDL/CORAL-style extensional sets (paper Sections 5.1 and 8.1).
+
+In LDL "a set-valued attribute has the elements of a set as its value";
+equality between two set values needs *set unification*, rules with the
+set-grouping operator abandon the tuple-based reading, and set-of-set
+results must be explicitly flattened.  This module implements that model
+over Glue-Nail terms so experiment E7 can compare it with HiLog name-sets.
+
+A set value is represented canonically as ``$set(e1, ..., en)`` with the
+elements sorted and deduplicated, which is how an implementation would
+normalize ground sets.  ``set_unify`` matches a possibly-variable set
+pattern against a ground set -- the expensive operation the paper calls
+out ("The only type of set equality available is set unification, which
+can be expensive").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.terms.matching import Bindings, match
+from repro.terms.term import Atom, Compound, Term, Var, is_ground, mk, sort_key
+
+SET_FUNCTOR = Atom("$set")
+
+
+from repro.errors import GlueNailError
+
+
+class ExtensionalSetError(GlueNailError):
+    pass
+
+
+def make_set(elements: Iterable[object]) -> Term:
+    """Build a canonical ground set value from elements."""
+    terms = [mk(e) for e in elements]
+    for term in terms:
+        if not is_ground(term):
+            raise ExtensionalSetError("set elements must be ground")
+    unique = sorted(set(terms), key=sort_key)
+    if not unique:
+        return SET_FUNCTOR  # the empty set is the bare functor atom
+    return Compound(SET_FUNCTOR, tuple(unique))
+
+
+def is_set_value(term: Term) -> bool:
+    if term == SET_FUNCTOR:
+        return True
+    return isinstance(term, Compound) and term.functor == SET_FUNCTOR
+
+
+def set_elements(term: Term) -> Tuple[Term, ...]:
+    if term == SET_FUNCTOR:
+        return ()
+    if not is_set_value(term):
+        raise ExtensionalSetError(f"not a set value: {term}")
+    return term.args
+
+
+def set_member(element: object, set_value: Term) -> bool:
+    return mk(element) in set_elements(set_value)
+
+
+def set_union(left: Term, right: Term) -> Term:
+    return make_set(set_elements(left) + set_elements(right))
+
+
+def sets_equal_extensional(left: Term, right: Term) -> bool:
+    """Member-level equality: O(n log n) canonicalization + comparison.
+
+    Contrast with HiLog name-sets, where equality is a name comparison.
+    """
+    return set_elements(left) == set_elements(right)
+
+
+def set_unify(pattern: Term, ground: Term, bindings: Optional[Bindings] = None) -> Optional[Bindings]:
+    """Unify a set pattern (elements may contain variables) with a ground set.
+
+    Set unification must try element correspondences modulo ordering; this
+    implementation does the standard backtracking search over injective
+    assignments.  Worst case is factorial -- the expense the paper notes.
+    """
+    if isinstance(pattern, Var):
+        result = dict(bindings) if bindings else {}
+        bound = result.get(pattern.name)
+        if bound is not None:
+            return result if sets_equal_extensional(bound, ground) else None
+        result[pattern.name] = ground
+        return result
+    pattern_elems = set_elements(pattern)
+    ground_elems = set_elements(ground)
+    if len(pattern_elems) != len(ground_elems):
+        # Canonical ground sets have no duplicates; a pattern with repeated
+        # variables could still shrink, which we do not model (LDL's ground
+        # set values are already deduplicated).
+        return None
+    base = dict(bindings) if bindings else {}
+    return _match_elements(list(pattern_elems), list(ground_elems), base)
+
+
+def _match_elements(
+    pattern_elems: List[Term], ground_elems: List[Term], bindings: Bindings
+) -> Optional[Bindings]:
+    if not pattern_elems:
+        return bindings
+    first, rest = pattern_elems[0], pattern_elems[1:]
+    for i, candidate in enumerate(ground_elems):
+        attempt = match(first, candidate, bindings)
+        if attempt is None:
+            continue
+        remaining = ground_elems[:i] + ground_elems[i + 1 :]
+        result = _match_elements(rest, remaining, attempt)
+        if result is not None:
+            return result
+    return None
+
+
+def flatten_set_of_sets(set_of_sets: Term) -> Term:
+    """The explicit flattening LDL/CORAL programs must perform when a rule
+    produces a set of sets but the union was wanted."""
+    out: List[Term] = []
+    for inner in set_elements(set_of_sets):
+        out.extend(set_elements(inner))
+    return make_set(out)
+
+
+def ldl_group(
+    rows: Sequence[Tuple[Term, ...]],
+    key_positions: Sequence[int],
+    value_position: int,
+) -> List[Tuple[Term, ...]]:
+    """The LDL set-grouping operator ``p(K, <V>)``: partition rows by the
+    key columns and collect the value column into a set value per group.
+
+    Returns rows ``key_values + (set_value,)`` sorted by key for
+    determinism.  This is the operation whose reading "can only be
+    understood if the usual tuple-based reading of a rule is abandoned"
+    (paper Section 8.1).
+    """
+    groups: Dict[Tuple[Term, ...], List[Term]] = {}
+    for row in rows:
+        key = tuple(row[p] for p in key_positions)
+        groups.setdefault(key, []).append(row[value_position])
+    out = [key + (make_set(values),) for key, values in groups.items()]
+    out.sort(key=lambda r: tuple(sort_key(v) for v in r))
+    return out

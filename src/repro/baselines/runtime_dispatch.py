@@ -1,0 +1,27 @@
+"""Run-time predicate dispatch: the baseline of experiment E8.
+
+Paper Section 9: "A naive system would wait until X becomes bound at run
+time, and then check it against the four possible cases.  The current
+compiler will have already eliminated those choices which were seen to be
+impossible at compile time."
+
+This module constructs a :class:`~repro.core.system.GlueNailSystem` whose
+compiler keeps the naive behaviour: every predicate-variable subgoal
+compiles to a :class:`~repro.vm.plan.DynamicStep` that performs the full
+class check per row at run time (and is a pipeline barrier besides).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.system import GlueNailSystem
+from repro.storage.database import Database
+
+
+def make_runtime_dispatch_system(
+    db: Optional[Database] = None, **kwargs
+) -> GlueNailSystem:
+    """A system with compile-time predicate dereferencing disabled."""
+    kwargs.setdefault("deref_at_compile_time", False)
+    return GlueNailSystem(db=db, **kwargs)

@@ -1,0 +1,197 @@
+"""Command-line interface: ``gluenail`` (or ``python -m repro.core.cli``).
+
+Subcommands::
+
+    gluenail check  program.glue              # parse + compile only
+    gluenail run    program.glue [options]    # run the script / a procedure
+    gluenail query  program.glue "p(1, X)?"   # ad-hoc query
+    gluenail nail2glue program.glue           # print the generated Glue code
+
+Common options: ``--edb facts.gnd`` loads an EDB dump before running,
+``--save facts.gnd`` persists the EDB afterwards, ``--strategy
+pipelined|materialized`` picks the execution strategy, ``--stats`` prints
+the cost counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.system import GlueNailSystem
+from repro.errors import GlueNailError
+from repro.terms.printer import tuple_to_str
+
+
+def _build_system(args) -> GlueNailSystem:
+    system = GlueNailSystem(
+        strict=args.strict,
+        optimize=not args.no_optimize,
+        strategy=args.strategy,
+        dedup_on_break=not args.no_dedup,
+    )
+    system.load_file(args.program)
+    if args.edb:
+        system.load_edb(args.edb)
+    if getattr(args, "facts_dir", None):
+        system.load_facts_dir(args.facts_dir)
+    return system
+
+
+def _print_stats(system: GlueNailSystem) -> None:
+    for key, value in system.counters.snapshot().items():
+        if value:
+            print(f"  {key} = {value}")
+
+
+def cmd_check(args) -> int:
+    system = _build_system(args)
+    compiled = system.compile()
+    print(
+        f"ok: {compiled.statement_count} statements, "
+        f"{len(compiled.procs)} procedures, {len(compiled.rules)} rules"
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    system = _build_system(args)
+    system.compile()
+    if args.call:
+        from repro.lang.parser import parse_term
+
+        inputs = [()] if not args.input else [tuple(parse_term(v) for v in args.input)]
+        rows = system.call(args.call, inputs)
+        for row in sorted(rows, key=str):
+            print(tuple_to_str(row))
+    else:
+        system.run_script()
+    if args.save:
+        count = system.save_edb(args.save)
+        print(f"saved {count} facts to {args.save}", file=sys.stderr)
+    if args.save_facts:
+        count = system.save_facts_dir(args.save_facts)
+        print(f"saved {count} facts under {args.save_facts}", file=sys.stderr)
+    if args.stats:
+        _print_stats(system)
+    return 0
+
+
+def cmd_query(args) -> int:
+    system = _build_system(args)
+    rows = system.query_magic(args.query) if args.magic else system.query(args.query)
+    for row in sorted(rows, key=str):
+        print(tuple_to_str(row))
+    if args.stats:
+        _print_stats(system)
+    return 0
+
+
+def cmd_nail2glue(args) -> int:
+    from repro.nail.nail2glue import compile_rules_to_glue
+
+    system = _build_system(args)
+    compiled = system.compile()
+    result = compile_rules_to_glue(compiled.rules)
+    print(result.source)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.vm.explain import explain_program
+
+    system = _build_system(args)
+    print(explain_program(system.compile()))
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    from repro.lang.parser import parse_program
+    from repro.lang.pretty import pretty_program
+
+    with open(args.program, "r", encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    print(pretty_program(program), end="")
+    return 0
+
+
+def cmd_repl(args) -> int:
+    from repro.core.repl import Repl
+    from repro.core.system import GlueNailSystem
+
+    system = GlueNailSystem()
+    if args.program:
+        system.load_file(args.program)
+    if args.edb:
+        system.load_edb(args.edb)
+    repl = Repl(system=system)
+    repl.run(sys.stdin)
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="Glue-Nail source file")
+    parser.add_argument("--edb", help="EDB dump to load before running")
+    parser.add_argument("--facts-dir", help="directory of .facts TSV files to load")
+    parser.add_argument("--strict", action="store_true", help="require declarations")
+    parser.add_argument("--no-optimize", action="store_true", help="disable reordering")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="disable duplicate elimination at pipeline breaks")
+    parser.add_argument(
+        "--strategy", choices=("pipelined", "materialized"), default="pipelined"
+    )
+    parser.add_argument("--stats", action="store_true", help="print cost counters")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="gluenail", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="parse and compile only")
+    _add_common(p_check)
+    p_check.set_defaults(fn=cmd_check)
+
+    p_run = sub.add_parser("run", help="run the script or a procedure")
+    _add_common(p_run)
+    p_run.add_argument("--call", help="procedure to call instead of the script")
+    p_run.add_argument(
+        "--input", nargs="*", help="input tuple values for --call (strings)"
+    )
+    p_run.add_argument("--save", help="save the EDB to this dump afterwards")
+    p_run.add_argument("--save-facts", help="save the EDB as a .facts directory")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_query = sub.add_parser("query", help="answer an ad-hoc query")
+    _add_common(p_query)
+    p_query.add_argument("query", help="query text, e.g. 'path(1, X)?'")
+    p_query.add_argument("--magic", action="store_true", help="demand-driven evaluation")
+    p_query.set_defaults(fn=cmd_query)
+
+    p_n2g = sub.add_parser("nail2glue", help="print generated Glue for the rules")
+    _add_common(p_n2g)
+    p_n2g.set_defaults(fn=cmd_nail2glue)
+
+    p_explain = sub.add_parser("explain", help="show the compiled plans")
+    _add_common(p_explain)
+    p_explain.set_defaults(fn=cmd_explain)
+
+    p_fmt = sub.add_parser("fmt", help="pretty-print a program canonically")
+    p_fmt.add_argument("program", help="Glue-Nail source file")
+    p_fmt.set_defaults(fn=cmd_fmt)
+
+    p_repl = sub.add_parser("repl", help="interactive session")
+    p_repl.add_argument("program", nargs="?", help="program to preload")
+    p_repl.add_argument("--edb", help="EDB dump to load first")
+    p_repl.set_defaults(fn=cmd_repl)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (GlueNailError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Conversions between Glue-Nail terms and plain Python values."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.terms.term import Atom, Compound, Num, Term
+
+
+def term_to_python(term: Term):
+    """Lower a ground term to a Python value.
+
+    Atoms become strings, numbers become int/float, and compound terms
+    become nested tuples ``(functor, arg, ...)`` -- the inverse of
+    :func:`repro.terms.term.mk`.
+    """
+    if isinstance(term, Atom):
+        return term.name
+    if isinstance(term, Num):
+        return term.value
+    if isinstance(term, Compound):
+        return (term_to_python(term.functor), *(term_to_python(a) for a in term.args))
+    raise TypeError(f"cannot lower non-ground term {term!r}")
+
+
+def rows_to_python(rows: Iterable[Tuple[Term, ...]]) -> List[tuple]:
+    return [tuple(term_to_python(v) for v in row) for row in rows]

@@ -1,0 +1,327 @@
+"""The Glue-Nail system facade.
+
+Typical use::
+
+    from repro import GlueNailSystem
+
+    system = GlueNailSystem()
+    system.load('''
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y) & edge(Y, Z).
+    ''')
+    system.facts("edge", [(1, 2), (2, 3)])
+    system.query("path(1, Y)?")        # -> [(Num(1), Num(2)), (Num(1), Num(3))]
+
+The facade owns the EDB, the compiled program, the virtual machine and the
+NAIL! engine, and keeps them consistent: loading more source invalidates
+the compilation; EDB changes invalidate derived relations (handled by the
+engine's version check).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.scope import pred_skeleton
+from repro.errors import GlueNailError, GlueRuntimeError
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program, parse_query
+from repro.nail.engine import NailEngine, magic_query
+from repro.storage.database import Database
+from repro.storage.persist import load_database, save_database
+from repro.storage.stats import CostCounters
+from repro.terms.matching import match_tuple
+from repro.terms.term import Term, is_ground, mk
+from repro.vm.compiler import ForeignSig, ProgramCompiler
+from repro.vm.machine import ExecContext, ForeignProc, Machine
+from repro.vm.plan import CompiledProgram
+
+Row = Tuple[Term, ...]
+
+
+class GlueNailSystem:
+    """A complete Glue-Nail instance: EDB + compiler + VM + NAIL! engine."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        strict: bool = False,
+        optimize: bool = True,
+        strategy: str = "pipelined",
+        dedup_on_break: bool = True,
+        deref_at_compile_time: bool = True,
+        nail_strategy: str = "seminaive",
+        out=None,
+        inp=None,
+        max_loop_iterations: int = 1_000_000,
+        adaptive_reorder: bool = False,
+    ):
+        self.db = db if db is not None else Database()
+        self.strict = strict
+        self.optimize = optimize
+        self.strategy = strategy
+        self.dedup_on_break = dedup_on_break
+        self.deref_at_compile_time = deref_at_compile_time
+        self.nail_strategy = nail_strategy
+        self.out = out
+        self.inp = inp
+        self.max_loop_iterations = max_loop_iterations
+        self.adaptive_reorder = adaptive_reorder
+
+        self._programs: List[Program] = []
+        self._foreign: List[Tuple[ForeignSig, ForeignProc]] = []
+        self._compiled: Optional[CompiledProgram] = None
+        self._machine: Optional[Machine] = None
+        self._ctx: Optional[ExecContext] = None
+        self._engine: Optional[NailEngine] = None
+
+    # ------------------------------------------------------------------ #
+    # loading and compilation
+    # ------------------------------------------------------------------ #
+
+    def load(self, source: str) -> "GlueNailSystem":
+        """Parse and stage Glue-Nail source; returns self for chaining."""
+        self._programs.append(parse_program(source))
+        self._invalidate()
+        return self
+
+    def load_file(self, path: str) -> "GlueNailSystem":
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.load(handle.read())
+
+    def register_foreign(
+        self,
+        module: str,
+        name: str,
+        arity: int,
+        bound_arity: int,
+        fn: Callable[[ExecContext, List[Row]], List[Row]],
+        fixed: bool = True,
+    ) -> "GlueNailSystem":
+        """Register a Python function as a Glue procedure (the foreign
+        interface of paper Section 10).  Must happen before compilation so
+        import resolution sees the signature."""
+        sig = ForeignSig(module=module, name=name, arity=arity, bound_arity=bound_arity,
+                         fixed=fixed)
+        proc = ForeignProc(module=module, name=name, arity=arity, bound_arity=bound_arity,
+                           fn=fn, fixed=fixed)
+        self._foreign.append((sig, proc))
+        self._invalidate()
+        return self
+
+    def _invalidate(self) -> None:
+        self._compiled = None
+        self._machine = None
+        self._ctx = None
+        self._engine = None
+
+    @property
+    def program(self) -> Program:
+        modules: List = []
+        items: List = []
+        for program in self._programs:
+            modules.extend(program.modules)
+            items.extend(program.items)
+        return Program(modules=tuple(modules), items=tuple(items))
+
+    def compile(self) -> CompiledProgram:
+        """(Re)compile everything loaded; idempotent until the next load."""
+        if self._compiled is not None:
+            return self._compiled
+        compiler = ProgramCompiler(
+            strict=self.strict,
+            optimize=self.optimize,
+            deref_at_compile_time=self.deref_at_compile_time,
+            foreign_sigs=[sig for sig, _ in self._foreign],
+        )
+        compiled = compiler.compile_program(self.program)
+        ctx = ExecContext(
+            db=self.db,
+            strategy=self.strategy,
+            dedup_on_break=self.dedup_on_break,
+            out=self.out,
+            inp=self.inp,
+            max_loop_iterations=self.max_loop_iterations,
+            adaptive_reorder=self.adaptive_reorder,
+        )
+        for _, proc in self._foreign:
+            ctx.register_foreign(proc)
+        # Safety is checked lazily per stratum: rules that need demand
+        # bindings (magic evaluation) are legal until someone asks for
+        # their full extension.
+        engine = NailEngine(
+            self.db, compiled.rules, strategy=self.nail_strategy, check_safety=False
+        )
+        ctx.nail_engine = engine
+        for name, arity in compiled.edb_decls:
+            self.db.declare(name, arity)
+        self._compiled = compiled
+        self._ctx = ctx
+        self._engine = engine
+        self._machine = Machine(compiled, ctx)
+        return compiled
+
+    @property
+    def machine(self) -> Machine:
+        self.compile()
+        return self._machine
+
+    @property
+    def engine(self) -> NailEngine:
+        self.compile()
+        return self._engine
+
+    @property
+    def ctx(self) -> ExecContext:
+        self.compile()
+        return self._ctx
+
+    @property
+    def counters(self) -> CostCounters:
+        return self.db.counters
+
+    def reset_counters(self) -> None:
+        self.db.counters.reset()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def call(
+        self,
+        name: str,
+        inputs: Sequence[Sequence[object]] = ((),),
+        module: Optional[str] = None,
+        arity: Optional[int] = None,
+    ) -> List[Row]:
+        """Call a Glue procedure once on a set of input tuples.
+
+        ``inputs`` is a sequence of tuples matching the procedure's bound
+        arity; plain Python values are lifted to terms.  Returns the
+        procedure's return relation as a list of term tuples.
+        """
+        self.compile()
+        lifted = [tuple(mk(v) for v in row) for row in inputs]
+        if arity is None:
+            candidates = sorted(
+                {key[2] for key in self._compiled.procs if key[1] == name}
+            )
+            if not candidates:
+                raise GlueRuntimeError(f"no procedure named {name}")
+            if len(candidates) > 1:
+                raise GlueRuntimeError(
+                    f"procedure {name} has several arities {candidates}; pass arity="
+                )
+            arity = candidates[0]
+        proc = self._compiled.find_proc(name, arity, module=module)
+        return self._machine.call_proc(proc, lifted)
+
+    def run_script(self) -> None:
+        """Execute the loose top-level statements of the loaded program."""
+        self.compile()
+        self._machine.run_script()
+
+    def query(self, text: str) -> List[Row]:
+        """Answer an ad-hoc query ``p(args)?`` against NAIL!, the EDB, or a
+        Glue procedure, in that resolution order."""
+        self.compile()
+        subgoal = parse_query(text)
+        pred, args = subgoal.pred, subgoal.args
+        if not is_ground(pred):
+            raise GlueNailError("the query predicate itself must be ground")
+        skeleton = pred_skeleton(pred, len(args))
+        if self._engine.defines(skeleton):
+            return self._engine.query(pred, args)
+        relation = self.db.get(pred, len(args))
+        if relation is not None:
+            return [dict_row for dict_row in self._match_rows(relation, args)]
+        # Fall back to a procedure call with the bound prefix as input.
+        if skeleton[0] is not None:
+            key = (skeleton[0], len(args))
+            proc = self._compiled.exported.get(key)
+            if proc is None:
+                matches = [
+                    p
+                    for pkey, p in self._compiled.procs.items()
+                    if pkey[1] == skeleton[0] and pkey[2] == len(args)
+                ]
+                proc = matches[0] if len(matches) == 1 else None
+            if proc is not None:
+                bound = args[: proc.bound_arity]
+                if not all(is_ground(a) for a in bound):
+                    raise GlueNailError(
+                        f"procedure query {skeleton[0]} needs its first "
+                        f"{proc.bound_arity} argument(s) bound"
+                    )
+                rows = self._machine.call_proc(proc, [tuple(bound)])
+                return [row for row in rows if match_tuple(args, row) is not None]
+        return []
+
+    @staticmethod
+    def _match_rows(relation, args) -> List[Row]:
+        out = []
+        for row in relation.rows():
+            if match_tuple(tuple(args), row) is not None:
+                out.append(row)
+        return out
+
+    def query_magic(self, text: str) -> List[Row]:
+        """Answer a NAIL! query demand-driven (magic sets).
+
+        Queries outside the magic fragment (aggregates, negated IDB
+        literals, compound-named predicates on the demand path) fall back
+        to ordinary evaluation transparently.
+        """
+        from repro.nail.magic import MagicTransformError
+
+        self.compile()
+        subgoal = parse_query(text)
+        try:
+            answers, _engine = magic_query(
+                self.db, self._compiled.rules, subgoal.pred, subgoal.args,
+                strategy=self.nail_strategy,
+            )
+            return answers
+        except MagicTransformError:
+            return self.query(text)
+
+    # ------------------------------------------------------------------ #
+    # EDB convenience
+    # ------------------------------------------------------------------ #
+
+    def fact(self, name, *values) -> bool:
+        return self.db.fact(name, *values)
+
+    def facts(self, name, rows) -> int:
+        return self.db.facts(name, rows)
+
+    def relation_rows(self, name, arity: int) -> List[Row]:
+        relation = self.db.get(name, arity)
+        if relation is None:
+            return []
+        return relation.sorted_rows()
+
+    def idb_rows(self, name, arity: int) -> List[Row]:
+        """The current extension of a NAIL! predicate (forces evaluation)."""
+        self.compile()
+        name_term = mk(name) if not isinstance(name, Term) else name
+        return self._engine.materialize(name_term, arity).sorted_rows()
+
+    def save_edb(self, path: str) -> int:
+        return save_database(self.db, path)
+
+    def load_edb(self, path: str) -> "GlueNailSystem":
+        load_database(path, self.db)
+        return self
+
+    def save_facts_dir(self, directory: str) -> int:
+        """Write the EDB as a directory of per-relation .facts TSV files."""
+        from repro.storage.tsvdir import save_tsv_dir
+
+        return save_tsv_dir(self.db, directory)
+
+    def load_facts_dir(self, directory: str) -> "GlueNailSystem":
+        from repro.storage.tsvdir import load_tsv_dir
+
+        load_tsv_dir(directory, self.db)
+        return self

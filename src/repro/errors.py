@@ -1,0 +1,20 @@
+"""Exception hierarchy for the Glue-Nail system."""
+
+from __future__ import annotations
+
+
+class GlueNailError(Exception):
+    """Base class for all Glue-Nail errors."""
+
+
+class CompileError(GlueNailError):
+    """A compile-time error: scope, safety, or structural."""
+
+
+class GlueRuntimeError(GlueNailError):
+    """A run-time evaluation error (type error, unbound name, ...)."""
+
+
+class UnsafeRuleError(CompileError):
+    """A NAIL! rule is not range-restricted and cannot be evaluated
+    bottom-up without demand (magic-set) bindings."""

@@ -1,0 +1,95 @@
+"""Aggregate operators (paper Section 3.3).
+
+    "The aggregate operators (aggregators) available in Glue are: min, max,
+    mean, sum, product, arbitrary, std_dev (standard deviation), and
+    count.  These operators take a single bound term as an argument, and
+    return a single value."
+
+Aggregators range over the tuples of the preceding supplementary relation
+-- *not* over the projection onto the argument term, which would delete
+meaningful duplicates (the paper's temperature-reading example).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import GlueRuntimeError
+from repro.terms.term import Num, Term, sort_key
+
+
+def _numeric_values(op: str, values: Sequence[Term]) -> List[float]:
+    out = []
+    for value in values:
+        if not isinstance(value, Num):
+            raise GlueRuntimeError(f"{op} needs numeric values, got {value}")
+        out.append(value.value)
+    return out
+
+
+def _agg_min(values: Sequence[Term]) -> Term:
+    return min(values, key=sort_key)
+
+
+def _agg_max(values: Sequence[Term]) -> Term:
+    return max(values, key=sort_key)
+
+
+def _agg_sum(values: Sequence[Term]) -> Term:
+    return Num(sum(_numeric_values("sum", values)))
+
+
+def _agg_product(values: Sequence[Term]) -> Term:
+    result = 1
+    for value in _numeric_values("product", values):
+        result *= value
+    return Num(result)
+
+
+def _agg_mean(values: Sequence[Term]) -> Term:
+    nums = _numeric_values("mean", values)
+    return Num(sum(nums) / len(nums))
+
+
+def _agg_std_dev(values: Sequence[Term]) -> Term:
+    nums = _numeric_values("std_dev", values)
+    mean = sum(nums) / len(nums)
+    variance = sum((x - mean) ** 2 for x in nums) / len(nums)
+    return Num(math.sqrt(variance))
+
+
+def _agg_count(values: Sequence[Term]) -> Term:
+    return Num(len(values))
+
+
+def _agg_arbitrary(values: Sequence[Term]) -> Term:
+    # "returns a single arbitrary value from the binding set" -- we pick the
+    # first in supplementary order, which keeps runs deterministic.
+    return values[0]
+
+
+AGGREGATES: Dict[str, Callable[[Sequence[Term]], Term]] = {
+    "min": _agg_min,
+    "max": _agg_max,
+    "mean": _agg_mean,
+    "sum": _agg_sum,
+    "product": _agg_product,
+    "arbitrary": _agg_arbitrary,
+    "std_dev": _agg_std_dev,
+    "count": _agg_count,
+}
+
+
+def apply_aggregate(op: str, values: Sequence[Term]) -> Term:
+    """Apply aggregator ``op`` to the per-tuple values of one group.
+
+    The group is never empty: an empty supplementary relation stops the
+    statement before the aggregator runs (paper Section 3.2).
+    """
+    fn = AGGREGATES.get(op)
+    if fn is None:
+        raise GlueRuntimeError(f"unknown aggregate operator {op}")
+    if not values:
+        raise GlueRuntimeError(f"{op} applied to an empty group")
+    return fn(values)

@@ -1,0 +1,27 @@
+"""HiLog-style higher-order support (paper Section 5).
+
+Set-valued attributes hold *predicate names*, not extensions: "a set valued
+attribute contains the name of a predicate (i.e. the name of a set)".  Two
+set attributes are equal when their names match -- a string comparison --
+and member-level equality is an explicit operation (the paper's ``set_eq``
+procedure), which this package also provides as a library function.
+"""
+
+from repro.hilog.sets import (
+    SET_EQ_GLUE_SOURCE,
+    member_rows,
+    set_eq,
+    set_insert,
+    set_name,
+)
+from repro.hilog.params import specialize_rule, specialize_rules
+
+__all__ = [
+    "SET_EQ_GLUE_SOURCE",
+    "member_rows",
+    "set_eq",
+    "set_insert",
+    "set_name",
+    "specialize_rule",
+    "specialize_rules",
+]

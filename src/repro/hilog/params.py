@@ -1,0 +1,80 @@
+"""Parameterized predicates (paper Section 5.2).
+
+The HiLog scheme lets NAIL! define one universal predicate such as::
+
+    tc(E, X, X).
+    tc(E, X, Z) :- tc(E, X, Y) & E(Y, Z).
+
+Bottom-up evaluation needs the parameters bound; two ways are provided:
+demand-driven evaluation (:func:`repro.nail.engine.magic_query`) and
+*specialization* -- substituting concrete values for the parameter
+variables at compile time, yielding ordinary first-order rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.lang.ast import (
+    AggCall,
+    BinOp,
+    CompareSubgoal,
+    FunCall,
+    GroupBySubgoal,
+    PredSubgoal,
+    RuleDecl,
+    UnaryOp,
+)
+from repro.terms.matching import substitute
+from repro.terms.term import Term, mk
+
+
+def _subst_expr(expr, bindings: Mapping[str, Term]):
+    if isinstance(expr, Term):
+        return substitute(expr, bindings)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _subst_expr(expr.left, bindings), _subst_expr(expr.right, bindings))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _subst_expr(expr.operand, bindings))
+    if isinstance(expr, FunCall):
+        return FunCall(expr.name, tuple(_subst_expr(a, bindings) for a in expr.args))
+    if isinstance(expr, AggCall):
+        return AggCall(expr.op, _subst_expr(expr.arg, bindings))
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _subst_subgoal(subgoal, bindings: Mapping[str, Term]):
+    if isinstance(subgoal, PredSubgoal):
+        return PredSubgoal(
+            pred=substitute(subgoal.pred, bindings),
+            args=tuple(substitute(a, bindings) for a in subgoal.args),
+            negated=subgoal.negated,
+        )
+    if isinstance(subgoal, CompareSubgoal):
+        return CompareSubgoal(
+            op=subgoal.op,
+            left=_subst_expr(subgoal.left, bindings),
+            right=_subst_expr(subgoal.right, bindings),
+        )
+    if isinstance(subgoal, GroupBySubgoal):
+        return GroupBySubgoal(terms=tuple(substitute(t, bindings) for t in subgoal.terms))
+    raise TypeError(f"cannot specialize subgoal {subgoal!r}")
+
+
+def specialize_rule(rule: RuleDecl, params: Mapping[str, object]) -> RuleDecl:
+    """Substitute concrete values for parameter variables in one rule."""
+    bindings: Dict[str, Term] = {name: mk(value) for name, value in params.items()}
+    return RuleDecl(
+        head_pred=substitute(rule.head_pred, bindings),
+        head_args=tuple(substitute(a, bindings) for a in rule.head_args),
+        body=tuple(_subst_subgoal(s, bindings) for s in rule.body),
+        line=rule.line,
+    )
+
+
+def specialize_rules(
+    rules: Sequence[RuleDecl], params: Mapping[str, object]
+) -> List[RuleDecl]:
+    """Specialize every rule; rules not mentioning the parameters pass
+    through unchanged (substitution is a no-op on them)."""
+    return [specialize_rule(rule, params) for rule in rules]

@@ -1,0 +1,72 @@
+"""Set-valued attributes as predicate names.
+
+The class_info example of paper Section 5.1: ``tas(ID)`` and
+``students(ID)`` are predicate *names* built with compound terms; the sets
+they denote are ordinary relations stored under those names.  Name equality
+is therefore a term comparison, and only an explicit ``set_eq`` compares
+members.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.storage.database import Database
+from repro.terms.term import Compound, Term, mk
+
+# The paper's set_eq procedure (Section 5.1), verbatim modulo syntax
+# normalisation; used by examples and tests through the full pipeline.
+SET_EQ_GLUE_SOURCE = """
+proc set_eq(S, T:)
+rels different(A, B);
+  different(S, T) := in(S, T) & S(X) & !T(X).
+  different(S, T) += in(S, T) & T(X) & !S(X).
+  return(S, T:) := !different(S, T).
+end
+"""
+
+
+def set_name(base, *params) -> Term:
+    """Build a set name term: ``set_name("students", "cs99")`` is the
+    predicate name ``students(cs99)``."""
+    base_term = mk(base)
+    if not params:
+        return base_term
+    return Compound(base_term, tuple(mk(p) for p in params))
+
+
+def set_insert(db: Database, name, member, arity: int = 1) -> bool:
+    """Add a member tuple to the set (relation) called ``name``."""
+    name_term = mk(name) if not isinstance(name, Term) else name
+    row = member if isinstance(member, tuple) else (member,)
+    row = tuple(mk(v) for v in row)
+    if len(row) != arity:
+        raise ValueError(f"set {name_term} has arity {arity}, got {len(row)}")
+    return db.relation(name_term, arity).insert(row)
+
+
+def member_rows(db: Database, name, arity: int = 1) -> List[Tuple[Term, ...]]:
+    """The members of the set named ``name`` (empty if never created)."""
+    name_term = mk(name) if not isinstance(name, Term) else name
+    relation = db.get(name_term, arity)
+    if relation is None:
+        return []
+    return relation.copy_rows()
+
+
+def set_eq(db: Database, left, right, arity: int = 1) -> bool:
+    """Member-level set equality (the library form of the paper's
+    ``set_eq`` Glue procedure).
+
+    Fast path: identical names denote identical sets -- "if two set valued
+    attributes contain the same predicate name, then the two sets are
+    identical.  Hence much of the time a simple string-string matching
+    suffices."
+    """
+    left_term = mk(left) if not isinstance(left, Term) else left
+    right_term = mk(right) if not isinstance(right, Term) else right
+    if left_term == right_term:
+        return True
+    left_rows = set(member_rows(db, left_term, arity))
+    right_rows = set(member_rows(db, right_term, arity))
+    return left_rows == right_rows

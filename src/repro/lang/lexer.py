@@ -1,0 +1,175 @@
+"""Hand-written lexer for the Glue-Nail surface language.
+
+Comment syntax: ``%`` to end of line (the Prolog tradition the paper's
+examples follow) and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.tokens import OPERATORS, Token, TokenKind
+
+
+from repro.errors import CompileError
+
+
+class LexError(CompileError):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() and ch.islower()
+
+
+def _is_var_start(ch: str) -> bool:
+    return ch == "_" or (ch.isalpha() and ch.isupper())
+
+
+def _is_ident(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    size = len(text)
+
+    def advance(n: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(n):
+            if pos < size and text[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < size:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "%":
+            while pos < size and text[pos] != "\n":
+                advance(1)
+            continue
+        if text.startswith("/*", pos):
+            start_line, start_col = line, col
+            advance(2)
+            while pos < size and not text.startswith("*/", pos):
+                advance(1)
+            if pos >= size:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch == "'":
+            tokens.append(_lex_quoted(text, pos, line, col))
+            advance(_quoted_length(text, pos, line, col))
+            continue
+        if ch.isdigit():
+            token, length = _lex_number(text, pos, line, col)
+            tokens.append(token)
+            advance(length)
+            continue
+        if _is_name_start(ch):
+            end = pos
+            while end < size and _is_ident(text[end]):
+                end += 1
+            tokens.append(Token(TokenKind.NAME, text[pos:end], line, col))
+            advance(end - pos)
+            continue
+        if _is_var_start(ch):
+            end = pos
+            while end < size and _is_ident(text[end]):
+                end += 1
+            tokens.append(Token(TokenKind.VARIABLE, text[pos:end], line, col))
+            advance(end - pos)
+            continue
+        matched = None
+        for op in OPERATORS:
+            if text.startswith(op, pos):
+                matched = op
+                break
+        if matched is not None:
+            tokens.append(Token(TokenKind.PUNCT, matched, line, col))
+            advance(len(matched))
+            continue
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, None, line, col))
+    return tokens
+
+
+def _quoted_length(text: str, pos: int, line: int, col: int) -> int:
+    """Length in source characters of the quoted atom starting at ``pos``."""
+    i = pos + 1
+    size = len(text)
+    while i < size:
+        ch = text[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "'":
+            return i - pos + 1
+        if ch == "\n":
+            break
+        i += 1
+    raise LexError("unterminated quoted atom", line, col)
+
+
+def _lex_quoted(text: str, pos: int, line: int, col: int) -> Token:
+    length = _quoted_length(text, pos, line, col)
+    raw = text[pos + 1 : pos + length - 1]
+    out = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch == "\\" and i + 1 < len(raw):
+            nxt = raw[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt == "t":
+                out.append("\t")
+            elif nxt == "r":
+                out.append("\r")
+            else:
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return Token(TokenKind.NAME, "".join(out), line, col, quoted=True)
+
+
+def _lex_number(text: str, pos: int, line: int, col: int):
+    size = len(text)
+    end = pos
+    while end < size and text[end].isdigit():
+        end += 1
+    is_float = False
+    # A float needs a digit after the dot; otherwise the dot is the
+    # statement terminator (``matrix(X, 2).``).
+    if end < size and text[end] == "." and end + 1 < size and text[end + 1].isdigit():
+        is_float = True
+        end += 1
+        while end < size and text[end].isdigit():
+            end += 1
+    if end < size and text[end] in "eE":
+        exp = end + 1
+        if exp < size and text[exp] in "+-":
+            exp += 1
+        if exp < size and text[exp].isdigit():
+            is_float = True
+            end = exp
+            while end < size and text[end].isdigit():
+                end += 1
+    literal = text[pos:end]
+    value = float(literal) if is_float else int(literal)
+    return Token(TokenKind.NUMBER, value, line, col), end - pos

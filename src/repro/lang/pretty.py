@@ -1,0 +1,194 @@
+"""Pretty-printer: AST back to Glue-Nail surface syntax.
+
+``parse(pretty(ast)) == ast`` is a tested invariant; the NAIL!-to-Glue
+compiler also uses the printer so generated code is readable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lang.ast import (
+    AggCall,
+    AssignStmt,
+    BinOp,
+    CompareSubgoal,
+    CondDisjunction,
+    EdbDecl,
+    EmptyCond,
+    ExportDecl,
+    FunCall,
+    GroupBySubgoal,
+    ImportDecl,
+    ModuleDecl,
+    PredSig,
+    PredSubgoal,
+    ProcDecl,
+    Program,
+    RepeatStmt,
+    RuleDecl,
+    UnaryOp,
+    UnchangedCond,
+    UnionSubgoal,
+    UpdateSubgoal,
+)
+from repro.terms.printer import term_to_str
+from repro.terms.term import Term, Var
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2, "mod": 2}
+
+
+def pretty_expr(expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, Term):
+        return term_to_str(expr)
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        text = f"{pretty_expr(expr.left, prec)} {expr.op} {pretty_expr(expr.right, prec + 1)}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, UnaryOp):
+        return f"-{pretty_expr(expr.operand, 3)}"
+    if isinstance(expr, FunCall):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, AggCall):
+        return f"{expr.op}({pretty_expr(expr.arg)})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _pretty_application(pred: Term, args: Tuple[Term, ...]) -> str:
+    head = term_to_str(pred)
+    inner = ", ".join(term_to_str(a) for a in args)
+    return f"{head}({inner})"
+
+
+def pretty_subgoal(subgoal) -> str:
+    if isinstance(subgoal, PredSubgoal):
+        if not subgoal.args and not subgoal.negated:
+            name = term_to_str(subgoal.pred)
+            if name in ("true", "false"):
+                return name
+            return f"{name}()"
+        text = _pretty_application(subgoal.pred, subgoal.args)
+        return f"!{text}" if subgoal.negated else text
+    if isinstance(subgoal, CompareSubgoal):
+        return f"{pretty_expr(subgoal.left)} {subgoal.op} {pretty_expr(subgoal.right)}"
+    if isinstance(subgoal, UpdateSubgoal):
+        return f"{subgoal.op}{_pretty_application(subgoal.pred, subgoal.args)}"
+    if isinstance(subgoal, GroupBySubgoal):
+        inner = ", ".join(term_to_str(t) for t in subgoal.terms)
+        return f"group_by({inner})"
+    if isinstance(subgoal, UnchangedCond):
+        wildcards = ", ".join("_" for _ in range(subgoal.arity))
+        return f"unchanged({term_to_str(subgoal.pred)}({wildcards}))"
+    if isinstance(subgoal, EmptyCond):
+        return f"empty({_pretty_application(subgoal.pred, subgoal.args)})"
+    if isinstance(subgoal, UnionSubgoal):
+        alts = [" & ".join(pretty_subgoal(s) for s in alt) for alt in subgoal.alternatives]
+        return "{ " + " | ".join(alts) + " }"
+    raise TypeError(f"not a subgoal: {subgoal!r}")
+
+
+def _pretty_head(stmt: AssignStmt) -> str:
+    head = term_to_str(stmt.head_pred)
+    if stmt.head_bound is None:
+        inner = ", ".join(term_to_str(a) for a in stmt.head_args)
+        return f"{head}({inner})"
+    bound = stmt.head_args[: stmt.head_bound]
+    free = stmt.head_args[stmt.head_bound :]
+    inner = ", ".join(term_to_str(a) for a in bound)
+    inner += ":" + ", ".join(term_to_str(a) for a in free)
+    return f"{head}({inner})"
+
+
+def pretty_statement(stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, AssignStmt):
+        op = stmt.op
+        if op == "modify":
+            keys = ", ".join(v.name for v in stmt.keys)
+            op = f"+=[{keys}]"
+        body = " & ".join(pretty_subgoal(s) for s in stmt.body)
+        return f"{pad}{_pretty_head(stmt)} {op} {body}."
+    if isinstance(stmt, RepeatStmt):
+        lines = [f"{pad}repeat"]
+        for inner in stmt.body:
+            lines.append(pretty_statement(inner, indent + 1))
+        lines.append(f"{pad}until {pretty_condition(stmt.until)};")
+        return "\n".join(lines)
+    raise TypeError(f"not a statement: {stmt!r}")
+
+
+def pretty_condition(cond: CondDisjunction) -> str:
+    rendered = [" & ".join(pretty_subgoal(s) for s in alt) for alt in cond.alternatives]
+    if len(rendered) == 1:
+        return rendered[0]
+    return "{ " + " | ".join(rendered) + " }"
+
+
+def pretty_rule(rule: RuleDecl, indent: int = 0) -> str:
+    pad = "  " * indent
+    head = _pretty_application(rule.head_pred, rule.head_args)
+    body = " & ".join(pretty_subgoal(s) for s in rule.body)
+    return f"{pad}{head} :- {body}."
+
+
+def _pretty_sig(sig: PredSig) -> str:
+    inner = ", ".join(sig.bound)
+    inner += ":"
+    if sig.free:
+        inner += ", ".join(sig.free)
+    return f"{sig.name}({inner})"
+
+
+def _pretty_edb_item(decl: EdbDecl) -> str:
+    return f"{decl.name}({', '.join(decl.attrs)})"
+
+
+def pretty_proc(proc: ProcDecl, indent: int = 0) -> str:
+    pad = "  " * indent
+    params = ", ".join(v.name for v in proc.bound_params)
+    params += ":"
+    params += ", ".join(v.name for v in proc.free_params)
+    lines = [f"{pad}proc {proc.name}({params})"]
+    if proc.locals:
+        rels = ", ".join(_pretty_edb_item(decl) for decl in proc.locals)
+        lines.append(f"{pad}rels {rels};")
+    for stmt in proc.body:
+        lines.append(pretty_statement(stmt, indent + 1))
+    lines.append(f"{pad}end")
+    return "\n".join(lines)
+
+
+def pretty_item(item, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(item, ExportDecl):
+        sigs = ", ".join(_pretty_sig(s) for s in item.sigs)
+        return f"{pad}export {sigs};"
+    if isinstance(item, ImportDecl):
+        sigs = ", ".join(_pretty_sig(s) for s in item.sigs)
+        return f"{pad}from {item.module} import {sigs};"
+    if isinstance(item, EdbDecl):
+        return f"{pad}edb {_pretty_edb_item(item)};"
+    if isinstance(item, ProcDecl):
+        return pretty_proc(item, indent)
+    if isinstance(item, RuleDecl):
+        return pretty_rule(item, indent)
+    if isinstance(item, (AssignStmt, RepeatStmt)):
+        return pretty_statement(item, indent)
+    raise TypeError(f"not a module item: {item!r}")
+
+
+def pretty_module(module: ModuleDecl) -> str:
+    lines = [f"module {module.name};"]
+    for item in module.items:
+        lines.append(pretty_item(item, 1))
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    parts = [pretty_module(m) for m in program.modules]
+    parts.extend(pretty_item(item) for item in program.items)
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,31 @@
+"""The NAIL! declarative engine.
+
+NAIL! predicates are IDB: "the appropriate parts of which are computed on
+demand using the current value of the EDB" (paper Section 2).  The engine
+stratifies the rule set, evaluates each stratum bottom-up with seminaive
+iteration built on the back end's ``uniondiff`` operator (Section 10), and
+supports demand-driven (magic-sets) evaluation for bound queries.  The
+NAIL!-to-Glue compiler (:mod:`repro.nail.nail2glue`) emits equivalent Glue
+code, which is the paper's headline integration ("NAIL! code is compiled
+into Glue code").
+"""
+
+from repro.nail.rules import RuleInfo, check_rule_safety, prepare_rules
+from repro.nail.engine import NailEngine
+from repro.nail.naive import naive_eval
+from repro.nail.seminaive import seminaive_eval
+from repro.nail.magic import MagicTransformError, magic_transform
+from repro.nail.nail2glue import Nail2GlueError, compile_rules_to_glue
+
+__all__ = [
+    "MagicTransformError",
+    "Nail2GlueError",
+    "NailEngine",
+    "RuleInfo",
+    "check_rule_safety",
+    "compile_rules_to_glue",
+    "magic_transform",
+    "naive_eval",
+    "prepare_rules",
+    "seminaive_eval",
+]

@@ -1,0 +1,236 @@
+"""Bindings-based evaluation of NAIL! rule bodies.
+
+The native engine evaluates rule bodies over binding dictionaries rather
+than compiled positional plans: seminaive evaluation substitutes a *delta*
+relation for one literal occurrence per pass, which is simplest with an
+interpretive evaluator.  (The compiled path is the NAIL!-to-Glue pipeline,
+which reuses the Glue VM.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.bindings import expr_has_agg
+from repro.errors import GlueRuntimeError
+from repro.glue.aggregates import apply_aggregate
+from repro.glue.builtins import compare_terms, eval_function, term_arith
+from repro.lang.ast import (
+    AggCall,
+    BinOp,
+    CompareSubgoal,
+    FunCall,
+    GroupBySubgoal,
+    PredSubgoal,
+    RuleDecl,
+    UnaryOp,
+)
+from repro.terms.matching import instantiate, match_tuple, substitute
+from repro.terms.term import Atom, Num, Term, Var, is_ground
+
+Bindings = Dict[str, Term]
+Row = Tuple[Term, ...]
+
+_TRUE = Atom("true")
+_FALSE = Atom("false")
+
+# rows(name, arity) -> iterable of ground rows for that predicate instance.
+RowsFn = Callable[[Term, int], Iterable[Row]]
+
+
+def eval_expr_bindings(expr, bindings: Bindings) -> Term:
+    """Evaluate an aggregate-free expression under a bindings dict."""
+    if isinstance(expr, Num):
+        return expr
+    if isinstance(expr, Var):
+        value = bindings.get(expr.name)
+        if value is None:
+            raise GlueRuntimeError(f"unbound variable {expr.name} in expression")
+        return value
+    if isinstance(expr, Term):
+        return instantiate(expr, bindings)
+    if isinstance(expr, BinOp):
+        return term_arith(
+            expr.op,
+            eval_expr_bindings(expr.left, bindings),
+            eval_expr_bindings(expr.right, bindings),
+        )
+    if isinstance(expr, UnaryOp):
+        return term_arith("-", Num(0), eval_expr_bindings(expr.operand, bindings))
+    if isinstance(expr, FunCall):
+        args = tuple(eval_expr_bindings(a, bindings) for a in expr.args)
+        return eval_function(expr.name, args)
+    raise GlueRuntimeError(f"cannot evaluate expression {expr!r}")
+
+
+def _join_literal(
+    bindings_list: List[Bindings],
+    subgoal: PredSubgoal,
+    rows_fn: RowsFn,
+) -> List[Bindings]:
+    out: List[Bindings] = []
+    arity = len(subgoal.args)
+    for b in bindings_list:
+        name = substitute(subgoal.pred, b)
+        if not is_ground(name):
+            raise GlueRuntimeError(
+                f"predicate variable in {subgoal.pred} not bound at evaluation time"
+            )
+        patterns = tuple(substitute(arg, b) for arg in subgoal.args)
+        for row in rows_fn(name, arity):
+            extended = match_tuple(patterns, row, b)
+            if extended is not None:
+                out.append(extended)
+    return out
+
+
+def _filter_negation(
+    bindings_list: List[Bindings], subgoal: PredSubgoal, rows_fn: RowsFn
+) -> List[Bindings]:
+    out: List[Bindings] = []
+    arity = len(subgoal.args)
+    for b in bindings_list:
+        name = substitute(subgoal.pred, b)
+        patterns = tuple(substitute(arg, b) for arg in subgoal.args)
+        matched = False
+        for row in rows_fn(name, arity):
+            if match_tuple(patterns, row, b) is not None:
+                matched = True
+                break
+        if not matched:
+            out.append(b)
+    return out
+
+
+def _apply_compare(
+    bindings_list: List[Bindings],
+    subgoal: CompareSubgoal,
+    group_vars: List[str],
+) -> List[Bindings]:
+    left, right, op = subgoal.left, subgoal.right, subgoal.op
+    left_agg = expr_has_agg(left)
+    right_agg = expr_has_agg(right)
+    if left_agg or right_agg:
+        if left_agg and right_agg:
+            raise GlueRuntimeError("aggregates on both sides of a comparison")
+        if left_agg:
+            left, right = right, left
+            op = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}[op]
+        if not isinstance(right, AggCall):
+            raise GlueRuntimeError("an aggregate must be the whole comparison side")
+        return _apply_aggregate_compare(bindings_list, left, op, right, group_vars)
+    out: List[Bindings] = []
+    binds_left = op == "=" and isinstance(left, Var) and not left.is_anonymous
+    binds_right = op == "=" and isinstance(right, Var) and not right.is_anonymous
+    for b in bindings_list:
+        if binds_left and left.name not in b:
+            value = eval_expr_bindings(right, b)
+            extended = dict(b)
+            extended[left.name] = value
+            out.append(extended)
+            continue
+        if binds_right and right.name not in b:
+            value = eval_expr_bindings(left, b)
+            extended = dict(b)
+            extended[right.name] = value
+            out.append(extended)
+            continue
+        if compare_terms(op, eval_expr_bindings(left, b), eval_expr_bindings(right, b)):
+            out.append(b)
+    return out
+
+
+def _dedup_bindings(bindings_list: List[Bindings]) -> List[Bindings]:
+    seen = set()
+    out = []
+    for b in bindings_list:
+        key = tuple(sorted(b.items(), key=lambda kv: kv[0]))
+        if key not in seen:
+            seen.add(key)
+            out.append(b)
+    return out
+
+
+def _apply_aggregate_compare(
+    bindings_list: List[Bindings],
+    left,
+    op: str,
+    agg: AggCall,
+    group_vars: List[str],
+) -> List[Bindings]:
+    if not bindings_list:
+        return []
+    bindings_list = _dedup_bindings(bindings_list)
+    groups: Dict[Tuple, List[Bindings]] = {}
+    for b in bindings_list:
+        key = tuple(b.get(v) for v in group_vars)
+        groups.setdefault(key, []).append(b)
+    agg_of = {
+        key: apply_aggregate(agg.op, [eval_expr_bindings(agg.arg, b) for b in members])
+        for key, members in groups.items()
+    }
+    out: List[Bindings] = []
+    binds = op == "=" and isinstance(left, Var) and not left.is_anonymous
+    for b in bindings_list:
+        value = agg_of[tuple(b.get(v) for v in group_vars)]
+        if binds and left.name not in b:
+            extended = dict(b)
+            extended[left.name] = value
+            out.append(extended)
+        elif compare_terms(op, eval_expr_bindings(left, b), value):
+            out.append(b)
+    return out
+
+
+def eval_rule_body(
+    rule: RuleDecl,
+    rows_fn: RowsFn,
+    delta_index: Optional[int] = None,
+    delta_rows_fn: Optional[RowsFn] = None,
+    seeds: Optional[List[Bindings]] = None,
+) -> List[Bindings]:
+    """Evaluate a rule body left to right; returns the final binding set.
+
+    ``delta_index`` (an index into ``rule.body``) redirects that single
+    positive literal to ``delta_rows_fn`` -- the seminaive trick.
+    """
+    bindings_list: List[Bindings] = seeds if seeds is not None else [{}]
+    group_vars: List[str] = []
+    for index, subgoal in enumerate(rule.body):
+        if not bindings_list:
+            return []
+        if isinstance(subgoal, PredSubgoal):
+            if not subgoal.args and subgoal.pred in (_TRUE, _FALSE):
+                holds = subgoal.pred == _TRUE
+                if subgoal.negated:
+                    holds = not holds
+                if not holds:
+                    return []
+            elif subgoal.negated:
+                bindings_list = _filter_negation(bindings_list, subgoal, rows_fn)
+            else:
+                fn = delta_rows_fn if index == delta_index else rows_fn
+                bindings_list = _join_literal(bindings_list, subgoal, fn)
+        elif isinstance(subgoal, CompareSubgoal):
+            bindings_list = _apply_compare(bindings_list, subgoal, group_vars)
+        elif isinstance(subgoal, GroupBySubgoal):
+            for term in subgoal.terms:
+                if not isinstance(term, Var):
+                    raise GlueRuntimeError("group_by arguments must be variables")
+                if term.name not in group_vars:
+                    group_vars.append(term.name)
+        else:
+            raise GlueRuntimeError(
+                f"NAIL! rule bodies may not contain {type(subgoal).__name__}"
+            )
+    return bindings_list
+
+
+def derive_heads(rule: RuleDecl, bindings_list: List[Bindings]) -> List[Tuple[Term, Row]]:
+    """Instantiate the rule head for each binding: (relation name, row)."""
+    out: List[Tuple[Term, Row]] = []
+    for b in bindings_list:
+        name = instantiate(rule.head_pred, b)
+        row = tuple(instantiate(arg, b) for arg in rule.head_args)
+        out.append((name, row))
+    return out

@@ -1,0 +1,365 @@
+"""The NAIL! engine: on-demand, stratified, cached IDB evaluation.
+
+A NAIL! predicate referenced from Glue (or queried directly) is computed
+"on demand using the current value of the EDB" (paper Section 2).  The
+engine caches derived relations and invalidates the cache whenever the EDB
+version changes, so repeated references inside one EDB state cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.depgraph import build_dependency_graph
+from repro.analysis.scope import Skeleton, pred_skeleton
+from repro.analysis.stratify import Stratum, stratify
+from repro.errors import GlueRuntimeError
+from repro.lang.ast import PredSubgoal, RuleDecl
+from repro.nail.bodyeval import RowsFn
+from repro.nail.naive import naive_eval
+from repro.nail.rules import RuleInfo, prepare_rules
+from repro.nail.seminaive import seminaive_eval
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.terms.term import Term
+
+Row = Tuple[Term, ...]
+
+
+class NailEngine:
+    """Evaluates a NAIL! rule set against an EDB.
+
+    ``strategy`` selects the fixpoint algorithm: ``"seminaive"`` (the
+    paper's uniondiff-based design) or ``"naive"`` (the baseline).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        rules: Sequence[RuleDecl],
+        strategy: str = "seminaive",
+        check_safety: bool = True,
+        extra_edb: Optional[Database] = None,
+    ):
+        if strategy not in ("seminaive", "naive"):
+            raise ValueError(f"unknown NAIL! strategy {strategy!r}")
+        self.db = db
+        self.extra_edb = extra_edb
+        self.strategy = strategy
+        self.rule_infos: List[RuleInfo] = prepare_rules(rules, check_safety=check_safety)
+        self.dep = build_dependency_graph([info.rule for info in self.rule_infos])
+        self.strata: List[Stratum] = stratify(self.dep)
+        self._stratum_of: Dict[Skeleton, int] = {}
+        for stratum in self.strata:
+            for skeleton in stratum.skeletons:
+                self._stratum_of[skeleton] = stratum.index
+        self.idb = Database(counters=db.counters)
+        self._computed_through = -1
+        self._edb_version_seen: Optional[int] = None
+        self._stratum_safe: Dict[int, Optional[str]] = {}  # index -> error or None
+        self._demand_cache: Dict[tuple, List[Row]] = {}
+        self.rounds_run = 0  # fixpoint rounds in the last full evaluation
+
+    # ------------------------------------------------------------------ #
+    # public interface
+    # ------------------------------------------------------------------ #
+
+    def defines(self, skeleton: Skeleton) -> bool:
+        """Does any rule define this predicate skeleton?"""
+        return skeleton in self.dep.rules_by_head
+
+    def materialize(self, name: Term, arity: int) -> Relation:
+        """The full extension of a NAIL! predicate under the current EDB."""
+        skeleton = pred_skeleton(name, arity)
+        stratum_index = self._stratum_of.get(skeleton)
+        if stratum_index is None:
+            raise GlueRuntimeError(f"{name}/{arity} is not a NAIL! predicate")
+        self._refresh()
+        self._compute_through(stratum_index)
+        return self.idb.relation(name, arity)
+
+    def materialize_all(self) -> Database:
+        """Evaluate every stratum; returns the IDB database."""
+        self._refresh()
+        self._compute_through(len(self.strata) - 1)
+        return self.idb
+
+    def query(self, pred: Term, args: Sequence[Term], arity: Optional[int] = None):
+        """All tuples of ``pred`` matching the (possibly variable) args.
+
+        Predicates whose rules need demand bindings -- head variables only
+        bound by the caller, like Figure 1's ``graphic_search(p(X,Y),...)``
+        -- are answered demand-driven via the magic-sets rewrite instead of
+        full materialization ("the appropriate parts of which are computed
+        on demand", paper Section 2).
+        """
+        from repro.terms.matching import match_tuple
+
+        arity = arity if arity is not None else len(args)
+        if not self.can_materialize(pred, arity):
+            return self.demand(pred, arity, tuple(args))
+        relation = self.materialize(pred, arity)
+        out = []
+        for row in relation.rows():
+            bindings = match_tuple(tuple(args), row)
+            if bindings is not None:
+                out.append(row)
+        return out
+
+    def can_materialize(self, name: Term, arity: int) -> bool:
+        """Can this predicate be fully computed bottom-up (all strata up to
+        and including its own are range-restricted)?"""
+        skeleton = pred_skeleton(name, arity)
+        stratum_index = self._stratum_of.get(skeleton)
+        if stratum_index is None:
+            return False
+        return all(
+            self._stratum_safety(i) is None for i in range(stratum_index + 1)
+        )
+
+    def demand(self, name: Term, arity: int, patterns: Sequence[Term]) -> List[Row]:
+        """All tuples matching ``patterns``, computed demand-driven.
+
+        Ground argument positions become magic-seed bindings; results are
+        cached per (predicate, ground-signature) until the EDB changes.
+        """
+        from repro.errors import UnsafeRuleError
+        from repro.nail.magic import MagicTransformError
+        from repro.terms.matching import match_tuple
+        from repro.terms.term import Atom, fresh_var, is_ground
+
+        self._refresh()
+        patterns = tuple(patterns)
+        skeleton = pred_skeleton(name, arity)
+        if skeleton not in self.dep.rules_by_head:
+            raise GlueRuntimeError(f"{name}/{arity} is not a NAIL! predicate")
+        signature = tuple(p if is_ground(p) else None for p in patterns)
+        key = (name, arity, signature)
+        cached = self._demand_cache.get(key)
+        if cached is None:
+            if skeleton[1] or not isinstance(name, Atom):
+                # Compound-named family: magic cannot adorn it; fall back
+                # to full materialization (raises if genuinely unsafe).
+                relation = self.materialize(name, arity)
+                cached = list(relation.rows())
+            else:
+                query_args = tuple(
+                    p if is_ground(p) else fresh_var("Demand") for p in patterns
+                )
+                try:
+                    answers, _engine = magic_query(
+                        self.db,
+                        [info.rule for info in self.rule_infos],
+                        name,
+                        query_args,
+                        strategy=self.strategy,
+                    )
+                    cached = answers
+                except MagicTransformError as exc:
+                    if self.can_materialize(name, arity):
+                        cached = list(self.materialize(name, arity).rows())
+                    else:
+                        raise UnsafeRuleError(
+                            f"{name}/{arity} needs demand bindings but is outside "
+                            f"the magic fragment: {exc}"
+                        ) from exc
+            self._demand_cache[key] = cached
+        out = []
+        for row in cached:
+            if match_tuple(patterns, row) is not None:
+                out.append(row)
+        return out
+
+    def view(self, name: Term, arity: int) -> "NailView":
+        """A relation-like view for the Glue VM: selects materialize fully
+        when possible and fall back to demand-driven evaluation."""
+        return NailView(self, name, arity)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _refresh(self) -> None:
+        version = self.db.version
+        if self._edb_version_seen != version:
+            # The EDB changed: every derived relation is stale.
+            self.idb = Database(counters=self.db.counters)
+            self._computed_through = -1
+            self._demand_cache.clear()
+            self._edb_version_seen = version
+
+    def _rows_fn(self) -> RowsFn:
+        idb = self.idb
+        db = self.db
+        extra = self.extra_edb
+        defines = self.dep.rules_by_head
+        counters = self.db.counters
+
+        def rows(name: Term, arity: int) -> Iterable[Row]:
+            skeleton = pred_skeleton(name, arity)
+            if skeleton in defines:
+                relation = idb.get(name, arity)
+            else:
+                relation = extra.get(name, arity) if extra is not None else None
+                if relation is None:
+                    relation = db.get(name, arity)
+            if relation is None:
+                return
+            # Every tuple handed to a rule body counts as a scan touch so
+            # naive-vs-seminaive and full-vs-magic comparisons are in the
+            # same cost currency as the Glue VM.
+            for row in relation.rows():
+                counters.tuples_scanned += 1
+                yield row
+
+        return rows
+
+    def _stratum_safety(self, index: int) -> Optional[str]:
+        """None when every rule in the stratum is range-restricted,
+        otherwise the first safety error message (cached)."""
+        from repro.errors import UnsafeRuleError
+        from repro.nail.rules import check_rule_safety
+
+        cached = self._stratum_safe.get(index)
+        if cached is None and index not in self._stratum_safe:
+            error: Optional[str] = None
+            skeletons = self.strata[index].skeletons
+            for info in self.rule_infos:
+                if info.head_skeleton in skeletons:
+                    try:
+                        check_rule_safety(info.rule)
+                    except UnsafeRuleError as exc:
+                        error = str(exc)
+                        break
+            self._stratum_safe[index] = error
+            return error
+        return cached
+
+    def _compute_through(self, stratum_index: int) -> None:
+        if stratum_index <= self._computed_through:
+            return
+        from repro.errors import UnsafeRuleError
+
+        for index in range(self._computed_through + 1, stratum_index + 1):
+            error = self._stratum_safety(index)
+            if error is not None:
+                raise UnsafeRuleError(
+                    f"cannot fully materialize stratum {index}: {error} "
+                    "(use a demand-bound query instead)"
+                )
+        rows_fn = self._rows_fn()
+        for stratum in self.strata[self._computed_through + 1 : stratum_index + 1]:
+            relevant = [
+                info for info in self.rule_infos if info.head_skeleton in stratum.skeletons
+            ]
+            self._declare_heads(relevant)
+            self._seed_from_edb(stratum.skeletons)
+            if self.strategy == "naive":
+                self.rounds_run = naive_eval(relevant, rows_fn, self.idb)
+            else:
+                self.rounds_run = seminaive_eval(
+                    relevant, set(stratum.skeletons), rows_fn, self.idb
+                )
+        self._computed_through = stratum_index
+        # Recompute freshness marker: materialization itself must not count
+        # as an EDB change (it does not touch self.db).
+        self._edb_version_seen = self.db.version
+
+    def _seed_from_edb(self, skeletons) -> None:
+        """EDB facts stored under a rule-defined name join the derived
+        relation: a predicate may have both facts and rules (the usual
+        Datalog union of EDB and IDB contributions)."""
+        sources = [self.db] if self.extra_edb is None else [self.db, self.extra_edb]
+        for source_db in sources:
+            for name, arity in list(source_db.keys()):
+                if pred_skeleton(name, arity) in skeletons:
+                    target = self.idb.relation(name, arity)
+                    source = source_db.get(name, arity)
+                    for row in source.rows():
+                        target.insert(row)
+
+    def _declare_heads(self, infos: Sequence[RuleInfo]) -> None:
+        """Pre-create relations for ground-named heads so empty results
+        still yield a (queryable, empty) relation."""
+        for info in infos:
+            base, chain, arity = info.head_skeleton
+            if not chain:
+                self.idb.declare(base, arity)
+
+
+class NailView:
+    """A relation-like facade over a NAIL! predicate for the Glue VM.
+
+    Safe predicates delegate to the fully materialized relation; predicates
+    that need demand bindings answer each ``select`` via the demand path.
+    Only the relation operations the VM uses on derived predicates are
+    provided (selection and rows; updates are rejected upstream).
+    """
+
+    __slots__ = ("engine", "name", "arity")
+
+    def __init__(self, engine: NailEngine, name: Term, arity: int):
+        self.engine = engine
+        self.name = name
+        self.arity = arity
+
+    def select(self, patterns, bindings=None):
+        from repro.terms.matching import match_tuple, substitute
+
+        base = dict(bindings) if bindings else {}
+        patterns = tuple(substitute(p, base) for p in patterns)
+        if self.engine.can_materialize(self.name, self.arity):
+            yield from self.engine.materialize(self.name, self.arity).select(patterns)
+            return
+        for row in self.engine.demand(self.name, self.arity, patterns):
+            extended = match_tuple(patterns, row, base)
+            if extended is not None:
+                yield extended
+
+    def rows(self):
+        return self.engine.materialize(self.name, self.arity).rows()
+
+    def sorted_rows(self):
+        return self.engine.materialize(self.name, self.arity).sorted_rows()
+
+    def __len__(self) -> int:
+        return len(self.engine.materialize(self.name, self.arity))
+
+    @property
+    def version(self) -> int:
+        return self.engine.materialize(self.name, self.arity).version
+
+
+def magic_query(
+    db: Database,
+    rules: Sequence[RuleDecl],
+    pred: Term,
+    args: Sequence[Term],
+    strategy: str = "seminaive",
+) -> Tuple[List[Row], "NailEngine"]:
+    """Answer ``pred(args)`` demand-driven via the magic-sets rewrite.
+
+    Returns the matching rows and the engine that evaluated the rewritten
+    program (exposed so benchmarks can read its cost counters).  Falls back
+    with :class:`~repro.nail.magic.MagicTransformError` when the rule slice
+    is outside the transformable fragment; callers then use
+    :meth:`NailEngine.query` on the full rules.
+    """
+    from repro.nail.magic import magic_transform
+    from repro.terms.matching import match_tuple
+
+    program = magic_transform(rules, pred, args)
+    seed_db = Database()
+    seed_db.relation(program.seed_pred, program.seed_arity).insert(program.seed_row)
+    engine = NailEngine(
+        db,
+        list(program.rules),
+        strategy=strategy,
+        check_safety=True,
+        extra_edb=seed_db,
+    )
+    relation = engine.materialize(program.answer_pred, len(args))
+    answers = [
+        row for row in relation.rows() if match_tuple(tuple(args), row) is not None
+    ]
+    return answers, engine

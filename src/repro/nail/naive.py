@@ -1,0 +1,44 @@
+"""Naive bottom-up evaluation: the baseline for experiment E6.
+
+Re-derives everything from scratch each pass until no pass adds a tuple.
+Correct, and wasteful in exactly the way the uniondiff-based seminaive
+evaluation (paper Section 10) is designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body
+from repro.nail.rules import RuleInfo
+from repro.storage.database import Database, pred_key
+from repro.terms.term import Term
+
+Row = Tuple[Term, ...]
+
+
+def naive_eval(
+    rule_infos: Sequence[RuleInfo],
+    rows_fn: RowsFn,
+    idb: Database,
+    max_passes: int = 1_000_000,
+) -> int:
+    """Run all rules to fixpoint, full re-derivation each pass.
+
+    ``rows_fn`` resolves every predicate; derived tuples go into ``idb``
+    (which ``rows_fn`` must consult for IDB names).  Returns the number of
+    passes run.
+    """
+    passes = 0
+    while True:
+        passes += 1
+        if passes > max_passes:
+            raise RuntimeError("naive evaluation did not converge")
+        added = 0
+        for info in rule_infos:
+            bindings_list = eval_rule_body(info.rule, rows_fn)
+            for name, row in derive_heads(info.rule, bindings_list):
+                if idb.relation(name, len(row)).insert(row):
+                    added += 1
+        if added == 0:
+            return passes

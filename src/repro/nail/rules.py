@@ -1,0 +1,154 @@
+"""Rule preparation: safety (range restriction) and structural checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.bindings import expr_has_agg, expr_vars, term_vars
+from repro.analysis.scope import Skeleton, pred_skeleton
+from repro.errors import UnsafeRuleError
+from repro.lang.ast import CompareSubgoal, GroupBySubgoal, PredSubgoal, RuleDecl
+from repro.terms.term import Var
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """A NAIL! rule plus its precomputed structure."""
+
+    rule: RuleDecl
+    head_skeleton: Skeleton
+    body_skeletons: Tuple[Skeleton, ...]  # positive literals only, in order
+    has_negation: bool
+    has_aggregate: bool
+
+    @property
+    def head_vars(self) -> Set[str]:
+        out = term_vars(self.rule.head_pred)
+        for arg in self.rule.head_args:
+            out |= term_vars(arg)
+        return out
+
+
+def _allowed_subgoal(subgoal) -> bool:
+    return isinstance(subgoal, (PredSubgoal, CompareSubgoal, GroupBySubgoal))
+
+
+def check_rule_safety(rule: RuleDecl, demand_bound: Set[str] = frozenset()) -> None:
+    """Check range restriction: every variable in the head (and every
+    variable used by negation, comparison filters or aggregates) must be
+    bound by a positive body literal.
+
+    ``demand_bound`` names variables bound externally (by a magic
+    predicate); plain bottom-up evaluation passes the empty set.
+    """
+    bound: Set[str] = set(demand_bound)
+    for subgoal in rule.body:
+        if not _allowed_subgoal(subgoal):
+            raise UnsafeRuleError(
+                f"NAIL! rules may not contain {type(subgoal).__name__} subgoals"
+            )
+        if isinstance(subgoal, PredSubgoal):
+            pred_free = term_vars(subgoal.pred) - bound
+            if pred_free:
+                raise UnsafeRuleError(
+                    f"predicate variable(s) {sorted(pred_free)} unbound when "
+                    f"evaluating {subgoal.pred}"
+                )
+            if subgoal.negated:
+                free = terms_free(subgoal.args, bound)
+                if free:
+                    raise UnsafeRuleError(
+                        f"negated literal uses unbound variables {sorted(free)}"
+                    )
+            else:
+                for arg in subgoal.args:
+                    bound |= term_vars(arg)
+        elif isinstance(subgoal, CompareSubgoal):
+            if subgoal.op == "=" and isinstance(subgoal.left, Var) and (
+                subgoal.left.name not in bound
+            ):
+                free = expr_vars(subgoal.right) - bound
+                if free:
+                    raise UnsafeRuleError(
+                        f"binding comparison uses unbound variables {sorted(free)}"
+                    )
+                bound.add(subgoal.left.name)
+            else:
+                free = (expr_vars(subgoal.left) | expr_vars(subgoal.right)) - bound
+                if free:
+                    raise UnsafeRuleError(
+                        f"comparison uses unbound variables {sorted(free)}"
+                    )
+        elif isinstance(subgoal, GroupBySubgoal):
+            free = terms_free(subgoal.terms, bound)
+            if free:
+                raise UnsafeRuleError(f"group_by over unbound variables {sorted(free)}")
+    head_free = (term_vars(rule.head_pred) | terms_free(rule.head_args, set())) - bound
+    if head_free:
+        raise UnsafeRuleError(
+            f"rule for {rule.head_pred} is not range-restricted: head variables "
+            f"{sorted(head_free)} are not bound by the body"
+        )
+
+
+def terms_free(terms: Sequence, bound: Set[str]) -> Set[str]:
+    free: Set[str] = set()
+    for term in terms:
+        free |= term_vars(term) - bound
+    return free
+
+
+def order_body_for_evaluation(rule: RuleDecl) -> RuleDecl:
+    """Reorder a rule body into an evaluable left-to-right schedule.
+
+    NAIL! is declarative: subgoal order carries no meaning (aggregation
+    boundaries aside), so the engine schedules literals so that negation,
+    comparisons and predicate-variable names are bound before use --
+    e.g. in ``tc(G)(X, Z) :- tc(G)(X, Y) & e(G, Y, Z)`` the EDB literal
+    runs first to bind the family parameter ``G``.
+    """
+    from repro.analysis.reorder import reorder_body
+
+    ordered = tuple(reorder_body(list(rule.body)))
+    if ordered == rule.body:
+        return rule
+    return RuleDecl(
+        head_pred=rule.head_pred,
+        head_args=rule.head_args,
+        body=ordered,
+        line=rule.line,
+    )
+
+
+def prepare_rules(
+    rules: Sequence[RuleDecl], check_safety: bool = True, reorder: bool = True
+) -> List[RuleInfo]:
+    infos: List[RuleInfo] = []
+    for rule in rules:
+        if reorder:
+            rule = order_body_for_evaluation(rule)
+        if check_safety:
+            check_rule_safety(rule)
+        body_skeletons = []
+        has_neg = False
+        has_agg = False
+        for subgoal in rule.body:
+            if isinstance(subgoal, PredSubgoal):
+                if subgoal.negated:
+                    has_neg = True
+                else:
+                    body_skeletons.append(pred_skeleton(subgoal.pred, len(subgoal.args)))
+            elif isinstance(subgoal, CompareSubgoal):
+                if expr_has_agg(subgoal.left) or expr_has_agg(subgoal.right):
+                    has_agg = True
+        infos.append(
+            RuleInfo(
+                rule=rule,
+                head_skeleton=pred_skeleton(rule.head_pred, len(rule.head_args)),
+                body_skeletons=tuple(body_skeletons),
+                has_negation=has_neg,
+                has_aggregate=has_agg,
+            )
+        )
+    return infos

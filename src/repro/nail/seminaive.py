@@ -1,0 +1,102 @@
+"""Seminaive evaluation on top of the back end's uniondiff operator.
+
+Paper Section 10: the back end "will implement a 'uniondiff' operator in
+order to support compiled recursive NAIL! queries".  Each iteration joins
+one *delta* occurrence per recursive literal against the accumulated
+relations; ``uniondiff`` inserts the round's derivations and hands back
+exactly the genuinely new tuples, which become the next delta.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.scope import Skeleton, pred_skeleton
+from repro.lang.ast import PredSubgoal
+from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body
+from repro.nail.rules import RuleInfo
+from repro.storage.database import Database
+from repro.storage.uniondiff import uniondiff
+from repro.terms.term import Term
+
+Row = Tuple[Term, ...]
+DeltaStore = Dict[Tuple[Term, int], List[Row]]
+
+
+def _recursive_positions(info: RuleInfo, stratum: Set[Skeleton]) -> List[int]:
+    """Indexes of body literals whose skeleton is in the current stratum."""
+    positions: List[int] = []
+    for index, subgoal in enumerate(info.rule.body):
+        if isinstance(subgoal, PredSubgoal) and not subgoal.negated:
+            skeleton = pred_skeleton(subgoal.pred, len(subgoal.args))
+            if skeleton in stratum:
+                positions.append(index)
+    return positions
+
+
+def _delta_rows_fn(delta: DeltaStore) -> RowsFn:
+    def rows(name: Term, arity: int) -> Iterable[Row]:
+        return delta.get((name, arity), ())
+
+    return rows
+
+
+def _merge_derivations(
+    derivations: Iterable[Tuple[Term, Row]], idb: Database, delta: DeltaStore
+) -> None:
+    """uniondiff the derivations into the IDB; new tuples extend the delta."""
+    grouped: Dict[Tuple[Term, int], List[Row]] = {}
+    for name, row in derivations:
+        grouped.setdefault((name, len(row)), []).append(row)
+    for (name, arity), rows in grouped.items():
+        new_rows = uniondiff(idb.relation(name, arity), rows)
+        if new_rows:
+            delta.setdefault((name, arity), []).extend(new_rows)
+
+
+def seminaive_eval(
+    rule_infos: Sequence[RuleInfo],
+    stratum: Set[Skeleton],
+    rows_fn: RowsFn,
+    idb: Database,
+    max_rounds: int = 1_000_000,
+) -> int:
+    """Evaluate one stratum to fixpoint with seminaive iteration.
+
+    ``rule_infos`` must be exactly the rules whose heads are in
+    ``stratum``; ``rows_fn`` resolves every predicate (EDB, lower strata,
+    and the current stratum's accumulating relations in ``idb``).  Returns
+    the number of rounds.
+    """
+    relevant = [info for info in rule_infos if info.head_skeleton in stratum]
+    delta: DeltaStore = {}
+
+    # Round 0: evaluate every rule in full (base facts plus anything the
+    # lower strata already provide).
+    for info in relevant:
+        bindings_list = eval_rule_body(info.rule, rows_fn)
+        _merge_derivations(derive_heads(info.rule, bindings_list), idb, delta)
+
+    rounds = 1
+    recursive = [
+        (info, positions)
+        for info in relevant
+        if (positions := _recursive_positions(info, stratum))
+    ]
+    if not recursive:
+        return rounds
+
+    while delta:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("seminaive evaluation did not converge")
+        delta_fn = _delta_rows_fn(delta)
+        new_delta: DeltaStore = {}
+        for info, positions in recursive:
+            for position in positions:
+                bindings_list = eval_rule_body(
+                    info.rule, rows_fn, delta_index=position, delta_rows_fn=delta_fn
+                )
+                _merge_derivations(derive_heads(info.rule, bindings_list), idb, new_delta)
+        delta = new_delta
+    return rounds

@@ -1,0 +1,136 @@
+"""The Extensional Data Base: a catalog of named relations.
+
+Predicates are identified by (name term, arity); the name may be a compound
+HiLog term, which is how set-valued attributes ("the name of a predicate")
+resolve to storage.  The database tracks a global version number so that
+IDB caches can be invalidated when any EDB relation changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.storage.adaptive import AdaptiveIndexPolicy, IndexPolicy
+from repro.storage.relation import Relation
+from repro.storage.stats import CostCounters
+from repro.terms.term import Atom, Term, is_ground, sort_key
+
+PredKey = Tuple[Term, int]
+
+
+def pred_key(name, arity: int) -> PredKey:
+    """Normalize a predicate key; plain strings are lifted to atoms."""
+    if isinstance(name, str):
+        name = Atom(name)
+    if not isinstance(name, Term):
+        raise TypeError(f"predicate name must be a Term or str, got {type(name).__name__}")
+    if not is_ground(name):
+        raise ValueError(f"predicate name must be ground: {name}")
+    return (name, arity)
+
+
+class Database:
+    """A main-memory EDB: relations keyed by (ground name term, arity)."""
+
+    def __init__(
+        self,
+        index_policy: Optional[IndexPolicy] = None,
+        counters: Optional[CostCounters] = None,
+    ):
+        self.index_policy = index_policy if index_policy is not None else AdaptiveIndexPolicy()
+        self.counters = counters if counters is not None else CostCounters()
+        self._relations: dict = {}  # PredKey -> Relation
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped whenever any relation in the database changes."""
+        return self._version
+
+    def _bump(self, _relation: Relation) -> None:
+        self._version += 1
+
+    # ------------------------------------------------------------------ #
+    # catalog
+    # ------------------------------------------------------------------ #
+
+    def declare(self, name, arity: int) -> Relation:
+        """Declare (create if absent) a relation and return it."""
+        key = pred_key(name, arity)
+        relation = self._relations.get(key)
+        if relation is None:
+            relation = Relation(
+                key[0],
+                arity,
+                counters=self.counters,
+                index_policy=self.index_policy,
+                listener=self._bump,
+            )
+            self._relations[key] = relation
+            self._version += 1
+        elif relation.arity != arity:
+            raise ValueError(f"relation {key[0]} exists with arity {relation.arity}")
+        return relation
+
+    def get(self, name, arity: int) -> Optional[Relation]:
+        return self._relations.get(pred_key(name, arity))
+
+    def relation(self, name, arity: int) -> Relation:
+        """Fetch a relation, creating it on first reference.
+
+        Deductive programs create hundreds of small short-lived relations
+        (paper Section 10), so creation-on-reference is the normal path.
+        """
+        return self.declare(name, arity)
+
+    def exists(self, name, arity: int) -> bool:
+        return pred_key(name, arity) in self._relations
+
+    def drop(self, name, arity: int) -> bool:
+        key = pred_key(name, arity)
+        if key in self._relations:
+            del self._relations[key]
+            self._version += 1
+            return True
+        return False
+
+    def keys(self) -> Iterator[PredKey]:
+        return iter(self._relations)
+
+    def items(self) -> Iterator[Tuple[PredKey, Relation]]:
+        return iter(self._relations.items())
+
+    def sorted_keys(self) -> list:
+        return sorted(self._relations, key=lambda key: (sort_key(key[0]), key[1]))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, key) -> bool:
+        if isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], int):
+            return pred_key(key[0], key[1]) in self._relations
+        raise TypeError("membership test needs a (name, arity) pair")
+
+    def total_rows(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def fact(self, name, *values) -> bool:
+        """Convenience: insert one ground fact, lifting Python values.
+
+        ``db.fact("edge", 1, 2)`` inserts ``edge(1, 2)``.
+        """
+        from repro.terms.term import mk
+
+        row = tuple(mk(v) for v in values)
+        return self.relation(name, len(row)).insert(row)
+
+    def facts(self, name, rows) -> int:
+        """Insert many facts at once; returns the number genuinely new."""
+        from repro.terms.term import mk
+
+        inserted = 0
+        for row in rows:
+            values = tuple(mk(v) for v in row)
+            if self.relation(name, len(values)).insert(values):
+                inserted += 1
+        return inserted

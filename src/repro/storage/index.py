@@ -1,0 +1,70 @@
+"""Hash indexes over relation columns.
+
+An index maps the projection of a tuple onto a fixed column set to the list
+of matching tuples.  Indexes are maintained incrementally on insert/delete
+and may be created lazily at run time by the adaptive policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.terms.term import Term
+
+Row = Tuple[Term, ...]
+
+
+class HashIndex:
+    """A hash index on a subset of a relation's columns.
+
+    ``columns`` is a sorted tuple of 0-based column positions.
+    """
+
+    __slots__ = ("columns", "_buckets")
+
+    def __init__(self, columns: Tuple[int, ...]):
+        if not columns:
+            raise ValueError("an index needs at least one column")
+        if tuple(sorted(set(columns))) != tuple(columns):
+            raise ValueError("index columns must be sorted and distinct")
+        self.columns = columns
+        self._buckets: dict = {}
+
+    def key_of(self, row: Row) -> Row:
+        return tuple(row[c] for c in self.columns)
+
+    def add(self, row: Row) -> None:
+        self._buckets.setdefault(self.key_of(row), []).append(row)
+
+    def remove(self, row: Row) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def probe(self, key: Row) -> Iterator[Row]:
+        """Yield rows whose projection equals ``key``."""
+        return iter(self._buckets.get(key, ()))
+
+    def probe_count(self, key: Row) -> int:
+        return len(self._buckets.get(key, ()))
+
+    def bulk_load(self, rows: Iterable[Row]) -> int:
+        """Load all rows; returns the number loaded (the build cost in tuples)."""
+        count = 0
+        for row in rows:
+            self.add(row)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

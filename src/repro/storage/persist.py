@@ -1,0 +1,70 @@
+"""EDB persistence: store relations on disk between runs (paper Section 10).
+
+The format is the obvious one -- the facts themselves, one per line, in
+Glue-Nail surface syntax -- so a saved database is also a loadable program
+fragment and diffs cleanly under version control.  Arity-0 relations that
+currently hold the empty tuple are written as ``name().``; declared-but-
+empty relations are recorded with a ``% rel`` directive so the catalog
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.storage.database import Database
+from repro.terms.printer import term_to_str
+from repro.terms.term import Term
+
+_HEADER = "% Glue-Nail EDB dump (format 1)"
+
+
+def _fact_to_line(name: Term, row: tuple) -> str:
+    head = term_to_str(name)
+    if not row:
+        return f"{head}()."
+    args = ", ".join(term_to_str(v) for v in row)
+    return f"{head}({args})."
+
+
+def save_database(db: Database, path: str) -> int:
+    """Write every relation of ``db`` to ``path``; returns the fact count."""
+    count = 0
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_HEADER + "\n")
+        for key in db.sorted_keys():
+            name, arity = key
+            relation = db.get(name, arity)
+            handle.write(f"% rel {term_to_str(name)} / {arity}\n")
+            for row in relation.sorted_rows():
+                handle.write(_fact_to_line(name, row) + "\n")
+                count += 1
+    return count
+
+
+def load_database(path: str, db: Optional[Database] = None) -> Database:
+    """Load a dump produced by :func:`save_database` into ``db`` (or a new one)."""
+    from repro.lang.parser import parse_directive_rel, parse_ground_fact
+
+    if db is None:
+        db = Database()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("%"):
+                declared = parse_directive_rel(line)
+                if declared is not None:
+                    name, arity = declared
+                    db.declare(name, arity)
+                continue
+            try:
+                name, row = parse_ground_fact(line)
+            except Exception as exc:
+                raise ValueError(f"{path}:{lineno}: bad fact line: {line!r}") from exc
+            db.relation(name, len(row)).insert(row)
+    return db

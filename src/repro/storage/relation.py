@@ -1,0 +1,280 @@
+"""Duplicate-free, main-memory relations over ground tuples.
+
+Relations are the single data structure of Glue-Nail: the EDB, procedure
+local relations, supplementary relations and IDB results are all instances
+of this class.  Tuples must be completely ground (paper Section 2), which
+is enforced on insert; predicates do not have duplicates, which the storage
+representation guarantees by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.storage.adaptive import IndexPolicy
+from repro.storage.index import HashIndex
+from repro.storage.stats import CostCounters, RelationStats
+from repro.terms.matching import Bindings, match_tuple, substitute
+from repro.terms.term import Term, Var, is_ground, sort_key
+
+Row = Tuple[Term, ...]
+
+
+class Relation:
+    """A set of ground tuples of fixed arity, with optional hash indexes.
+
+    ``name`` is a ground term (relation names may be compound HiLog terms
+    such as ``students(cs99)``).  Insertion order is preserved for
+    deterministic iteration; :meth:`sorted_rows` gives a canonical order.
+    """
+
+    def __init__(
+        self,
+        name: Term,
+        arity: int,
+        counters: Optional[CostCounters] = None,
+        index_policy: Optional[IndexPolicy] = None,
+        listener: Optional[Callable[["Relation"], None]] = None,
+    ):
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        if not is_ground(name):
+            raise ValueError(f"relation name must be ground: {name}")
+        self.name = name
+        self.arity = arity
+        self.counters = counters if counters is not None else CostCounters()
+        self.index_policy = index_policy
+        self.stats = RelationStats()
+        self._rows: dict = {}  # Row -> None; dict preserves insertion order
+        self._indexes: dict = {}  # tuple[int, ...] -> HashIndex
+        self._version = 0
+        self._listener = listener
+
+    # ------------------------------------------------------------------ #
+    # basic set operations
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Bumped on every successful mutation; drives ``unchanged(P)``."""
+        return self._version
+
+    def _changed(self) -> None:
+        self._version += 1
+        if self._listener is not None:
+            self._listener(self)
+
+    def _check_row(self, row: Row) -> Row:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(
+                f"arity mismatch for {self.name}: expected {self.arity}, got {len(row)}"
+            )
+        for value in row:
+            if not isinstance(value, Term):
+                raise TypeError(f"relation values must be Terms, got {type(value).__name__}")
+            if not is_ground(value):
+                raise ValueError(f"relations hold only ground tuples; got {value}")
+        return row
+
+    def insert(self, row: Row) -> bool:
+        """Insert a tuple; returns True when it was genuinely new."""
+        row = self._check_row(row)
+        if row in self._rows:
+            self.counters.duplicate_inserts += 1
+            return False
+        self._rows[row] = None
+        self.counters.inserts += 1
+        for index in self._indexes.values():
+            index.add(row)
+        self._changed()
+        return True
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        return sum(1 for row in rows if self.insert(row))
+
+    def delete(self, row: Row) -> bool:
+        row = tuple(row)
+        if row not in self._rows:
+            return False
+        del self._rows[row]
+        self.counters.deletes += 1
+        for index in self._indexes.values():
+            index.remove(row)
+        self._changed()
+        return True
+
+    def delete_many(self, rows: Iterable[Row]) -> int:
+        # Materialize first: callers may pass iterators over this relation.
+        return sum(1 for row in list(rows) if self.delete(row))
+
+    def clear(self) -> None:
+        if not self._rows:
+            return
+        self.counters.deletes += len(self._rows)
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+        self._changed()
+
+    def replace(self, rows: Iterable[Row]) -> None:
+        """Clearing assignment ``:=``: overwrite the contents.
+
+        Overwriting with the identical set of tuples is a no-op, so
+        ``unchanged(P)`` (which watches the version counter) answers
+        according to *content*, not syntactic re-assignment -- the reading
+        the paper's repeat/until termination tests rely on.
+        """
+        new_rows = [self._check_row(row) for row in rows]
+        new_set = dict.fromkeys(new_rows)
+        if new_set.keys() == self._rows.keys():
+            return
+        self.clear()
+        self.insert_many(new_set)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def sorted_rows(self) -> list:
+        return sorted(self._rows, key=lambda row: tuple(sort_key(v) for v in row))
+
+    def copy_rows(self) -> list:
+        return list(self._rows)
+
+    # ------------------------------------------------------------------ #
+    # indexes and selection
+    # ------------------------------------------------------------------ #
+
+    def build_index(self, columns: Tuple[int, ...]) -> HashIndex:
+        """Build (or return) a hash index on the given column positions."""
+        columns = tuple(sorted(set(columns)))
+        for c in columns:
+            if not 0 <= c < self.arity:
+                raise ValueError(f"index column {c} out of range for arity {self.arity}")
+        existing = self._indexes.get(columns)
+        if existing is not None:
+            return existing
+        index = HashIndex(columns)
+        loaded = index.bulk_load(self._rows)
+        self._indexes[columns] = index
+        self.counters.index_builds += 1
+        self.counters.index_build_tuples += loaded
+        return index
+
+    def has_index(self, columns: Tuple[int, ...]) -> bool:
+        return tuple(sorted(set(columns))) in self._indexes
+
+    @property
+    def index_columns(self) -> list:
+        return sorted(self._indexes)
+
+    def _bound_positions(self, patterns: Row) -> Tuple[int, ...]:
+        return tuple(i for i, pat in enumerate(patterns) if is_ground(pat))
+
+    def select(self, patterns: Iterable[Term], bindings: Optional[Mapping] = None) -> Iterator[Bindings]:
+        """Match a subgoal's argument patterns against the stored tuples.
+
+        Substitutes ``bindings`` into the patterns first, then yields one
+        extended bindings dict per matching tuple.  Uses a hash index when
+        one covers the bound positions; otherwise scans, charging the scan
+        to the adaptive-index ledger which may trigger an index build for
+        *future* selections.
+        """
+        base = dict(bindings) if bindings else {}
+        patterns = tuple(substitute(p, base) for p in patterns)
+        if len(patterns) != self.arity:
+            raise ValueError(
+                f"arity mismatch for {self.name}: expected {self.arity}, got {len(patterns)}"
+            )
+        if all(is_ground(p) for p in patterns):
+            # Fully bound: a hash membership test, no scan at all.
+            if patterns in self._rows:
+                self.counters.index_probe_tuples += 1
+                yield base
+            return
+        for row in self._candidate_rows(patterns):
+            extended = match_tuple(patterns, row, base)
+            if extended is not None:
+                yield extended
+
+    def count_matching(self, patterns: Iterable[Term], bindings: Optional[Mapping] = None) -> int:
+        return sum(1 for _ in self.select(patterns, bindings))
+
+    def match_rows(self, patterns: Row) -> Iterator[Row]:
+        """Stored rows matching a *flat* pattern: every position is either a
+        ground term (equality test) or an unconstrained variable.
+
+        The fast path behind simple scans: no per-row bindings dict is
+        built.  Callers (the compiler) guarantee flatness -- variables
+        distinct and not nested inside compounds.
+        """
+        if len(patterns) != self.arity:
+            raise ValueError(
+                f"arity mismatch for {self.name}: expected {self.arity}, got {len(patterns)}"
+            )
+        checks = [
+            (i, pattern)
+            for i, pattern in enumerate(patterns)
+            if not isinstance(pattern, Var)
+        ]
+        if len(checks) == self.arity:
+            if patterns in self._rows:
+                self.counters.index_probe_tuples += 1
+                yield patterns
+            return
+        for row in self._candidate_rows(tuple(patterns)):
+            if all(row[i] == value for i, value in checks):
+                yield row
+
+    def _candidate_rows(self, patterns: Row) -> Iterator[Row]:
+        """Rows that could match fully-substituted ``patterns``."""
+        bound = self._bound_positions(patterns)
+        if not bound:
+            self.counters.tuples_scanned += len(self._rows)
+            yield from list(self._rows)
+            return
+        index = self._usable_index(bound)
+        if index is None and self.index_policy is not None:
+            ledger = self.stats.ledger(bound)
+            if self.index_policy.should_build(ledger, len(self._rows)):
+                index = self.build_index(bound)
+        if index is not None:
+            key = tuple(patterns[c] for c in index.columns)
+            self.counters.index_lookups += 1
+            hits = list(index.probe(key))
+            self.counters.index_probe_tuples += len(hits)
+            yield from hits
+            return
+        # Fall back to a scan and charge it to the adaptive ledger.
+        self.stats.ledger(bound).record_scan(len(self._rows))
+        self.counters.tuples_scanned += len(self._rows)
+        yield from list(self._rows)
+
+    def _usable_index(self, bound: Tuple[int, ...]) -> Optional[HashIndex]:
+        """An index is usable when its columns are a subset of the bound ones.
+
+        The exact-match index is preferred; otherwise the widest subset wins
+        (it is the most selective).
+        """
+        exact = self._indexes.get(bound)
+        if exact is not None:
+            return exact
+        bound_set = set(bound)
+        best = None
+        for columns, index in self._indexes.items():
+            if set(columns) <= bound_set:
+                if best is None or len(columns) > len(best.columns):
+                    best = index
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {self.name}/{self.arity} rows={len(self._rows)}>"

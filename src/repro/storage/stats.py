@@ -1,0 +1,88 @@
+"""Cost counters shared by the storage layer and the virtual machine.
+
+The paper's evaluation claims (Section 9/10) are about *costs* -- tuples
+loaded and stored across pipeline breaks, duplicate-elimination work, scan
+vs. index trade-offs -- so every storage and execution primitive reports
+into one of these counter blocks.  Benchmarks read them to regenerate the
+paper's qualitative tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CostCounters:
+    """Abstract work counters (not wall-clock): deterministic across runs."""
+
+    tuples_scanned: int = 0
+    index_lookups: int = 0
+    index_probe_tuples: int = 0
+    index_builds: int = 0
+    index_build_tuples: int = 0
+    inserts: int = 0
+    duplicate_inserts: int = 0
+    deletes: int = 0
+    materializations: int = 0
+    materialized_tuples: int = 0
+    pipeline_breaks: int = 0
+    dedup_removed: int = 0
+    proc_calls: int = 0
+    dynamic_dispatches: int = 0  # per-row run-time predicate-class checks
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __add__(self, other: "CostCounters") -> "CostCounters":
+        merged = CostCounters()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    @property
+    def total_tuple_touches(self) -> int:
+        """A single scalar for who-wins comparisons: every tuple load/store."""
+        return (
+            self.tuples_scanned
+            + self.index_probe_tuples
+            + self.index_build_tuples
+            + self.inserts
+            + self.deletes
+            + self.materialized_tuples
+        )
+
+
+@dataclass
+class ScanCostLedger:
+    """Per-(relation, column-set) record of cumulative scanning cost.
+
+    Drives the adaptive index policy: the ledger accumulates the cost of
+    selections answered by scanning, and the policy compares it against the
+    cost of building an index on those columns.
+    """
+
+    cumulative_scan_cost: float = 0.0
+    scans: int = 0
+
+    def record_scan(self, tuples: int) -> None:
+        self.cumulative_scan_cost += tuples
+        self.scans += 1
+
+
+@dataclass
+class RelationStats:
+    """Per-relation bookkeeping used by adaptive optimization."""
+
+    ledgers: dict = field(default_factory=dict)  # tuple[int, ...] -> ScanCostLedger
+
+    def ledger(self, columns: tuple) -> ScanCostLedger:
+        entry = self.ledgers.get(columns)
+        if entry is None:
+            entry = ScanCostLedger()
+            self.ledgers[columns] = entry
+        return entry

@@ -1,0 +1,30 @@
+"""The ``uniondiff`` operator (paper Section 10, citing the Aditi work).
+
+``uniondiff(target, delta)`` adds the rows of ``delta`` to ``target`` and
+returns exactly those rows that were genuinely new -- the union and the
+difference in a single pass.  This is the primitive that makes compiled
+recursive NAIL! queries (seminaive evaluation) efficient: each iteration's
+delta is computed without a separate set-difference scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.storage.relation import Relation
+from repro.terms.term import Term
+
+Row = Tuple[Term, ...]
+
+
+def uniondiff(target: Relation, delta: Iterable[Row]) -> List[Row]:
+    """Insert ``delta`` into ``target``; return the rows that were new.
+
+    The returned list preserves the first-occurrence order of new rows and
+    contains no duplicates, even when ``delta`` itself repeats rows.
+    """
+    new_rows: List[Row] = []
+    for row in delta:
+        if target.insert(row):
+            new_rows.append(row)
+    return new_rows

@@ -1,0 +1,53 @@
+"""Term model for Glue-Nail.
+
+Terms are the values that live in relation attributes (paper Section 2):
+atoms (which double as strings -- "In Glue there is no difference between
+atoms and strings"), numbers, and compound terms.  Following HiLog (paper
+Section 5), the functor of a compound term may itself be an arbitrary term,
+not just an atom.  Variables appear only in programs, never inside stored
+relations: relations hold completely ground tuples, so the engine uses
+*matching*, not full unification.
+"""
+
+from repro.terms.term import (
+    Atom,
+    Compound,
+    Num,
+    Term,
+    Var,
+    fresh_var,
+    is_ground,
+    mk,
+    sort_key,
+    variables,
+)
+from repro.terms.matching import (
+    MatchError,
+    instantiate,
+    match,
+    match_tuple,
+    rename_apart,
+    substitute,
+)
+from repro.terms.printer import term_to_str, tuple_to_str
+
+__all__ = [
+    "Atom",
+    "Compound",
+    "MatchError",
+    "Num",
+    "Term",
+    "Var",
+    "fresh_var",
+    "instantiate",
+    "is_ground",
+    "match",
+    "match_tuple",
+    "mk",
+    "rename_apart",
+    "sort_key",
+    "substitute",
+    "term_to_str",
+    "tuple_to_str",
+    "variables",
+]

@@ -1,0 +1,131 @@
+"""Matching and substitution over terms.
+
+Because relations may contain only completely ground tuples (paper Section
+2), comparing a subgoal against stored data needs one-sided *matching*
+rather than full unification: the stored side never contains variables.
+This restriction is what lets the compiler do binding-time analysis -- after
+matching, every variable in the pattern is ground.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.terms.term import Atom, Compound, Num, Term, Var
+
+Bindings = dict  # Var name -> ground Term
+
+
+class MatchError(Exception):
+    """Raised when instantiation meets an unbound variable."""
+
+
+def match(pattern: Term, ground: Term, bindings: Optional[Bindings] = None) -> Optional[Bindings]:
+    """Match ``pattern`` (may contain variables) against a ground term.
+
+    Returns the extended bindings dict on success (a *new* dict; the input is
+    not mutated) or ``None`` on failure.  Anonymous variables (name starting
+    with ``_``) match anything without binding.
+    """
+    result = dict(bindings) if bindings else {}
+    if _match_into(pattern, ground, result):
+        return result
+    return None
+
+
+def _match_into(pattern: Term, ground: Term, bindings: Bindings) -> bool:
+    stack = [(pattern, ground)]
+    while stack:
+        pat, grd = stack.pop()
+        if isinstance(pat, Var):
+            if pat.is_anonymous:
+                continue
+            bound = bindings.get(pat.name)
+            if bound is None:
+                bindings[pat.name] = grd
+            elif bound != grd:
+                return False
+            continue
+        if isinstance(pat, Atom):
+            if not (isinstance(grd, Atom) and grd.name == pat.name):
+                return False
+            continue
+        if isinstance(pat, Num):
+            # ints and equal-valued floats are interchangeable in matching,
+            # mirroring Glue's single numeric comparison semantics.
+            if not (isinstance(grd, Num) and grd.value == pat.value):
+                return False
+            continue
+        if isinstance(pat, Compound):
+            if not (isinstance(grd, Compound) and len(grd.args) == len(pat.args)):
+                return False
+            stack.append((pat.functor, grd.functor))
+            stack.extend(zip(pat.args, grd.args))
+            continue
+        raise TypeError(f"not a Term: {pat!r}")
+    return True
+
+
+def match_tuple(
+    patterns: Iterable[Term],
+    ground: Iterable[Term],
+    bindings: Optional[Bindings] = None,
+) -> Optional[Bindings]:
+    """Match a tuple of patterns against a ground tuple, position by position."""
+    patterns = tuple(patterns)
+    ground = tuple(ground)
+    if len(patterns) != len(ground):
+        return None
+    result = dict(bindings) if bindings else {}
+    for pat, grd in zip(patterns, ground):
+        if not _match_into(pat, grd, result):
+            return None
+    return result
+
+
+def substitute(term: Term, bindings: Mapping[str, Term]) -> Term:
+    """Replace bound variables in ``term``; unbound variables stay in place."""
+    if isinstance(term, Var):
+        return bindings.get(term.name, term)
+    if isinstance(term, Compound):
+        functor = substitute(term.functor, bindings)
+        args = tuple(substitute(a, bindings) for a in term.args)
+        if functor is term.functor and args == term.args:
+            return term
+        return Compound(functor, args)
+    return term
+
+
+def instantiate(term: Term, bindings: Mapping[str, Term]) -> Term:
+    """Like :func:`substitute` but every variable must be bound.
+
+    Used when constructing head tuples: Glue heads must be fully bound by the
+    statement body, so an unbound variable here is a program error.
+    """
+    if isinstance(term, Var):
+        value = bindings.get(term.name)
+        if value is None:
+            raise MatchError(f"unbound variable {term.name} in instantiation")
+        return value
+    if isinstance(term, Compound):
+        return Compound(
+            instantiate(term.functor, bindings),
+            tuple(instantiate(a, bindings) for a in term.args),
+        )
+    return term
+
+
+def rename_apart(term: Term, suffix: str) -> Term:
+    """Rename every variable in ``term`` by appending ``suffix``.
+
+    Used by the rule rectifier and the NAIL!-to-Glue compiler to keep
+    variables from distinct rule copies disjoint.
+    """
+    if isinstance(term, Var):
+        return Var(term.name + suffix)
+    if isinstance(term, Compound):
+        return Compound(
+            rename_apart(term.functor, suffix),
+            tuple(rename_apart(a, suffix) for a in term.args),
+        )
+    return term

@@ -1,0 +1,193 @@
+"""Core term classes: Atom, Num, Var, Compound.
+
+All terms are immutable and hashable so they can be stored directly in the
+hash-based relation storage.  A total, deterministic ordering over ground
+terms is provided by :func:`sort_key` so relation dumps and benchmark output
+are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+class Term:
+    """Base class for all Glue-Nail terms."""
+
+    __slots__ = ()
+
+    @property
+    def is_ground(self) -> bool:
+        return is_ground(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.terms.printer import term_to_str
+
+        return f"<{type(self).__name__} {term_to_str(self)}>"
+
+    def __str__(self) -> str:
+        from repro.terms.printer import term_to_str
+
+        return term_to_str(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Term):
+    """An atom.  Atoms and strings are the same data type (paper Section 2).
+
+    The empty atom ``Atom("")`` is legal: it is the empty string.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str):
+            raise TypeError(f"Atom name must be str, got {type(self.name).__name__}")
+
+
+@dataclass(frozen=True, slots=True)
+class Num(Term):
+    """A number (integer or float)."""
+
+    value: Union[int, float]
+
+    def __post_init__(self) -> None:
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+            raise TypeError(f"Num value must be int or float, got {type(self.value).__name__}")
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A logic variable.  Named ``_`` variables are anonymous (each use is
+    distinct; the parser renames them apart)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TypeError("Var name must be a non-empty string")
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.name.startswith("_")
+
+
+@dataclass(frozen=True, slots=True)
+class Compound(Term):
+    """A compound term.  HiLog-style: the functor may be any term, so
+    ``students(cs99)`` is a legal *predicate name* and ``E(X, Y)`` (variable
+    functor) is a legal subgoal pattern."""
+
+    functor: Term
+    args: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.functor, Term):
+            raise TypeError("Compound functor must be a Term")
+        if not isinstance(self.args, tuple) or not self.args:
+            raise TypeError("Compound args must be a non-empty tuple of Terms")
+        for arg in self.args:
+            if not isinstance(arg, Term):
+                raise TypeError("Compound args must all be Terms")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def fresh_var(prefix: str = "Gen") -> Var:
+    """Return a variable guaranteed distinct from any user-written variable.
+
+    User variables never contain ``#``, so the generated names cannot clash.
+    """
+    return Var(f"{prefix}#{next(_FRESH_COUNTER)}")
+
+
+def mk(value: object) -> Term:
+    """Convenience constructor: lift a Python value to a Term.
+
+    Strings become atoms, ints/floats become numbers, tuples/lists become
+    left-to-right compound terms ``(functor, arg, ...)``, and Terms pass
+    through unchanged.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Atom(value)
+    if isinstance(value, bool):
+        raise TypeError("bool is not a Glue-Nail value; use Atom('true')/Atom('false')")
+    if isinstance(value, (int, float)):
+        return Num(value)
+    if isinstance(value, (tuple, list)):
+        if len(value) < 2:
+            raise TypeError("compound construction needs a functor and at least one arg")
+        functor, *args = value
+        return Compound(mk(functor), tuple(mk(a) for a in args))
+    raise TypeError(f"cannot lift {type(value).__name__} to a Term")
+
+
+def variables(term: Term) -> Iterator[Var]:
+    """Yield each variable occurrence in ``term``, left to right, duplicates
+    included (callers dedupe when they need a set)."""
+    stack = [term]
+    # An explicit stack keeps deep compound terms from hitting recursion limits.
+    out: list[Var] = []
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            out.append(current)
+        elif isinstance(current, Compound):
+            stack.append(current.functor)
+            stack.extend(current.args)
+    # The stack visits right-to-left; reverse to restore source order.
+    return iter(reversed(out))
+
+
+def is_ground(term: Term) -> bool:
+    """True when the term contains no variables."""
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            return False
+        if isinstance(current, Compound):
+            stack.append(current.functor)
+            stack.extend(current.args)
+    return True
+
+
+# Kind ranks give a total order across heterogeneous terms: numbers sort
+# before atoms, atoms before compounds; variables sort last (they only occur
+# in program text, never in stored data).
+_RANK_NUM = 0
+_RANK_ATOM = 1
+_RANK_COMPOUND = 2
+_RANK_VAR = 3
+
+
+def sort_key(term: Term) -> tuple:
+    """A deterministic total-order key, consistent with term equality.
+
+    Mixed int/float values compare numerically; ``Num(2)`` and ``Num(2.0)``
+    are *equal* terms (same hash, same key), so a relation can only ever
+    hold one of them.
+    """
+    if isinstance(term, Num):
+        return (_RANK_NUM, term.value)
+    if isinstance(term, Atom):
+        return (_RANK_ATOM, term.name)
+    if isinstance(term, Compound):
+        return (
+            _RANK_COMPOUND,
+            len(term.args),
+            sort_key(term.functor),
+            tuple(sort_key(a) for a in term.args),
+        )
+    if isinstance(term, Var):
+        return (_RANK_VAR, term.name)
+    raise TypeError(f"not a Term: {term!r}")

@@ -1,0 +1,58 @@
+"""The Glue virtual machine.
+
+The experimental Glue-Nail implementation compiled programs "for a small
+virtual machine" (paper Section 9).  Here the compiler turns each
+assignment-statement body into a *plan*: a sequence of steps that transform
+the supplementary relation left to right.  The machine executes plans with
+either a pipelined (nested-join, tuple-at-a-time) strategy or a
+materialized (set-at-a-time) strategy; fixed subgoals -- procedure calls,
+aggregators, updates -- force pipeline breaks exactly as Section 9
+describes, and every break is visible in the cost counters.
+"""
+
+from repro.vm.plan import (
+    AggStep,
+    BindStep,
+    CallStep,
+    CompareStep,
+    CompiledProc,
+    CompiledProgram,
+    CompiledRepeat,
+    CompiledStmt,
+    DynamicStep,
+    EmptyStep,
+    GroupByStep,
+    NegScanStep,
+    PredRef,
+    ScanStep,
+    TruthStep,
+    UnchangedStep,
+    UpdateStep,
+)
+from repro.vm.compiler import ProgramCompiler, compile_program
+from repro.vm.machine import ExecContext, Frame, Machine
+
+__all__ = [
+    "AggStep",
+    "BindStep",
+    "CallStep",
+    "CompareStep",
+    "CompiledProc",
+    "CompiledProgram",
+    "CompiledRepeat",
+    "CompiledStmt",
+    "DynamicStep",
+    "EmptyStep",
+    "ExecContext",
+    "Frame",
+    "GroupByStep",
+    "Machine",
+    "NegScanStep",
+    "PredRef",
+    "ProgramCompiler",
+    "ScanStep",
+    "TruthStep",
+    "UnchangedStep",
+    "UpdateStep",
+    "compile_program",
+]

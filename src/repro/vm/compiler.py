@@ -1,0 +1,971 @@
+"""The Glue compiler: AST to virtual-machine plans.
+
+Follows the paper's compile-time-first philosophy (Section 9): predicate
+classes are resolved statically, binding-time analysis fixes the column
+layout of every supplementary relation, fixedness analysis marks the
+subgoals that anchor evaluation order, and the optimizer reorders the
+remaining subgoals.  NAIL! rules pass through for the deductive engine;
+their heads are declared so Glue code can reference them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.bindings import (
+    BindingError,
+    analyze_bindings,
+    expr_has_agg,
+    expr_vars,
+    term_vars,
+)
+from repro.analysis.fixedness import is_fixed_subgoal
+from repro.analysis.reorder import reorder_body
+from repro.analysis.scope import PredClass, PredInfo, Scope, ScopeError, pred_skeleton
+from repro.errors import CompileError
+from repro.glue.builtins import BUILTIN_PROCS
+from repro.lang.ast import (
+    AggCall,
+    AssignStmt,
+    CompareSubgoal,
+    CondDisjunction,
+    EdbDecl,
+    EmptyCond,
+    ExportDecl,
+    GroupBySubgoal,
+    ImportDecl,
+    ModuleDecl,
+    PredSubgoal,
+    ProcDecl,
+    Program,
+    RepeatStmt,
+    RuleDecl,
+    UnchangedCond,
+    UnionSubgoal,
+    UpdateSubgoal,
+)
+from repro.terms.term import Atom, Term, Var, is_ground, variables
+from repro.vm.exprs import compile_expr, compile_pattern, compile_term_code
+from repro.vm.plan import (
+    AggStep,
+    BindStep,
+    CallStep,
+    CompareStep,
+    CompiledProc,
+    CompiledProgram,
+    CompiledRepeat,
+    CompiledStmt,
+    DynamicStep,
+    EmptyStep,
+    GroupByStep,
+    NegScanStep,
+    PredRef,
+    ScanStep,
+    Step,
+    TruthStep,
+    UnchangedStep,
+    UnionStep,
+    UpdateStep,
+)
+
+_RELOP_FLIP = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+@dataclass
+class ForeignSig:
+    """Compile-time signature of a foreign (Python) procedure."""
+
+    module: str
+    name: str
+    arity: int
+    bound_arity: int
+    fixed: bool = True
+
+
+@dataclass
+class _ColumnState:
+    """Mutable compile state for one statement body."""
+
+    columns: List[str] = field(default_factory=list)
+    group_cols: List[str] = field(default_factory=list)
+
+    @property
+    def colindex(self) -> Dict[str, int]:
+        return {name: i for i, name in enumerate(self.columns)}
+
+    def add(self, names: Sequence[str]) -> None:
+        for name in names:
+            if name not in self.columns:
+                self.columns.append(name)
+
+
+def _flat_extract(
+    args: Sequence[Term], known: Set[str], new_vars: Sequence[str]
+) -> Optional[Tuple[int, ...]]:
+    """Stored-row positions of ``new_vars`` when the pattern is *flat*.
+
+    Flat means every argument is a ground term, a bound plain variable, an
+    anonymous variable, or a distinct fresh plain variable -- the cases
+    where matching degenerates to positional equality and the VM can skip
+    building a bindings dict per matched row.  Returns None otherwise.
+    """
+    positions: Dict[str, int] = {}
+    for i, arg in enumerate(args):
+        if isinstance(arg, Var):
+            if arg.is_anonymous or arg.name in known:
+                continue
+            if arg.name in positions:
+                return None  # repeated fresh variable: needs a consistency check
+            positions[arg.name] = i
+        elif not is_ground(arg):
+            # A compound containing variables needs real matching (even a
+            # bound one could repeat variables inside); stay conservative.
+            return None
+    try:
+        return tuple(positions[name] for name in new_vars)
+    except KeyError:
+        return None
+
+
+def _ordered_new_vars(terms: Sequence[Term], known: Set[str]) -> List[str]:
+    """First-occurrence order of named variables not already bound."""
+    out: List[str] = []
+    for term in terms:
+        for var in variables(term):
+            if var.is_anonymous or var.name in known or var.name in out:
+                continue
+            out.append(var.name)
+    return out
+
+
+class ProgramCompiler:
+    """Compiles a parsed :class:`Program` into a :class:`CompiledProgram`."""
+
+    def __init__(
+        self,
+        strict: bool = False,
+        optimize: bool = True,
+        deref_at_compile_time: bool = True,
+        foreign_sigs: Sequence[ForeignSig] = (),
+    ):
+        self.strict = strict
+        self.optimize = optimize
+        self.deref_at_compile_time = deref_at_compile_time
+        self.foreign_sigs = {(sig.module, sig.name, sig.arity): sig for sig in foreign_sigs}
+        self._fixed_procs: Set[Tuple[Optional[str], str, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+
+    def compile_program(self, program: Program) -> CompiledProgram:
+        compiled = CompiledProgram(
+            statement_count=program.statement_count(), compiler=self
+        )
+        builtin_scope = self._builtin_scope()
+
+        # Pass 1a: create per-module scopes with their own declarations.
+        module_scopes: Dict[str, Scope] = {}
+        for module in program.modules:
+            module_scopes[module.name] = self._declare_module(module, builtin_scope)
+        global_scope = builtin_scope.child(module="__main__")
+        self._declare_loose_items(program.items, global_scope, compiled)
+
+        # Pass 1b: resolve imports (and make exports visible to scripts).
+        for module in program.modules:
+            self._resolve_imports(module, module_scopes, global_scope)
+        for module in program.modules:
+            self._export_into(module, module_scopes[module.name], global_scope)
+
+        # Pass 2: fixedness fixpoint across all procedures.
+        self._fixed_procs = self._fixedness_fixpoint(program, module_scopes, global_scope)
+        self._refresh_proc_infos(program, module_scopes, global_scope)
+
+        # Pass 3: compile procedures, rules and loose statements.
+        for module in program.modules:
+            scope = module_scopes[module.name]
+            for item in module.items:
+                if isinstance(item, ProcDecl):
+                    proc = self._compile_proc(item, module.name, scope)
+                    proc.exported = any(
+                        sig.name == item.name and sig.arity == item.arity
+                        for sig in module.exports
+                    )
+                    compiled.procs[proc.key] = proc
+                    if proc.exported:
+                        compiled.exported[(proc.name, proc.arity)] = proc
+                elif isinstance(item, RuleDecl):
+                    compiled.rules.append(item)
+                elif isinstance(item, EdbDecl):
+                    compiled.edb_decls.append((item.name, item.arity))
+                elif isinstance(item, (AssignStmt, RepeatStmt)):
+                    raise CompileError(
+                        f"module {module.name}: statements must live inside procedures"
+                    )
+        for item in program.items:
+            if isinstance(item, ProcDecl):
+                proc = self._compile_proc(item, None, global_scope)
+                proc.exported = True
+                compiled.procs[proc.key] = proc
+                compiled.exported[(proc.name, proc.arity)] = proc
+            elif isinstance(item, RuleDecl):
+                compiled.rules.append(item)
+            elif isinstance(item, EdbDecl):
+                compiled.edb_decls.append((item.name, item.arity))
+            elif isinstance(item, AssignStmt):
+                compiled.script.append(self._compile_stmt(item, global_scope, None))
+            elif isinstance(item, RepeatStmt):
+                compiled.script.append(self._compile_repeat(item, global_scope, None))
+        return compiled
+
+    # ------------------------------------------------------------------ #
+    # scope construction
+    # ------------------------------------------------------------------ #
+
+    def _builtin_scope(self) -> Scope:
+        scope = Scope(module=None, strict=self.strict)
+        for (name, arity), builtin in BUILTIN_PROCS.items():
+            scope.declare(
+                PredInfo(
+                    skeleton=(name, (), arity),
+                    klass=PredClass.BUILTIN,
+                    arity=arity,
+                    bound_arity=builtin.bound_arity,
+                    fixed=builtin.fixed,
+                    display=f"{name}/{arity}",
+                )
+            )
+        return scope
+
+    def _info_for_proc(
+        self, decl: ProcDecl, module: Optional[str], fixed: bool = False
+    ) -> PredInfo:
+        return PredInfo(
+            skeleton=(decl.name, (), decl.arity),
+            klass=PredClass.PROC,
+            arity=decl.arity,
+            bound_arity=decl.bound_arity,
+            module=module,
+            fixed=fixed,
+            display=f"{decl.name}/{decl.arity}",
+        )
+
+    def _info_for_edb(self, name: str, arity: int, module: Optional[str]) -> PredInfo:
+        return PredInfo(
+            skeleton=(name, (), arity),
+            klass=PredClass.EDB,
+            arity=arity,
+            module=module,
+            display=f"{name}/{arity}",
+        )
+
+    def _info_for_rule_head(self, rule: RuleDecl, module: Optional[str]) -> PredInfo:
+        skeleton = pred_skeleton(rule.head_pred, len(rule.head_args))
+        if skeleton[0] is None:
+            raise CompileError("a NAIL! rule head needs a determinate predicate name")
+        return PredInfo(
+            skeleton=skeleton,
+            klass=PredClass.NAIL,
+            arity=len(rule.head_args),
+            module=module,
+            display=f"{skeleton[0]}/{len(rule.head_args)}",
+        )
+
+    def _declare_module(self, module: ModuleDecl, parent: Scope) -> Scope:
+        scope = parent.child(module=module.name)
+        for item in module.items:
+            if isinstance(item, EdbDecl):
+                scope.declare(self._info_for_edb(item.name, item.arity, module.name))
+            elif isinstance(item, ProcDecl):
+                scope.declare(self._info_for_proc(item, module.name))
+            elif isinstance(item, RuleDecl):
+                scope.declare(self._info_for_rule_head(item, module.name), allow_override=True)
+        return scope
+
+    def _declare_loose_items(self, items, scope: Scope, compiled: CompiledProgram) -> None:
+        for item in items:
+            if isinstance(item, EdbDecl):
+                scope.declare(self._info_for_edb(item.name, item.arity, None))
+            elif isinstance(item, ProcDecl):
+                scope.declare(self._info_for_proc(item, None))
+            elif isinstance(item, RuleDecl):
+                scope.declare(self._info_for_rule_head(item, None), allow_override=True)
+
+    def _resolve_imports(
+        self, module: ModuleDecl, module_scopes: Dict[str, Scope], global_scope: Scope
+    ) -> None:
+        scope = module_scopes[module.name]
+        for decl in module.imports:
+            source_scope = module_scopes.get(decl.module)
+            for sig in decl.sigs:
+                info = None
+                if source_scope is not None:
+                    info = source_scope.lookup((sig.name, (), sig.arity))
+                if info is None:
+                    foreign = self.foreign_sigs.get((decl.module, sig.name, sig.arity))
+                    if foreign is not None:
+                        info = PredInfo(
+                            skeleton=(sig.name, (), sig.arity),
+                            klass=PredClass.FOREIGN,
+                            arity=sig.arity,
+                            bound_arity=foreign.bound_arity,
+                            module=decl.module,
+                            fixed=foreign.fixed,
+                            display=f"{decl.module}.{sig.name}/{sig.arity}",
+                        )
+                if info is None:
+                    if self.strict:
+                        raise CompileError(
+                            f"module {module.name}: cannot resolve import "
+                            f"{decl.module}.{sig.name}/{sig.arity}"
+                        )
+                    # Lenient: assume a fixed foreign procedure bound later.
+                    info = PredInfo(
+                        skeleton=(sig.name, (), sig.arity),
+                        klass=PredClass.FOREIGN,
+                        arity=sig.arity,
+                        bound_arity=len(sig.bound),
+                        module=decl.module,
+                        fixed=True,
+                        display=f"{decl.module}.{sig.name}/{sig.arity}",
+                    )
+                scope.declare(info, allow_override=True)
+
+    def _export_into(self, module: ModuleDecl, scope: Scope, global_scope: Scope) -> None:
+        for sig in module.exports:
+            info = scope.lookup((sig.name, (), sig.arity))
+            if info is None:
+                raise CompileError(
+                    f"module {module.name} exports undeclared {sig.name}/{sig.arity}"
+                )
+            global_scope.declare(info, allow_override=True)
+
+    # ------------------------------------------------------------------ #
+    # fixedness
+    # ------------------------------------------------------------------ #
+
+    def _iter_procs(self, program: Program):
+        for module in program.modules:
+            for item in module.items:
+                if isinstance(item, ProcDecl):
+                    yield module.name, item
+        for item in program.items:
+            if isinstance(item, ProcDecl):
+                yield None, item
+
+    def _fixedness_fixpoint(
+        self, program: Program, module_scopes: Dict[str, Scope], global_scope: Scope
+    ) -> Set[Tuple[Optional[str], str, int]]:
+        fixed: Set[Tuple[Optional[str], str, int]] = set()
+        procs = list(self._iter_procs(program))
+        changed = True
+        while changed:
+            changed = False
+            for module_name, decl in procs:
+                key = (module_name, decl.name, decl.arity)
+                if key in fixed:
+                    continue
+                scope = module_scopes[module_name] if module_name else global_scope
+                if self._proc_contains_fixed(decl, scope, fixed):
+                    fixed.add(key)
+                    changed = True
+        return fixed
+
+    def _proc_contains_fixed(self, decl: ProcDecl, scope: Scope, fixed: Set) -> bool:
+        local_names = {(d.name, d.arity) for d in decl.locals}
+
+        def call_fixedness(subgoal: PredSubgoal) -> Optional[bool]:
+            info = self._try_resolve(subgoal.pred, len(subgoal.args), scope)
+            if info is None or not info.is_callable:
+                return None
+            if info.klass is PredClass.PROC:
+                return (info.module, info.skeleton[0], info.arity) in fixed
+            return info.fixed
+
+        def stmt_fixed(stmt) -> bool:
+            if isinstance(stmt, RepeatStmt):
+                if any(stmt_fixed(inner) for inner in stmt.body):
+                    return True
+                return any(
+                    is_fixed_subgoal(s, call_fixedness)
+                    for alt in stmt.until.alternatives
+                    for s in alt
+                )
+            assert isinstance(stmt, AssignStmt)
+            if any(is_fixed_subgoal(s, call_fixedness) for s in stmt.body):
+                return True
+            # Assignments to EDB relations are updates, hence fixed; local
+            # relations and the return relation are not.
+            head_skel = pred_skeleton(stmt.head_pred, len(stmt.head_args))
+            if head_skel[0] in ("return",) and not head_skel[1]:
+                return False
+            if (head_skel[0], head_skel[2]) in local_names and not head_skel[1]:
+                return False
+            if head_skel[0] is None:
+                return True  # dynamic head -> assume EDB update
+            info = self._try_resolve(stmt.head_pred, len(stmt.head_args), scope)
+            if info is not None and info.klass in (PredClass.LOCAL, PredClass.SPECIAL):
+                return False
+            return True
+
+        return any(stmt_fixed(stmt) for stmt in decl.body)
+
+    def _try_resolve(self, pred: Term, arity: int, scope: Scope) -> Optional[PredInfo]:
+        try:
+            return scope.resolve(pred, arity)
+        except ScopeError:
+            return None
+
+    def _refresh_proc_infos(
+        self, program: Program, module_scopes: Dict[str, Scope], global_scope: Scope
+    ) -> None:
+        """Re-declare proc infos with the final fixedness bits."""
+        for module in program.modules:
+            scope = module_scopes[module.name]
+            for item in module.items:
+                if isinstance(item, ProcDecl):
+                    key = (module.name, item.name, item.arity)
+                    scope.declare(
+                        self._info_for_proc(item, module.name, key in self._fixed_procs),
+                        allow_override=True,
+                    )
+        for item in program.items:
+            if isinstance(item, ProcDecl):
+                key = (None, item.name, item.arity)
+                global_scope.declare(
+                    self._info_for_proc(item, None, key in self._fixed_procs),
+                    allow_override=True,
+                )
+        # Exports must reflect the refreshed infos too.
+        for module in program.modules:
+            self._export_into(module, module_scopes[module.name], global_scope)
+
+    # ------------------------------------------------------------------ #
+    # procedures
+    # ------------------------------------------------------------------ #
+
+    def _compile_proc(self, decl: ProcDecl, module: Optional[str], scope: Scope) -> CompiledProc:
+        proc_scope = scope.child()
+        for local in decl.locals:
+            proc_scope.declare(
+                PredInfo(
+                    skeleton=(local.name, (), local.arity),
+                    klass=PredClass.LOCAL,
+                    arity=local.arity,
+                    module=module,
+                    display=f"{local.name}/{local.arity} (local)",
+                ),
+                allow_override=True,
+            )
+        proc_scope.declare(
+            PredInfo(
+                skeleton=("in", (), decl.bound_arity),
+                klass=PredClass.SPECIAL,
+                arity=decl.bound_arity,
+                display="in",
+            ),
+            allow_override=True,
+        )
+        proc_scope.declare(
+            PredInfo(
+                skeleton=("return", (), decl.arity),
+                klass=PredClass.SPECIAL,
+                arity=decl.arity,
+                display="return",
+            ),
+            allow_override=True,
+        )
+        body = [self._compile_any_stmt(stmt, proc_scope, decl) for stmt in decl.body]
+        key = (module, decl.name, decl.arity)
+        return CompiledProc(
+            module=module,
+            name=decl.name,
+            bound_params=tuple(v.name for v in decl.bound_params),
+            free_params=tuple(v.name for v in decl.free_params),
+            locals=tuple((d.name, d.arity) for d in decl.locals),
+            body=body,
+            fixed=key in self._fixed_procs,
+            decl=decl,
+        )
+
+    def _compile_any_stmt(self, stmt, scope: Scope, proc: Optional[ProcDecl]):
+        if isinstance(stmt, RepeatStmt):
+            return self._compile_repeat(stmt, scope, proc)
+        return self._compile_stmt(stmt, scope, proc)
+
+    def _compile_repeat(self, stmt: RepeatStmt, scope: Scope, proc) -> CompiledRepeat:
+        body = [self._compile_any_stmt(inner, scope, proc) for inner in stmt.body]
+        until_alts = [
+            self._compile_body(list(alt), scope, proc, context="until")[0]
+            for alt in stmt.until.alternatives
+        ]
+        return CompiledRepeat(body=body, until_alts=until_alts, source=stmt)
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+
+    def _compile_stmt(
+        self,
+        stmt: AssignStmt,
+        scope: Scope,
+        proc,
+        body_override: Optional[Tuple[object, ...]] = None,
+    ) -> CompiledStmt:
+        body = list(stmt.body)
+        is_return = False
+        head_pred = stmt.head_pred
+        head_args = stmt.head_args
+
+        if isinstance(head_pred, Atom) and head_pred.name == "return":
+            if proc is None:
+                raise CompileError("return assignment outside a procedure")
+            is_return = True
+            if len(head_args) != proc.arity:
+                raise CompileError(
+                    f"return head arity {len(head_args)} != procedure arity {proc.arity}"
+                )
+            split = stmt.head_bound if stmt.head_bound is not None else proc.bound_arity
+            if split != proc.bound_arity:
+                raise CompileError(
+                    "':' in return head must match the procedure's bound arity"
+                )
+            # "An assignment statement that assigns to the return relation
+            # has an implicit in subgoal as its first subgoal."
+            body = [PredSubgoal(pred=Atom("in"), args=head_args[:split])] + body
+        elif stmt.head_bound is not None:
+            raise CompileError("':' in a head is only meaningful for return")
+
+        reorder_input = tuple(body)
+        if body_override is not None:
+            body = list(body_override)
+        plan, state, ordered_body = self._compile_body(
+            body, scope, proc, context="body", stmt=stmt,
+            preordered=body_override is not None,
+        )
+
+        colindex = state.colindex
+        head_fns = []
+        for arg in head_args:
+            try:
+                head_fns.append(compile_term_code(arg, colindex))
+            except CompileError as exc:
+                raise CompileError(f"line {stmt.line}: head argument {arg}: {exc}") from exc
+
+        head_ref, head_name_fn = self._compile_head_target(
+            head_pred, len(head_args), scope, colindex, stmt, is_return
+        )
+
+        key_positions: Tuple[int, ...] = ()
+        if stmt.op == "modify":
+            positions = []
+            key_names = {v.name for v in stmt.keys}
+            found = set()
+            for i, arg in enumerate(head_args):
+                if isinstance(arg, Var) and arg.name in key_names:
+                    positions.append(i)
+                    found.add(arg.name)
+            missing = key_names - found
+            if missing:
+                raise CompileError(
+                    f"modify keys {sorted(missing)} do not appear in the head"
+                )
+            key_positions = tuple(positions)
+
+        fixed = any(step.is_barrier or isinstance(step, UpdateStep) for step in plan)
+        if head_ref.info is None or head_ref.info.klass is PredClass.EDB:
+            fixed = True
+
+        return CompiledStmt(
+            plan=plan,
+            head_ref=head_ref,
+            head_fns=tuple(head_fns),
+            op=stmt.op,
+            key_positions=key_positions,
+            head_name_fn=head_name_fn,
+            is_return=is_return,
+            fixed=fixed,
+            columns_final=tuple(state.columns),
+            source=stmt,
+            reorder_input=reorder_input,
+            ordered_body=ordered_body,
+            source_scope=scope,
+            source_proc=proc,
+        )
+
+    def recompile_with_order(
+        self, stmt: CompiledStmt, ordered_body: Tuple[object, ...]
+    ) -> CompiledStmt:
+        """Re-compile a statement with an explicit body order -- the
+        adaptive run-time re-optimization hook (paper Section 10)."""
+        return self._compile_stmt(
+            stmt.source, stmt.source_scope, stmt.source_proc,
+            body_override=ordered_body,
+        )
+
+    def _compile_head_target(
+        self,
+        head_pred: Term,
+        arity: int,
+        scope: Scope,
+        colindex: Dict[str, int],
+        stmt: AssignStmt,
+        is_return: bool,
+    ):
+        head_name_fn = None
+        if not is_ground(head_pred):
+            free = term_vars(head_pred) - set(colindex)
+            if free:
+                raise CompileError(
+                    f"line {stmt.line}: head predicate variables {sorted(free)} unbound"
+                )
+            head_name_fn = compile_term_code(head_pred, colindex)
+            return PredRef(pred=head_pred, arity=arity, info=None), head_name_fn
+
+        info = self._try_resolve(head_pred, arity, scope)
+        if info is None and self.strict and not is_return:
+            raise CompileError(f"line {stmt.line}: undeclared head relation {head_pred}/{arity}")
+        if info is not None:
+            if info.klass is PredClass.NAIL:
+                raise CompileError(
+                    f"line {stmt.line}: cannot assign to NAIL! predicate {head_pred}"
+                )
+            if info.is_callable:
+                raise CompileError(
+                    f"line {stmt.line}: cannot assign to procedure {head_pred}"
+                )
+        elif not is_return:
+            # Lenient: implicitly declare an EDB relation.
+            skeleton = pred_skeleton(head_pred, arity)
+            info = PredInfo(
+                skeleton=skeleton,
+                klass=PredClass.EDB,
+                arity=arity,
+                display=f"{head_pred}/{arity}",
+            )
+            scope.declare(info, allow_override=True)
+        return PredRef(pred=head_pred, arity=arity, info=info), head_name_fn
+
+    # ------------------------------------------------------------------ #
+    # bodies
+    # ------------------------------------------------------------------ #
+
+    def _call_fixedness(self, scope: Scope):
+        def call_fixedness(subgoal: PredSubgoal) -> Optional[bool]:
+            info = self._try_resolve(subgoal.pred, len(subgoal.args), scope)
+            if info is None or not info.is_callable:
+                return None
+            return info.fixed
+
+        return call_fixedness
+
+    def _call_bound_arity(self, scope: Scope):
+        def call_bound_arity(subgoal: PredSubgoal) -> Optional[int]:
+            info = self._try_resolve(subgoal.pred, len(subgoal.args), scope)
+            if info is None or not info.is_callable:
+                return None
+            return info.bound_arity
+
+        return call_bound_arity
+
+    def _compile_body(
+        self,
+        body: List[object],
+        scope: Scope,
+        proc,
+        context: str = "body",
+        stmt: Optional[AssignStmt] = None,
+        preordered: bool = False,
+    ) -> Tuple[List[Step], _ColumnState, Tuple[object, ...]]:
+        if self.optimize and not preordered:
+            body = reorder_body(
+                body,
+                initially_bound=set(),
+                call_fixedness=self._call_fixedness(scope),
+                call_bound_arity=self._call_bound_arity(scope),
+            )
+        line = stmt.line if stmt is not None else 0
+        try:
+            analyze_bindings(body)
+        except BindingError as exc:
+            raise CompileError(f"line {line}: {exc}") from exc
+
+        state = _ColumnState()
+        plan: List[Step] = []
+        for subgoal in body:
+            plan.append(self._compile_subgoal(subgoal, scope, state, line))
+        return plan, state, tuple(body)
+
+    def _compile_subgoal(self, subgoal, scope: Scope, state: _ColumnState, line: int) -> Step:
+        colindex = state.colindex
+        known = set(state.columns)
+
+        if isinstance(subgoal, PredSubgoal):
+            return self._compile_pred_subgoal(subgoal, scope, state, line)
+        if isinstance(subgoal, CompareSubgoal):
+            return self._compile_compare(subgoal, state, line)
+        if isinstance(subgoal, UpdateSubgoal):
+            ref, name_fn = self._relation_ref(subgoal.pred, len(subgoal.args), scope, colindex)
+            if ref.info is not None and not ref.info.is_relation:
+                raise CompileError(
+                    f"line {line}: {subgoal.op}{subgoal.pred} must target a relation"
+                )
+            return UpdateStep(
+                op=subgoal.op,
+                ref=ref,
+                pattern_fn=compile_pattern(subgoal.args, colindex),
+                name_fn=name_fn,
+                columns_out=tuple(state.columns),
+            )
+        if isinstance(subgoal, GroupBySubgoal):
+            names = [t.name for t in subgoal.terms]  # safety checked these are Vars
+            for name in names:
+                if name not in state.group_cols:
+                    state.group_cols.append(name)
+            return GroupByStep(
+                group_cols=tuple(state.group_cols), columns_out=tuple(state.columns)
+            )
+        if isinstance(subgoal, EmptyCond):
+            ref, name_fn = self._relation_ref(subgoal.pred, len(subgoal.args), scope, colindex)
+            return EmptyStep(
+                ref=ref,
+                pattern_fn=compile_pattern(subgoal.args, colindex),
+                name_fn=name_fn,
+                columns_out=tuple(state.columns),
+            )
+        if isinstance(subgoal, UnchangedCond):
+            ref, name_fn = self._relation_ref(subgoal.pred, subgoal.arity, scope, colindex)
+            if name_fn is not None:
+                raise CompileError(f"line {line}: unchanged() needs a static predicate")
+            return UnchangedStep(ref=ref, columns_out=tuple(state.columns))
+        if isinstance(subgoal, UnionSubgoal):
+            return self._compile_union(subgoal, scope, state, line)
+        raise CompileError(f"line {line}: cannot compile subgoal {subgoal!r}")
+
+    def _compile_union(
+        self, subgoal: UnionSubgoal, scope: Scope, state: _ColumnState, line: int
+    ) -> Step:
+        """Compile a body disjunction: one sub-plan per alternative, all
+        binding the same new variables (checked by safety analysis)."""
+        call_fix = self._call_fixedness(scope)
+        for alt in subgoal.alternatives:
+            for inner in alt:
+                if is_fixed_subgoal(inner, call_fix):
+                    raise CompileError(
+                        f"line {line}: fixed subgoals (updates, aggregation, I/O) "
+                        "are not allowed inside a body disjunction"
+                    )
+        base_columns = list(state.columns)
+        canonical: Optional[List[str]] = None
+        compiled: List[Tuple[List[Step], Tuple[int, ...]]] = []
+        for alt in subgoal.alternatives:
+            alt_state = _ColumnState(
+                columns=list(base_columns), group_cols=list(state.group_cols)
+            )
+            plan = [self._compile_subgoal(s, scope, alt_state, line) for s in alt]
+            new_vars = [c for c in alt_state.columns if c not in base_columns]
+            if canonical is None:
+                canonical = new_vars
+            elif set(new_vars) != set(canonical):
+                raise CompileError(
+                    f"line {line}: disjunction alternatives bind different "
+                    f"variables: {sorted(canonical)} vs {sorted(new_vars)}"
+                )
+            extract = tuple(alt_state.columns.index(v) for v in canonical)
+            compiled.append((plan, extract))
+        assert canonical is not None
+        state.add(canonical)
+        return UnionStep(
+            alternatives=compiled,
+            new_vars=tuple(canonical),
+            columns_out=tuple(state.columns),
+        )
+
+    def _relation_ref(
+        self, pred: Term, arity: int, scope: Scope, colindex: Dict[str, int]
+    ) -> Tuple[PredRef, Optional[object]]:
+        """Resolve a predicate reference used as a relation (scan/update)."""
+        if is_ground(pred):
+            info = self._try_resolve(pred, arity, scope)
+            if info is None and self.strict:
+                raise CompileError(f"undeclared predicate {pred}/{arity} (strict mode)")
+            return PredRef(pred=pred, arity=arity, info=info), None
+        candidates = tuple(scope.candidates(arity))
+        name_fn = compile_term_code(pred, colindex)
+        return PredRef(pred=pred, arity=arity, info=None, candidates=candidates), name_fn
+
+    def _compile_pred_subgoal(
+        self, subgoal: PredSubgoal, scope: Scope, state: _ColumnState, line: int
+    ) -> Step:
+        colindex = state.colindex
+        known = set(state.columns)
+        arity = len(subgoal.args)
+
+        # Literal truth values.
+        if isinstance(subgoal.pred, Atom) and arity == 0 and subgoal.pred.name in ("true", "false"):
+            if subgoal.negated:
+                return TruthStep(
+                    value=subgoal.pred.name == "false", columns_out=tuple(state.columns)
+                )
+            return TruthStep(
+                value=subgoal.pred.name == "true", columns_out=tuple(state.columns)
+            )
+
+        if subgoal.negated:
+            ref, name_fn = self._relation_ref(subgoal.pred, arity, scope, colindex)
+            if ref.info is not None and ref.info.is_callable:
+                raise CompileError(f"line {line}: cannot negate a procedure call")
+            return NegScanStep(
+                ref=ref,
+                pattern_fn=compile_pattern(subgoal.args, colindex),
+                name_fn=name_fn,
+                columns_out=tuple(state.columns),
+                flat=_flat_extract(subgoal.args, known, ()) is not None,
+            )
+
+        if is_ground(subgoal.pred):
+            info = self._try_resolve(subgoal.pred, arity, scope)
+            if info is not None and info.is_callable:
+                return self._compile_call(subgoal, info, state, line)
+            if info is None and self.strict:
+                raise CompileError(
+                    f"line {line}: undeclared predicate {subgoal.pred}/{arity} (strict mode)"
+                )
+            ref = PredRef(pred=subgoal.pred, arity=arity, info=info)
+            new_vars = _ordered_new_vars(subgoal.args, known)
+            state.add(new_vars)
+            return ScanStep(
+                ref=ref,
+                pattern_fn=compile_pattern(subgoal.args, colindex),
+                new_vars=tuple(new_vars),
+                columns_out=tuple(state.columns),
+                flat_extract=_flat_extract(subgoal.args, known, new_vars),
+            )
+
+        # Predicate-variable (HiLog) subgoal: name instantiated per row.
+        candidates = tuple(scope.candidates(arity))
+        name_fn = compile_term_code(subgoal.pred, colindex)
+        ref = PredRef(pred=subgoal.pred, arity=arity, info=None, candidates=candidates)
+        new_vars = _ordered_new_vars(subgoal.args, known)
+        state.add(new_vars)
+        # Builtins are a closed vocabulary that set-valued attributes never
+        # name, so only user procedures/foreigns force run-time dispatch.
+        any_callable = any(
+            c.is_callable and c.klass is not PredClass.BUILTIN for c in candidates
+        )
+        if self.deref_at_compile_time and not any_callable:
+            # Every candidate is a stored/derived relation: go straight to
+            # storage at run time (the compile-time dereferencing win).
+            return ScanStep(
+                ref=ref,
+                pattern_fn=compile_pattern(subgoal.args, colindex),
+                new_vars=tuple(new_vars),
+                name_fn=name_fn,
+                columns_out=tuple(state.columns),
+                flat_extract=_flat_extract(subgoal.args, known, new_vars),
+            )
+        return DynamicStep(
+            ref=ref,
+            name_fn=name_fn,
+            pattern_fn=compile_pattern(subgoal.args, colindex),
+            new_vars=tuple(new_vars),
+            columns_out=tuple(state.columns),
+        )
+
+    def _compile_call(
+        self, subgoal: PredSubgoal, info: PredInfo, state: _ColumnState, line: int
+    ) -> Step:
+        colindex = state.colindex
+        known = set(state.columns)
+        bound_arity = info.bound_arity
+        inputs = subgoal.args[:bound_arity]
+        outputs = subgoal.args[bound_arity:]
+        input_fns = []
+        for arg in inputs:
+            try:
+                input_fns.append(compile_term_code(arg, colindex))
+            except CompileError as exc:
+                raise CompileError(
+                    f"line {line}: input argument {arg} of {info.display}: {exc}"
+                ) from exc
+        new_vars = _ordered_new_vars(outputs, known)
+        state.add(new_vars)
+        ref = PredRef(pred=subgoal.pred, arity=len(subgoal.args), info=info)
+        return CallStep(
+            ref=ref,
+            input_fns=tuple(input_fns),
+            free_pattern_fn=compile_pattern(outputs, colindex),
+            new_vars=tuple(new_vars),
+            columns_out=tuple(state.columns),
+            fixed=info.fixed,
+        )
+
+    def _compile_compare(self, subgoal: CompareSubgoal, state: _ColumnState, line: int) -> Step:
+        colindex = state.colindex
+        left, right, op = subgoal.left, subgoal.right, subgoal.op
+        left_agg = expr_has_agg(left)
+        right_agg = expr_has_agg(right)
+        if left_agg and right_agg:
+            raise CompileError(f"line {line}: aggregates on both sides of '{op}'")
+        if left_agg:
+            left, right = right, left
+            op = _RELOP_FLIP[op]
+            right_agg = True
+        if right_agg:
+            if not isinstance(right, AggCall):
+                raise CompileError(
+                    f"line {line}: an aggregate must be the whole right-hand side"
+                )
+            try:
+                arg_fn = compile_expr(right.arg, colindex)
+            except CompileError as exc:
+                raise CompileError(f"line {line}: aggregate argument: {exc}") from exc
+            group_positions = tuple(
+                colindex[name] for name in state.group_cols if name in colindex
+            )
+            binds = (
+                op == "="
+                and isinstance(left, Var)
+                and not left.is_anonymous
+                and left.name not in colindex
+            )
+            if binds:
+                state.add([left.name])
+                return AggStep(
+                    agg_op=right.op,
+                    arg_fn=arg_fn,
+                    binds=True,
+                    group_positions=group_positions,
+                    columns_out=tuple(state.columns),
+                )
+            left_fn = compile_expr(left, colindex)
+            return AggStep(
+                agg_op=right.op,
+                arg_fn=arg_fn,
+                binds=False,
+                compare_op=op,
+                left_fn=left_fn,
+                group_positions=group_positions,
+                columns_out=tuple(state.columns),
+            )
+        # No aggregates: a binding or a filter.
+        if op == "=":
+            if isinstance(left, Var) and not left.is_anonymous and left.name not in colindex:
+                fn = compile_expr(right, colindex)
+                state.add([left.name])
+                return BindStep(var=left.name, fn=fn, columns_out=tuple(state.columns))
+            if isinstance(right, Var) and not right.is_anonymous and right.name not in colindex:
+                fn = compile_expr(left, colindex)
+                state.add([right.name])
+                return BindStep(var=right.name, fn=fn, columns_out=tuple(state.columns))
+        left_fn = compile_expr(left, colindex)
+        right_fn = compile_expr(right, colindex)
+        return CompareStep(
+            op=op, left_fn=left_fn, right_fn=right_fn, columns_out=tuple(state.columns)
+        )
+
+
+def compile_program(program: Program, **kwargs) -> CompiledProgram:
+    """Convenience wrapper: compile with default settings."""
+    return ProgramCompiler(**kwargs).compile_program(program)

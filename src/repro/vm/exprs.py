@@ -1,0 +1,99 @@
+"""Expression and pattern compilation: AST expressions to row closures.
+
+Because binding-time analysis fixes the supplementary relation's column
+layout at compile time, every expression compiles to a closure over column
+*positions* -- there is no run-time environment lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.errors import CompileError
+from repro.glue.builtins import eval_function, term_arith
+from repro.lang.ast import AggCall, BinOp, FunCall, UnaryOp
+from repro.terms.term import Compound, Num, Term, Var
+
+RowFn = Callable[[tuple], Term]
+
+
+def compile_expr(expr, colindex: Dict[str, int]) -> RowFn:
+    """Compile an aggregate-free expression to a ``row -> Term`` closure.
+
+    Raises :class:`CompileError` on unbound variables or stray aggregate
+    calls (the statement compiler extracts those first).
+    """
+    if isinstance(expr, Num):
+        return lambda row: expr
+    if isinstance(expr, Var):
+        if expr.is_anonymous:
+            raise CompileError("anonymous variable in expression position")
+        index = colindex.get(expr.name)
+        if index is None:
+            raise CompileError(f"unbound variable {expr.name} in expression")
+        return lambda row: row[index]
+    if isinstance(expr, Term):
+        return compile_term_code(expr, colindex)
+    if isinstance(expr, BinOp):
+        left = compile_expr(expr.left, colindex)
+        right = compile_expr(expr.right, colindex)
+        op = expr.op
+        return lambda row: term_arith(op, left(row), right(row))
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand, colindex)
+        return lambda row: term_arith("-", Num(0), operand(row))
+    if isinstance(expr, FunCall):
+        arg_fns = tuple(compile_expr(a, colindex) for a in expr.args)
+        name = expr.name
+        return lambda row: eval_function(name, tuple(fn(row) for fn in arg_fns))
+    if isinstance(expr, AggCall):
+        raise CompileError("aggregate call in a non-aggregate position")
+    raise CompileError(f"cannot compile expression {expr!r}")
+
+
+def compile_term_code(term: Term, colindex: Dict[str, int]) -> RowFn:
+    """Compile a data term (possibly compound, all variables bound) to a
+    per-row instantiation closure."""
+    if isinstance(term, Var):
+        if term.is_anonymous:
+            raise CompileError("anonymous variable cannot be instantiated")
+        index = colindex.get(term.name)
+        if index is None:
+            raise CompileError(f"unbound variable {term.name}")
+        return lambda row: row[index]
+    if isinstance(term, Compound):
+        functor_fn = compile_term_code(term.functor, colindex)
+        arg_fns = tuple(compile_term_code(a, colindex) for a in term.args)
+        return lambda row: Compound(functor_fn(row), tuple(fn(row) for fn in arg_fns))
+    # Atoms and numbers are self-evaluating.
+    return lambda row: term
+
+
+def compile_pattern(
+    args: Sequence[Term], colindex: Dict[str, int]
+) -> Callable[[tuple], Tuple[Term, ...]]:
+    """Compile subgoal argument patterns for matching against a relation.
+
+    Variables bound in the input columns are substituted per row; unbound
+    (new) variables stay as variables for the relation's matcher to bind.
+    """
+    fns = []
+    for arg in args:
+        fns.append(_compile_pattern_term(arg, colindex))
+    fns = tuple(fns)
+    return lambda row: tuple(fn(row) for fn in fns)
+
+
+def _compile_pattern_term(term: Term, colindex: Dict[str, int]) -> RowFn:
+    if isinstance(term, Var):
+        if term.is_anonymous:
+            return lambda row: term
+        index = colindex.get(term.name)
+        if index is None:
+            return lambda row: term  # a new variable: left for matching
+        return lambda row: row[index]
+    if isinstance(term, Compound):
+        functor_fn = _compile_pattern_term(term.functor, colindex)
+        arg_fns = tuple(_compile_pattern_term(a, colindex) for a in term.args)
+        return lambda row: Compound(functor_fn(row), tuple(fn(row) for fn in arg_fns))
+    return lambda row: term

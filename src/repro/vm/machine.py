@@ -1,0 +1,454 @@
+"""The Glue virtual machine: plan execution, procedures, repeat loops.
+
+Two execution strategies (paper Section 9):
+
+* ``pipelined`` -- the nested-join, tuple-at-a-time strategy of the
+  experimental implementation.  Fixed subgoals (procedure calls,
+  aggregators, updates) force pipeline breaks: the supplementary relation
+  is materialized, optionally duplicate-eliminated, and the pipeline
+  restarts after the barrier.
+* ``materialized`` -- the textbook supplementary-relation strategy: each
+  sup_i is fully computed (and deduplicated) before sup_{i+1} begins.
+
+Both strategies produce identical head relations; the cost counters make
+the trade-off measurable, which is what the paper's Section 9 observations
+are about.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.scope import PredClass, pred_skeleton
+from repro.errors import GlueRuntimeError
+from repro.glue.builtins import BUILTIN_PROCS
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.stats import CostCounters
+from repro.terms.term import Atom, Term
+from repro.vm.plan import (
+    CompiledProc,
+    CompiledProgram,
+    CompiledRepeat,
+    CompiledStmt,
+    Plan,
+    PredRef,
+    Row,
+)
+
+ForeignFn = Callable[["ExecContext", List[Row]], List[Row]]
+
+
+@dataclass
+class ForeignProc:
+    """A Python function registered as a Glue procedure (the foreign
+    language interface of paper Section 10, realised in Python)."""
+
+    module: str
+    name: str
+    arity: int
+    bound_arity: int
+    fn: ForeignFn
+    fixed: bool = True
+
+
+class ExecContext:
+    """Everything the machine needs at run time."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        strategy: str = "pipelined",
+        dedup_on_break: bool = True,
+        out=None,
+        inp=None,
+        max_loop_iterations: int = 1_000_000,
+        adaptive_reorder: bool = False,
+    ):
+        if strategy not in ("pipelined", "materialized"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.db = db if db is not None else Database()
+        self.counters: CostCounters = self.db.counters
+        self.strategy = strategy
+        self.dedup_on_break = dedup_on_break
+        self.out = out if out is not None else sys.stdout
+        self.inp = inp if inp is not None else sys.stdin
+        self.max_loop_iterations = max_loop_iterations
+        self.adaptive_reorder = adaptive_reorder
+        self.foreign: Dict[Tuple[str, int], ForeignProc] = {}
+        self.nail_engine = None  # wired by repro.core.system
+
+    def register_foreign(self, proc: ForeignProc) -> None:
+        self.foreign[(proc.name, proc.arity)] = proc
+
+
+class Frame:
+    """One procedure invocation: local relations, in/return, loop state.
+
+    "Each invocation of a procedure has its own copies of its local
+    relations" (paper Section 4).
+    """
+
+    __slots__ = ("proc", "locals", "in_rel", "return_rel", "unchanged_state")
+
+    def __init__(self, proc: Optional[CompiledProc], ctx: ExecContext):
+        self.proc = proc
+        self.locals: Dict[Tuple[str, int], Relation] = {}
+        self.unchanged_state: Dict[int, int] = {}
+        if proc is not None:
+            for name, arity in proc.locals:
+                self.locals[(name, arity)] = Relation(
+                    Atom(name), arity, counters=ctx.counters
+                )
+            self.in_rel = Relation(Atom("in"), proc.bound_arity, counters=ctx.counters)
+            self.return_rel = Relation(Atom("return"), proc.arity, counters=ctx.counters)
+        else:
+            self.in_rel = None
+            self.return_rel = None
+
+
+class _ReturnSignal(Exception):
+    """Raised when a statement assigns to ``return``: exits the procedure."""
+
+
+class Machine:
+    """Executes compiled programs against an :class:`ExecContext`."""
+
+    def __init__(self, program: CompiledProgram, ctx: ExecContext):
+        self.program = program
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------ #
+    # predicate resolution
+    # ------------------------------------------------------------------ #
+
+    def resolve_relation(
+        self,
+        ref: PredRef,
+        name: Term,
+        frame: Frame,
+        for_update: bool = False,
+        dynamic_dispatch: bool = False,
+    ) -> Relation:
+        """Resolve a predicate reference (with a ground name) to a Relation."""
+        info = ref.info
+        if info is not None:
+            klass = info.klass
+            if klass is PredClass.LOCAL:
+                relation = frame.locals.get((info.skeleton[0], ref.arity))
+                if relation is None:
+                    raise GlueRuntimeError(f"no local relation {name}/{ref.arity}")
+                return relation
+            if klass is PredClass.SPECIAL:
+                if info.skeleton[0] == "in":
+                    if frame.in_rel is None:
+                        raise GlueRuntimeError("'in' used outside a procedure")
+                    return frame.in_rel
+                if frame.return_rel is None:
+                    raise GlueRuntimeError("'return' used outside a procedure")
+                return frame.return_rel
+            if klass is PredClass.NAIL:
+                if for_update:
+                    raise GlueRuntimeError(f"cannot update NAIL! predicate {name}")
+                return self._materialize_nail(name, ref.arity)
+            # EDB (declared or implicit).
+            return self.ctx.db.relation(name, ref.arity)
+        # Dynamic reference: resolve the ground name at run time.
+        return self._resolve_dynamic(name, ref.arity, frame, for_update, dynamic_dispatch)
+
+    def _resolve_dynamic(
+        self,
+        name: Term,
+        arity: int,
+        frame: Frame,
+        for_update: bool,
+        dynamic_dispatch: bool,
+    ) -> Relation:
+        """The run-time predicate-class dispatch.
+
+        With compile-time dereferencing the compiler only emits this for
+        names whose candidate set was ambiguous; the DynamicStep baseline
+        (experiment E8) forces the full check for every row.
+        """
+        skeleton = pred_skeleton(name, arity)
+        if dynamic_dispatch:
+            self.ctx.counters.dynamic_dispatches += 1
+        if isinstance(name, Atom):
+            local = frame.locals.get((name.name, arity))
+            if local is not None:
+                return local
+        if dynamic_dispatch:
+            proc = self.program.procs.get((None, skeleton[0], arity)) if skeleton[0] else None
+            if proc is None and skeleton[0] is not None:
+                proc = self.program.exported.get((skeleton[0], arity))
+            if proc is not None:
+                raise GlueRuntimeError(
+                    f"dynamic call to procedure {name}/{arity} is not supported; "
+                    "bind the procedure name statically"
+                )
+        if self.ctx.nail_engine is not None and self.ctx.nail_engine.defines(skeleton):
+            if for_update:
+                raise GlueRuntimeError(f"cannot update NAIL! predicate {name}")
+            return self._materialize_nail(name, arity)
+        return self.ctx.db.relation(name, arity)
+
+    def _materialize_nail(self, name: Term, arity: int) -> Relation:
+        engine = self.ctx.nail_engine
+        if engine is None:
+            raise GlueRuntimeError(
+                f"subgoal {name}/{arity} is a NAIL! predicate but no engine is attached"
+            )
+        # A view: fully materialized when possible, demand-driven otherwise.
+        return engine.view(name, arity)
+
+    def call_predicate(self, ref: PredRef, input_rows: List[Row], frame: Frame) -> List[Row]:
+        """Call a procedure/builtin/foreign once on the full input set."""
+        info = ref.info
+        if info is None:
+            raise GlueRuntimeError(f"cannot call unresolved predicate {ref.pred}")
+        name = info.skeleton[0]
+        if info.klass is PredClass.BUILTIN:
+            builtin = BUILTIN_PROCS[(name, info.arity)]
+            return builtin.fn(self.ctx, input_rows)
+        if info.klass is PredClass.FOREIGN:
+            foreign = self.ctx.foreign.get((name, info.arity))
+            if foreign is None:
+                raise GlueRuntimeError(
+                    f"foreign procedure {info.module}.{name}/{info.arity} is not registered"
+                )
+            return foreign.fn(self.ctx, input_rows)
+        proc = self.program.procs.get((info.module, name, info.arity))
+        if proc is None:
+            proc = self.program.exported.get((name, info.arity))
+        if proc is None:
+            raise GlueRuntimeError(f"no procedure {name}/{info.arity}")
+        result = self.call_proc(proc, input_rows)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # procedures
+    # ------------------------------------------------------------------ #
+
+    def call_proc(self, proc: CompiledProc, input_rows: List[Row]) -> List[Row]:
+        """Invoke a compiled procedure on a set of input tuples."""
+        self.ctx.counters.proc_calls += 1
+        frame = Frame(proc, self.ctx)
+        for row in input_rows:
+            if len(row) != proc.bound_arity:
+                raise GlueRuntimeError(
+                    f"{proc.name}: input arity {len(row)} != bound arity {proc.bound_arity}"
+                )
+            frame.in_rel.insert(row)
+        try:
+            for stmt in proc.body:
+                self.exec_stmt(stmt, frame)
+        except _ReturnSignal:
+            pass
+        return frame.return_rel.copy_rows()
+
+    def run_script(self) -> None:
+        """Execute the loose top-level statements of the program."""
+        frame = Frame(None, self.ctx)
+        for stmt in self.program.script:
+            self.exec_stmt(stmt, frame)
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+
+    def exec_stmt(self, stmt, frame: Frame) -> None:
+        if isinstance(stmt, CompiledRepeat):
+            self._exec_repeat(stmt, frame)
+            return
+        assert isinstance(stmt, CompiledStmt)
+        if self.ctx.adaptive_reorder:
+            stmt = self._adapted_variant(stmt, frame)
+        rows = self.run_plan(stmt.plan, frame)
+        head_rows = list(dict.fromkeys(tuple(fn(r) for fn in stmt.head_fns) for r in rows))
+        self._apply_head(stmt, rows, head_rows, frame)
+        if stmt.is_return and head_rows:
+            # "Assigning to this relation also has the effect of exiting the
+            # procedure" -- but an empty body stops the statement before the
+            # assignment happens, so control falls through to the next one.
+            raise _ReturnSignal()
+
+    def _apply_head(self, stmt: CompiledStmt, rows, head_rows, frame: Frame) -> None:
+        if stmt.head_name_fn is None:
+            target = self.resolve_relation(stmt.head_ref, stmt.head_ref.pred, frame,
+                                           for_update=True)
+            self._apply_op(stmt, target, head_rows)
+            return
+        # Dynamic head: group result rows by instantiated relation name.
+        by_name: Dict[Term, List[Row]] = {}
+        for row in rows:
+            name = stmt.head_name_fn(row)
+            head_row = tuple(fn(row) for fn in stmt.head_fns)
+            by_name.setdefault(name, []).append(head_row)
+        for name, target_rows in by_name.items():
+            target = self.resolve_relation(stmt.head_ref, name, frame, for_update=True)
+            self._apply_op(stmt, target, list(dict.fromkeys(target_rows)))
+
+    def _apply_op(self, stmt: CompiledStmt, target: Relation, head_rows: List[Row]) -> None:
+        op = stmt.op
+        if op == ":=":
+            target.replace(head_rows)
+        elif op == "+=":
+            target.insert_many(head_rows)
+        elif op == "-=":
+            target.delete_many(head_rows)
+        elif op == "modify":
+            # Update by key (paper Section 3.1): remove every existing tuple
+            # sharing a key with a new tuple, then insert the new tuples.
+            keys = {tuple(row[p] for p in stmt.key_positions) for row in head_rows}
+            victims = [
+                existing
+                for existing in target.rows()
+                if tuple(existing[p] for p in stmt.key_positions) in keys
+            ]
+            target.delete_many(victims)
+            target.insert_many(head_rows)
+        else:  # pragma: no cover - parser prevents this
+            raise GlueRuntimeError(f"unknown assignment operator {op}")
+
+    def _adapted_variant(self, stmt: CompiledStmt, frame: Frame) -> CompiledStmt:
+        """Adaptive run-time re-optimization (paper Section 10): re-order
+        the statement body by the *current* relation cardinalities and run
+        a cached re-compiled variant.
+
+        "Because Glue programs create and update many relations at
+        run-time, queries involving those relations are difficult to
+        optimize at compile-time."  Statements whose plans carry
+        ``unchanged`` history are left alone (re-compiling would reset it).
+        """
+        from repro.analysis.reorder import reorder_body
+        from repro.analysis.scope import Scope
+        from repro.lang.ast import PredSubgoal
+        from repro.terms.term import is_ground
+        from repro.vm.plan import UnchangedStep
+
+        if (
+            stmt.source is None
+            or stmt.reorder_input is None
+            or stmt.source_scope is None
+            or any(isinstance(step, UnchangedStep) for step in stmt.plan)
+        ):
+            return stmt
+        scope: Scope = stmt.source_scope
+        compiler = self.program.compiler
+        if compiler is None:
+            return stmt
+
+        def size_of(subgoal: PredSubgoal):
+            if subgoal.negated or not is_ground(subgoal.pred):
+                return None
+            info = compiler._try_resolve(subgoal.pred, len(subgoal.args), scope)
+            if info is None or info.klass is PredClass.EDB:
+                relation = self.ctx.db.get(subgoal.pred, len(subgoal.args))
+                return len(relation) if relation is not None else 0
+            if info.klass is PredClass.LOCAL:
+                relation = frame.locals.get((info.skeleton[0], len(subgoal.args)))
+                return len(relation) if relation is not None else 0
+            return None  # NAIL!/procedures: unknown cardinality
+
+        ordered = tuple(
+            reorder_body(
+                list(stmt.reorder_input),
+                call_fixedness=compiler._call_fixedness(scope),
+                call_bound_arity=compiler._call_bound_arity(scope),
+                size_of=size_of,
+            )
+        )
+        if ordered == stmt.ordered_body:
+            return stmt
+        variant = stmt.variants.get(ordered)
+        if variant is None:
+            variant = compiler.recompile_with_order(stmt, ordered)
+            stmt.variants[ordered] = variant
+        return variant
+
+    def _exec_repeat(self, stmt: CompiledRepeat, frame: Frame) -> None:
+        iterations = 0
+        while True:
+            for inner in stmt.body:
+                self.exec_stmt(inner, frame)
+            if self._eval_until(stmt.until_alts, frame):
+                return
+            iterations += 1
+            if iterations >= self.ctx.max_loop_iterations:
+                raise GlueRuntimeError(
+                    f"repeat loop exceeded {self.ctx.max_loop_iterations} iterations"
+                )
+
+    def _eval_until(self, alternatives: List[Plan], frame: Frame) -> bool:
+        """A condition holds when its conjunction yields a non-empty set;
+        alternatives short-circuit left to right."""
+        for plan in alternatives:
+            if self.run_plan(plan, frame):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # plan execution
+    # ------------------------------------------------------------------ #
+
+    def run_plan(self, plan: Plan, frame: Frame) -> List[Row]:
+        if self.ctx.strategy == "materialized":
+            return self._run_materialized(plan, frame)
+        return self._run_pipelined(plan, frame)
+
+    def _dedup(self, rows: List[Row]) -> List[Row]:
+        before = len(rows)
+        rows = list(dict.fromkeys(rows))
+        self.ctx.counters.dedup_removed += before - len(rows)
+        return rows
+
+    def _run_materialized(self, plan: Plan, frame: Frame) -> List[Row]:
+        counters = self.ctx.counters
+        current: List[Row] = [()]
+        for step in plan:
+            if step.is_barrier:
+                current = step.materialize_apply(current, self, frame)
+            else:
+                current = list(step.iterate(current, self, frame))
+            counters.materializations += 1
+            counters.materialized_tuples += len(current)
+            current = self._dedup(current)
+            if not current:
+                # "Execution of an assignment statement stops whenever a
+                # supplementary relation is empty."
+                return []
+        return current
+
+    def run_plan_seeded(self, plan: Plan, seed_rows: List[Row], frame: Frame) -> List[Row]:
+        """Run a sub-plan (a disjunction alternative) over given rows."""
+        return self._run_pipelined(plan, frame, seed=seed_rows, count_final=False)
+
+    def _run_pipelined(
+        self,
+        plan: Plan,
+        frame: Frame,
+        seed: Optional[List[Row]] = None,
+        count_final: bool = True,
+    ) -> List[Row]:
+        counters = self.ctx.counters
+        stream = iter([()] if seed is None else seed)
+        for step in plan:
+            if step.is_barrier:
+                materialized = list(stream)
+                counters.pipeline_breaks += 1
+                counters.materializations += 1
+                counters.materialized_tuples += len(materialized)
+                if self.ctx.dedup_on_break:
+                    materialized = self._dedup(materialized)
+                if not materialized:
+                    return []
+                stream = iter(step.materialize_apply(materialized, self, frame))
+            else:
+                stream = step.iterate(stream, self, frame)
+        result = list(stream)
+        if count_final:
+            counters.materializations += 1
+            counters.materialized_tuples += len(result)
+        return self._dedup(result)

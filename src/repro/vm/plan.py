@@ -1,0 +1,519 @@
+"""Compiled plans: the instruction set of the Glue virtual machine.
+
+A plan is a list of steps; each step transforms the stream of supplementary
+rows (paper Section 3.2).  Steps are compiled closures over column
+positions, so execution does no name lookups.  ``is_barrier`` marks the
+steps that force a pipeline break (paper Section 9): procedure calls,
+aggregators, and update subgoals.
+
+Steps are executed by :class:`repro.vm.machine.Machine`; the ``rt``
+parameter below is that machine (duck-typed to avoid an import cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.scope import PredInfo
+from repro.errors import GlueRuntimeError
+from repro.glue.builtins import compare_terms
+from repro.lang.ast import AssignStmt, ProcDecl, RuleDecl
+from repro.terms.term import Term, is_ground
+
+Row = Tuple[Term, ...]
+RowFn = Callable[[Row], Term]
+PatternFn = Callable[[Row], Tuple[Term, ...]]
+
+
+@dataclass(frozen=True)
+class PredRef:
+    """A (possibly dynamic) reference to a predicate.
+
+    ``pred`` may contain variables -- a HiLog predicate-variable subgoal --
+    in which case ``info`` is None and ``candidates`` holds the
+    compile-time narrowed candidate set.
+    """
+
+    pred: Term
+    arity: int
+    info: Optional[PredInfo] = None
+    candidates: Tuple[PredInfo, ...] = ()
+
+    @property
+    def is_dynamic(self) -> bool:
+        return not is_ground(self.pred)
+
+
+class Step:
+    """Base class: a plan step."""
+
+    is_barrier = False  # True -> forces materialization in pipelined mode
+
+    # Non-barrier steps implement iterate(); barrier steps implement
+    # materialize_apply() over a fully materialized row list.
+    def iterate(self, rows: Iterable[Row], rt, frame) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def materialize_apply(self, rows: List[Row], rt, frame) -> List[Row]:
+        raise NotImplementedError
+
+
+@dataclass
+class ScanStep(Step):
+    """Join the supplementary relation with a stored/derived relation.
+
+    When the compiler proves the argument pattern *flat* (each position a
+    constant, a bound variable, or a distinct fresh variable) it sets
+    ``flat_extract`` to the stored-row positions of the new variables and
+    the step skips the per-row bindings dict entirely.
+    """
+
+    ref: PredRef
+    pattern_fn: PatternFn
+    new_vars: Tuple[str, ...]
+    name_fn: Optional[RowFn] = None  # dynamic predicate-name instantiation
+    columns_out: Tuple[str, ...] = ()
+    flat_extract: Optional[Tuple[int, ...]] = None
+
+    def iterate(self, rows, rt, frame):
+        ref = self.ref
+        static_rel = None
+        if self.name_fn is None:
+            static_rel = rt.resolve_relation(ref, ref.pred, frame)
+        new_vars = self.new_vars
+        extract = self.flat_extract
+        for row in rows:
+            if static_rel is None:
+                relation = rt.resolve_relation(ref, self.name_fn(row), frame)
+            else:
+                relation = static_rel
+            patterns = self.pattern_fn(row)
+            if extract is not None and hasattr(relation, "match_rows"):
+                for stored in relation.match_rows(patterns):
+                    yield row + tuple(stored[i] for i in extract)
+                continue
+            for bindings in relation.select(patterns):
+                yield row + tuple(bindings[v] for v in new_vars)
+
+
+@dataclass
+class NegScanStep(Step):
+    """Anti-join: keep rows with no matching tuple (safe negation).
+
+    ``flat`` marks patterns that need no real matching (every position
+    ground or anonymous): the existence check is a membership test / a
+    positional filter with no bindings dict.
+    """
+
+    ref: PredRef
+    pattern_fn: PatternFn
+    name_fn: Optional[RowFn] = None
+    columns_out: Tuple[str, ...] = ()
+    flat: bool = False
+
+    def iterate(self, rows, rt, frame):
+        static_rel = None
+        if self.name_fn is None:
+            static_rel = rt.resolve_relation(self.ref, self.ref.pred, frame)
+        for row in rows:
+            relation = static_rel
+            if relation is None:
+                relation = rt.resolve_relation(self.ref, self.name_fn(row), frame)
+            patterns = self.pattern_fn(row)
+            if self.flat and hasattr(relation, "match_rows"):
+                matched = next(iter(relation.match_rows(patterns)), None)
+            else:
+                matched = next(iter(relation.select(patterns)), None)
+            if matched is None:
+                yield row
+
+
+@dataclass
+class CompareStep(Step):
+    """A comparison filter: ``left op right`` over bound expressions."""
+
+    op: str
+    left_fn: RowFn
+    right_fn: RowFn
+    columns_out: Tuple[str, ...] = ()
+
+    def iterate(self, rows, rt, frame):
+        op, left_fn, right_fn = self.op, self.left_fn, self.right_fn
+        for row in rows:
+            if compare_terms(op, left_fn(row), right_fn(row)):
+                yield row
+
+
+@dataclass
+class BindStep(Step):
+    """``Var = expr`` with Var unbound: extend each row with the value."""
+
+    var: str
+    fn: RowFn
+    columns_out: Tuple[str, ...] = ()
+
+    def iterate(self, rows, rt, frame):
+        fn = self.fn
+        for row in rows:
+            yield row + (fn(row),)
+
+
+@dataclass
+class TruthStep(Step):
+    """The literal ``true`` (identity) or ``false`` (annihilator)."""
+
+    value: bool
+    columns_out: Tuple[str, ...] = ()
+
+    def iterate(self, rows, rt, frame):
+        if self.value:
+            yield from rows
+
+
+@dataclass
+class GroupByStep(Step):
+    """``group_by(...)``: a compile-time partition marker.
+
+    The grouping columns are baked into the following aggregate steps, so
+    at run time this step is the identity; it exists in the plan so costs
+    and explanations show where the partition happens.
+    """
+
+    group_cols: Tuple[str, ...] = ()
+    columns_out: Tuple[str, ...] = ()
+
+    def iterate(self, rows, rt, frame):
+        yield from rows
+
+
+@dataclass
+class AggStep(Step):
+    """An aggregation subgoal (barrier; paper Sections 3.3 and 9).
+
+    Computes ``agg_op`` over the per-tuple values of ``arg_fn`` within each
+    group (``group_positions`` select the grouping columns fixed by earlier
+    group_by subgoals).  If ``binds`` the result extends each row as a new
+    column; otherwise rows are filtered by ``compare_op(left_fn(row), agg)``.
+    """
+
+    agg_op: str
+    arg_fn: RowFn
+    binds: bool
+    compare_op: str = "="
+    left_fn: Optional[RowFn] = None
+    group_positions: Tuple[int, ...] = ()
+    columns_out: Tuple[str, ...] = ()
+
+    is_barrier = True
+
+    def materialize_apply(self, rows, rt, frame):
+        from repro.glue.aggregates import apply_aggregate
+
+        if not rows:
+            return []
+        # Aggregation is over the supplementary *relation*: dedup first.
+        rows = list(dict.fromkeys(rows))
+        groups: Dict[Row, List[Row]] = {}
+        for row in rows:
+            key = tuple(row[p] for p in self.group_positions)
+            groups.setdefault(key, []).append(row)
+        agg_of: Dict[Row, Term] = {
+            key: apply_aggregate(self.agg_op, [self.arg_fn(r) for r in members])
+            for key, members in groups.items()
+        }
+        out: List[Row] = []
+        if self.binds:
+            for row in rows:
+                key = tuple(row[p] for p in self.group_positions)
+                out.append(row + (agg_of[key],))
+            return out
+        for row in rows:
+            key = tuple(row[p] for p in self.group_positions)
+            if compare_terms(self.compare_op, self.left_fn(row), agg_of[key]):
+                out.append(row)
+        return out
+
+
+@dataclass
+class CallStep(Step):
+    """A call to a Glue procedure, builtin or foreign procedure (barrier).
+
+    "When a Glue procedure is used as a subgoal it is called once on all of
+    the bindings for its input arguments" (paper Section 4): the step
+    projects the supplementary rows onto the input arguments, calls the
+    procedure once, and joins the result back.
+    """
+
+    ref: PredRef
+    input_fns: Tuple[RowFn, ...]
+    free_pattern_fn: PatternFn  # patterns for the output (free) arguments
+    new_vars: Tuple[str, ...]
+    columns_out: Tuple[str, ...] = ()
+    fixed: bool = True
+
+    is_barrier = True
+
+    def materialize_apply(self, rows, rt, frame):
+        from repro.terms.matching import match_tuple
+
+        if not rows:
+            return []
+        bound_arity = len(self.input_fns)
+        inputs: Dict[Row, None] = {}
+        input_of: List[Row] = []
+        for row in rows:
+            key = tuple(fn(row) for fn in self.input_fns)
+            inputs[key] = None
+            input_of.append(key)
+        result_rows = rt.call_predicate(self.ref, list(inputs), frame)
+        by_input: Dict[Row, List[Row]] = {}
+        for res in result_rows:
+            by_input.setdefault(tuple(res[:bound_arity]), []).append(res)
+        out: List[Row] = []
+        for row, key in zip(rows, input_of):
+            for res in by_input.get(key, ()):
+                free_patterns = self.free_pattern_fn(row)
+                bindings = match_tuple(free_patterns, res[bound_arity:])
+                if bindings is not None:
+                    out.append(row + tuple(bindings[v] for v in self.new_vars))
+        return out
+
+
+@dataclass
+class DynamicStep(Step):
+    """A predicate-variable subgoal whose candidates include callables, so
+    the class dispatch happens at run time (the un-optimized path; the
+    compile-time dereferencing of paper Section 9 avoids this step whenever
+    the candidate set contains only stored relations)."""
+
+    ref: PredRef
+    name_fn: RowFn
+    pattern_fn: PatternFn
+    new_vars: Tuple[str, ...]
+    columns_out: Tuple[str, ...] = ()
+
+    is_barrier = True
+
+    def materialize_apply(self, rows, rt, frame):
+        out: List[Row] = []
+        for row in rows:
+            name = self.name_fn(row)
+            relation = rt.resolve_relation(self.ref, name, frame, dynamic_dispatch=True)
+            patterns = self.pattern_fn(row)
+            for bindings in relation.select(patterns):
+                out.append(row + tuple(bindings[v] for v in self.new_vars))
+        return out
+
+
+@dataclass
+class UpdateStep(Step):
+    """An EDB-updating body subgoal ``++p``/``--p`` (barrier).
+
+    Inserts are ground per-row instantiations; deletes accept anonymous
+    variables as wildcards and remove all matching tuples.
+    """
+
+    op: str  # "++" or "--"
+    ref: PredRef
+    pattern_fn: PatternFn
+    name_fn: Optional[RowFn] = None
+    columns_out: Tuple[str, ...] = ()
+
+    is_barrier = True
+
+    def materialize_apply(self, rows, rt, frame):
+        if not rows:
+            return []
+        # Apply each distinct instantiation once.
+        seen = {}
+        for row in rows:
+            name = self.name_fn(row) if self.name_fn is not None else self.ref.pred
+            seen[(name, self.pattern_fn(row))] = None
+        for name, patterns in seen:
+            relation = rt.resolve_relation(self.ref, name, frame, for_update=True)
+            if self.op == "++":
+                if not all(is_ground(p) for p in patterns):
+                    raise GlueRuntimeError(f"++{name}: insert needs ground arguments")
+                relation.insert(patterns)
+            else:
+                # Delete all tuples matching the (possibly wildcard) pattern.
+                matches = [row_ for row_ in relation.rows() if _matches(patterns, row_)]
+                relation.delete_many(matches)
+        return rows
+
+
+def _matches(patterns: Tuple[Term, ...], row: Row) -> bool:
+    from repro.terms.matching import match_tuple
+
+    return match_tuple(patterns, row) is not None
+
+
+@dataclass
+class EmptyStep(Step):
+    """``empty(p(args))``: keep rows for which no tuple matches."""
+
+    ref: PredRef
+    pattern_fn: PatternFn
+    name_fn: Optional[RowFn] = None
+    columns_out: Tuple[str, ...] = ()
+
+    def iterate(self, rows, rt, frame):
+        static_rel = None
+        if self.name_fn is None:
+            static_rel = rt.resolve_relation(self.ref, self.ref.pred, frame)
+        for row in rows:
+            relation = static_rel
+            if relation is None:
+                relation = rt.resolve_relation(self.ref, self.name_fn(row), frame)
+            patterns = self.pattern_fn(row)
+            if next(iter(relation.select(patterns)), None) is None:
+                yield row
+
+
+@dataclass
+class UnchangedStep(Step):
+    """``unchanged(p(...))`` (barrier: its evaluation must happen exactly
+    once per statement execution, and its answer depends on history).
+
+    True when the relation's version equals the version recorded the last
+    time *this occurrence* ran in *this frame*; always false on first run.
+    """
+
+    ref: PredRef
+    columns_out: Tuple[str, ...] = ()
+
+    is_barrier = True
+
+    def materialize_apply(self, rows, rt, frame):
+        relation = rt.resolve_relation(self.ref, self.ref.pred, frame)
+        key = id(self)
+        previous = frame.unchanged_state.get(key)
+        current = relation.version
+        frame.unchanged_state[key] = current
+        if previous is not None and previous == current:
+            return rows
+        return []
+
+
+@dataclass
+class UnionStep(Step):
+    """A body disjunction ``{ c1 | c2 }`` (the footnote-5 extension).
+
+    Each alternative is a sub-plan evaluated over the incoming rows; the
+    results are unioned.  ``extract`` maps each alternative's final column
+    layout onto the canonical new-variable order.
+    """
+
+    alternatives: List[Tuple[List[Step], Tuple[int, ...]]]
+    new_vars: Tuple[str, ...] = ()
+    columns_out: Tuple[str, ...] = ()
+
+    is_barrier = True
+
+    def materialize_apply(self, rows, rt, frame):
+        width = len(self.columns_out) - len(self.new_vars)
+        out: List[Row] = []
+        for plan, extract in self.alternatives:
+            for res in rt.run_plan_seeded(plan, rows, frame):
+                out.append(res[:width] + tuple(res[i] for i in extract))
+        return list(dict.fromkeys(out))
+
+
+Plan = List[Step]
+
+
+# --------------------------------------------------------------------- #
+# compiled containers
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class CompiledStmt:
+    """One compiled assignment statement.
+
+    ``reorder_input`` / ``ordered_body`` / ``variants`` support adaptive
+    run-time re-optimization (paper Section 10): the machine may re-order
+    the body by current relation cardinalities and cache a re-compiled
+    variant per ordering.
+    """
+
+    plan: Plan
+    head_ref: PredRef
+    head_fns: Tuple[RowFn, ...]
+    op: str  # ":=", "+=", "-=", "modify"
+    key_positions: Tuple[int, ...] = ()
+    head_name_fn: Optional[RowFn] = None
+    is_return: bool = False
+    fixed: bool = False
+    columns_final: Tuple[str, ...] = ()
+    source: Optional[AssignStmt] = None
+    reorder_input: Optional[tuple] = None  # body after implicit-in prepend
+    ordered_body: Optional[tuple] = None   # body order actually compiled
+    source_scope: object = None            # compile-time Scope for variants
+    source_proc: object = None             # enclosing ProcDecl (or None)
+    variants: Dict[tuple, "CompiledStmt"] = field(default_factory=dict)
+
+
+@dataclass
+class CompiledRepeat:
+    """A compiled repeat/until loop."""
+
+    body: List[object]  # CompiledStmt | CompiledRepeat
+    until_alts: List[Plan]
+    source: object = None
+
+
+@dataclass
+class CompiledProc:
+    """A compiled Glue procedure."""
+
+    module: Optional[str]
+    name: str
+    bound_params: Tuple[str, ...]
+    free_params: Tuple[str, ...]
+    locals: Tuple[Tuple[str, int], ...]
+    body: List[object]
+    fixed: bool = False
+    exported: bool = False
+    decl: Optional[ProcDecl] = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.bound_params) + len(self.free_params)
+
+    @property
+    def bound_arity(self) -> int:
+        return len(self.bound_params)
+
+    @property
+    def key(self) -> Tuple[Optional[str], str, int]:
+        return (self.module, self.name, self.arity)
+
+
+@dataclass
+class CompiledProgram:
+    """A fully compiled Glue-Nail program."""
+
+    procs: Dict[Tuple[Optional[str], str, int], CompiledProc] = field(default_factory=dict)
+    exported: Dict[Tuple[str, int], CompiledProc] = field(default_factory=dict)
+    rules: List[RuleDecl] = field(default_factory=list)
+    script: List[object] = field(default_factory=list)  # loose compiled stmts
+    edb_decls: List[Tuple[str, int]] = field(default_factory=list)
+    statement_count: int = 0
+    compiler: object = None  # the ProgramCompiler, for run-time variants
+
+    def find_proc(self, name: str, arity: int, module: Optional[str] = None) -> CompiledProc:
+        if module is not None:
+            proc = self.procs.get((module, name, arity))
+            if proc is not None:
+                return proc
+        proc = self.exported.get((name, arity))
+        if proc is not None:
+            return proc
+        matches = [p for key, p in self.procs.items() if key[1] == name and key[2] == arity]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise GlueRuntimeError(f"no procedure {name}/{arity}")
+        raise GlueRuntimeError(f"ambiguous procedure {name}/{arity}; give a module")

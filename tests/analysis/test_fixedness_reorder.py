@@ -1,0 +1,136 @@
+"""Tests for fixedness analysis and the subgoal-reordering optimizer."""
+
+from repro.analysis.fixedness import is_aggregating_subgoal, is_fixed_subgoal
+from repro.analysis.reorder import reorder_body
+from repro.lang.ast import CompareSubgoal, GroupBySubgoal, PredSubgoal, UpdateSubgoal
+from repro.lang.parser import parse_statement
+from repro.lang.pretty import pretty_subgoal
+
+
+def body_of(text):
+    return parse_statement(text).body
+
+
+class TestFixedness:
+    def test_update_is_fixed(self):
+        body = body_of("p(X) := q(X) & ++r(X).")
+        assert is_fixed_subgoal(body[1])
+
+    def test_group_by_is_fixed(self):
+        body = body_of("p(X) := q(X) & group_by(X) & M = max(X).")
+        assert is_fixed_subgoal(body[1])
+
+    def test_aggregate_comparison_is_fixed(self):
+        body = body_of("p(M) := q(T) & M = max(T).")
+        assert is_fixed_subgoal(body[1])
+        assert is_aggregating_subgoal(body[1])
+
+    def test_plain_scan_not_fixed(self):
+        body = body_of("p(X) := q(X) & r(X).")
+        assert not is_fixed_subgoal(body[0])
+
+    def test_plain_comparison_not_fixed(self):
+        body = body_of("p(X) := q(X, Y) & X < Y.")
+        assert not is_fixed_subgoal(body[1])
+        assert not is_aggregating_subgoal(body[1])
+
+    def test_fixed_call_resolution(self):
+        body = body_of("p(X) := q(X) & io_thing(X).")
+
+        def call_fixedness(subgoal):
+            if subgoal.pred.name == "io_thing":
+                return True
+            return None
+
+        assert is_fixed_subgoal(body[1], call_fixedness)
+        assert not is_fixed_subgoal(body[0], call_fixedness)
+
+
+class TestReorder:
+    def test_filters_move_before_scans_when_evaluable(self):
+        body = body_of("p(X) := q(X) & r(Y) & X < 5.")
+        ordered = reorder_body(body)
+        texts = [pretty_subgoal(s) for s in ordered]
+        # X < 5 can run right after q(X); the optimizer hoists it past r(Y).
+        assert texts.index("X < 5") < texts.index("r(Y)")
+
+    def test_negation_scheduled_when_bound(self):
+        body = body_of("p(X) := big(Y) & q(X) & !r(X).")
+        ordered = reorder_body(body)
+        texts = [pretty_subgoal(s) for s in ordered]
+        assert texts.index("!r(X)") > texts.index("q(X)")
+
+    def test_fixed_subgoals_keep_position(self):
+        body = body_of("p(X) := q(X) & ++log(X) & r(X, Y) & s(Y).")
+        ordered = reorder_body(body)
+        assert isinstance(ordered[1], UpdateSubgoal)
+
+    def test_nothing_moves_past_aggregator(self):
+        body = body_of("p(M, Y) := q(T) & M = max(T) & r(M, Y).")
+        ordered = reorder_body(body)
+        agg_pos = next(
+            i for i, s in enumerate(ordered) if isinstance(s, CompareSubgoal)
+        )
+        r_pos = next(
+            i
+            for i, s in enumerate(ordered)
+            if isinstance(s, PredSubgoal) and s.pred.name == "r"
+        )
+        assert r_pos > agg_pos
+
+    def test_procedure_inputs_stay_bound(self):
+        body = body_of("p(Y) := source(X) & f(X, Y).")
+
+        def call_bound_arity(subgoal):
+            return 1 if subgoal.pred.name == "f" else None
+
+        ordered = reorder_body(body, call_bound_arity=call_bound_arity)
+        texts = [pretty_subgoal(s) for s in ordered]
+        assert texts.index("source(X)") < texts.index("f(X, Y)")
+
+    def test_deterministic(self):
+        body = body_of("p(X) := a(X) & b(X) & c(X) & X != 1.")
+        assert reorder_body(body) == reorder_body(body)
+
+    def test_same_multiset_of_subgoals(self):
+        body = body_of("p(X) := a(X, Y) & b(Y, Z) & c(Z) & Z < 4 & !d(X).")
+        ordered = reorder_body(body)
+        assert sorted(map(pretty_subgoal, ordered)) == sorted(map(pretty_subgoal, body))
+
+    def test_bound_scan_preferred(self):
+        # After a(X), the scan b(X, Y) (1 bound arg) beats c(Z, W) (0 bound).
+        body = body_of("p(X) := a(X) & c(Z, W) & b(X, Y) & d(Y, Z).")
+        ordered = reorder_body(body)
+        texts = [pretty_subgoal(s) for s in ordered]
+        assert texts.index("b(X, Y)") < texts.index("c(Z, W)")
+
+
+class TestReorderProperties:
+    """Hypothesis: reordering never changes results, only order/cost."""
+
+    def test_property_reorder_preserves_join_results(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.query import rows_to_python
+        from tests.conftest import make_system
+
+        @given(
+            st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+            st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15),
+            st.integers(0, 4),
+        )
+        @settings(max_examples=25, deadline=None)
+        def check(a_rows, b_rows, limit):
+            source = f"out(X, Z) := a(X, Y) & b(Y, Z) & X != Z & Z <= {limit} & !skip(X)."
+            results = []
+            for optimize in (True, False):
+                system = make_system(source, optimize=optimize)
+                system.facts("a", a_rows)
+                system.facts("b", b_rows)
+                system.facts("skip", [(0,)])
+                system.run_script()
+                results.append(rows_to_python(system.relation_rows("out", 2)))
+            assert results[0] == results[1]
+
+        check()

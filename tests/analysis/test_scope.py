@@ -1,0 +1,96 @@
+"""Tests for predicate classes and scope resolution."""
+
+import pytest
+
+from repro.analysis.scope import PredClass, PredInfo, Scope, ScopeError, pred_skeleton
+from repro.lang.parser import parse_term
+from repro.terms.term import Atom, Compound, Var
+
+
+class TestSkeleton:
+    def test_plain_predicate(self):
+        assert pred_skeleton(Atom("p"), 2) == ("p", (), 2)
+
+    def test_hilog_family(self):
+        assert pred_skeleton(parse_term("students(cs99)"), 1) == ("students", (1,), 1)
+
+    def test_nested_family(self):
+        term = parse_term("a(b)(c, d)")
+        assert pred_skeleton(term, 1) == ("a", (1, 2), 1)
+
+    def test_variable_predicate(self):
+        assert pred_skeleton(Var("S"), 1) == (None, (), 1)
+
+    def test_family_with_variable_params_shares_skeleton(self):
+        ground = pred_skeleton(parse_term("students(cs99)"), 1)
+        templ = pred_skeleton(Compound(Atom("students"), (Var("ID"),)), 1)
+        assert ground == templ
+
+
+def info(name, klass=PredClass.EDB, arity=1, **kwargs):
+    return PredInfo(skeleton=(name, (), arity), klass=klass, arity=arity,
+                    display=f"{name}/{arity}", **kwargs)
+
+
+class TestScope:
+    def test_declare_and_resolve(self):
+        scope = Scope()
+        scope.declare(info("edge", arity=2))
+        resolved = scope.resolve(Atom("edge"), 2)
+        assert resolved.klass is PredClass.EDB
+
+    def test_child_shadows_parent(self):
+        # "Declarations of local relations 'hide' the declarations of other
+        # predicates with which they unify" (Section 4).
+        parent = Scope()
+        parent.declare(info("r", PredClass.EDB))
+        child = parent.child()
+        child.declare(info("r", PredClass.LOCAL))
+        assert child.resolve(Atom("r"), 1).klass is PredClass.LOCAL
+        assert parent.resolve(Atom("r"), 1).klass is PredClass.EDB
+
+    def test_lenient_returns_none_for_undeclared(self):
+        assert Scope(strict=False).resolve(Atom("nope"), 1) is None
+
+    def test_strict_raises_for_undeclared(self):
+        with pytest.raises(ScopeError):
+            Scope(strict=True).resolve(Atom("nope"), 1)
+
+    def test_conflicting_declaration_rejected(self):
+        scope = Scope()
+        scope.declare(info("p", PredClass.EDB))
+        with pytest.raises(ScopeError):
+            scope.declare(info("p", PredClass.NAIL))
+
+    def test_override_allowed_when_requested(self):
+        scope = Scope()
+        scope.declare(info("p", PredClass.EDB))
+        scope.declare(info("p", PredClass.NAIL), allow_override=True)
+        assert scope.resolve(Atom("p"), 1).klass is PredClass.NAIL
+
+    def test_candidates_by_arity(self):
+        scope = Scope()
+        scope.declare(info("a", arity=1))
+        scope.declare(info("b", arity=1))
+        scope.declare(info("c", arity=2))
+        names = [c.skeleton[0] for c in scope.candidates(1)]
+        assert names == ["a", "b"]
+
+    def test_candidates_see_parent_without_duplicates(self):
+        parent = Scope()
+        parent.declare(info("a", PredClass.EDB))
+        child = parent.child()
+        child.declare(info("a", PredClass.LOCAL))
+        candidates = child.candidates(1)
+        assert len(candidates) == 1
+        assert candidates[0].klass is PredClass.LOCAL
+
+    def test_variable_pred_resolves_to_none(self):
+        scope = Scope()
+        assert scope.resolve(Var("S"), 1) is None
+
+    def test_is_callable_and_is_relation(self):
+        proc = info("f", PredClass.PROC)
+        edb = info("r", PredClass.EDB)
+        assert proc.is_callable and not proc.is_relation
+        assert edb.is_relation and not edb.is_callable

@@ -1,0 +1,125 @@
+"""Tests for the LDL-style extensional set baseline (paper Section 8.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.extensional_sets import (
+    ExtensionalSetError,
+    flatten_set_of_sets,
+    ldl_group,
+    make_set,
+    set_elements,
+    set_member,
+    set_union,
+    set_unify,
+    sets_equal_extensional,
+)
+from repro.terms.term import Atom, Compound, Num, Var
+
+
+class TestMakeSet:
+    def test_canonical_sorted_dedup(self):
+        assert make_set([3, 1, 3, 2]) == make_set([1, 2, 3])
+
+    def test_empty_set(self):
+        empty = make_set([])
+        assert set_elements(empty) == ()
+
+    def test_elements_must_be_ground(self):
+        with pytest.raises(ExtensionalSetError):
+            make_set([Var("X")])
+
+    def test_mixed_types(self):
+        s = make_set(["b", 1, "a"])
+        assert len(set_elements(s)) == 3
+
+
+class TestOperations:
+    def test_member(self):
+        s = make_set([1, 2, 3])
+        assert set_member(2, s)
+        assert not set_member(9, s)
+
+    def test_union(self):
+        assert set_union(make_set([1, 2]), make_set([2, 3])) == make_set([1, 2, 3])
+
+    def test_extensional_equality(self):
+        assert sets_equal_extensional(make_set([2, 1]), make_set([1, 2]))
+        assert not sets_equal_extensional(make_set([1]), make_set([1, 2]))
+
+    def test_flatten_set_of_sets(self):
+        # "These sets of sets then have to be explicitly flattened."
+        nested = make_set([make_set([1, 2]), make_set([2, 3])])
+        assert flatten_set_of_sets(nested) == make_set([1, 2, 3])
+
+
+class TestSetUnification:
+    def test_ground_sets_unify_iff_equal(self):
+        assert set_unify(make_set([1, 2]), make_set([2, 1])) == {}
+        assert set_unify(make_set([1]), make_set([2])) is None
+
+    def test_variable_binds_whole_set(self):
+        s = make_set([1, 2])
+        assert set_unify(Var("S"), s) == {"S": s}
+
+    def test_element_variables(self):
+        pattern = Compound(Atom("$set"), (Num(1), Var("X")))
+        result = set_unify(pattern, make_set([1, 2]))
+        assert result == {"X": Num(2)}
+
+    def test_element_variable_backtracking(self):
+        # X must avoid the element claimed by the constant 2.
+        pattern = Compound(Atom("$set"), (Var("X"), Num(2)))
+        result = set_unify(pattern, make_set([1, 2]))
+        assert result == {"X": Num(1)}
+
+    def test_cardinality_mismatch(self):
+        pattern = Compound(Atom("$set"), (Var("X"),))
+        assert set_unify(pattern, make_set([1, 2])) is None
+
+    def test_shared_variables_constrain(self):
+        pattern = Compound(Atom("$set"), (Var("X"), Var("X")))
+        # Canonical ground sets never repeat elements, so this cannot match
+        # a two-element set.
+        assert set_unify(pattern, make_set([1, 2])) is None
+
+
+class TestLdlGroup:
+    def test_grouping(self):
+        rows = [
+            (Atom("cs1"), Atom("ann")),
+            (Atom("cs1"), Atom("bob")),
+            (Atom("cs2"), Atom("cat")),
+        ]
+        grouped = ldl_group(rows, key_positions=(0,), value_position=1)
+        assert grouped == [
+            (Atom("cs1"), make_set(["ann", "bob"])),
+            (Atom("cs2"), make_set(["cat"])),
+        ]
+
+    def test_empty(self):
+        assert ldl_group([], (0,), 1) == []
+
+    def test_deterministic_order(self):
+        rows = [(Num(2), Num(20)), (Num(1), Num(10))]
+        grouped = ldl_group(rows, (0,), 1)
+        assert [g[0] for g in grouped] == [Num(1), Num(2)]
+
+
+@given(
+    st.lists(st.integers(0, 8), max_size=10),
+    st.lists(st.integers(0, 8), max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_equality_matches_python_sets(left, right):
+    assert sets_equal_extensional(make_set(left), make_set(right)) == (
+        set(left) == set(right)
+    )
+
+
+@given(st.lists(st.integers(0, 8), max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_property_ground_unification_is_equality(elements):
+    s = make_set(elements)
+    assert set_unify(s, s) == {}

@@ -1,0 +1,207 @@
+"""Tests for the GlueNailSystem facade."""
+
+import io
+
+import pytest
+
+from repro.core.query import rows_to_python, term_to_python
+from repro.core.system import GlueNailSystem
+from repro.errors import GlueNailError, GlueRuntimeError
+from repro.terms.term import Atom, Compound, Num
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y) & edge(Y, Z).
+"""
+
+
+class TestLoading:
+    def test_incremental_loads_merge(self):
+        system = GlueNailSystem()
+        system.load("p(X) :- base(X).")
+        system.load("q(X) :- p(X).")
+        system.facts("base", [(1,)])
+        assert rows_to_python(system.query("q(X)?")) == [(1,)]
+
+    def test_load_invalidates_compilation(self):
+        system = GlueNailSystem()
+        system.load("p(X) :- base(X).")
+        first = system.compile()
+        system.load("q(X) :- p(X).")
+        second = system.compile()
+        assert first is not second
+
+    def test_compile_idempotent(self):
+        system = GlueNailSystem()
+        system.load(PATH)
+        assert system.compile() is system.compile()
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "prog.glue"
+        path.write_text(PATH)
+        system = GlueNailSystem()
+        system.load_file(str(path))
+        system.facts("edge", [(1, 2)])
+        assert len(system.query("path(X, Y)?")) == 1
+
+
+class TestQuery:
+    def _system(self):
+        system = GlueNailSystem()
+        system.load(PATH)
+        system.facts("edge", [(1, 2), (2, 3)])
+        return system
+
+    def test_nail_query(self):
+        assert rows_to_python(self._system().query("path(1, Y)?")) == [(1, 2), (1, 3)]
+
+    def test_edb_query(self):
+        assert rows_to_python(self._system().query("edge(X, 3)?")) == [(2, 3)]
+
+    def test_all_free_query(self):
+        assert len(self._system().query("path(X, Y)?")) == 3
+
+    def test_fully_bound_query(self):
+        system = self._system()
+        assert len(system.query("path(1, 3)?")) == 1
+        assert system.query("path(3, 1)?") == []
+
+    def test_unknown_predicate_empty(self):
+        assert self._system().query("mystery(X)?") == []
+
+    def test_magic_query_agrees(self):
+        system = self._system()
+        assert sorted(map(str, system.query_magic("path(1, Y)?"))) == sorted(
+            map(str, system.query("path(1, Y)?"))
+        )
+
+    def test_procedure_query(self):
+        system = GlueNailSystem()
+        system.load(
+            """
+            proc double(X:Y)
+              return(X:Y) := in(X) & Y = X * 2.
+            end
+            """
+        )
+        assert rows_to_python(system.query("double(4, Y)?")) == [(4, 8)]
+
+    def test_procedure_query_needs_bound_inputs(self):
+        system = GlueNailSystem()
+        system.load(
+            """
+            proc double(X:Y)
+              return(X:Y) := in(X) & Y = X * 2.
+            end
+            """
+        )
+        with pytest.raises(GlueNailError):
+            system.query("double(X, Y)?")
+
+    def test_nonground_query_predicate_rejected(self):
+        with pytest.raises(GlueNailError):
+            self._system().query("X(1, 2)?")
+
+
+class TestCall:
+    def test_call_lifts_python_values(self):
+        system = GlueNailSystem()
+        system.load(
+            """
+            proc greet(N:G)
+              return(N:G) := in(N) & G = concat('hi ', N).
+            end
+            """
+        )
+        rows = system.call("greet", [("ann",)])
+        assert rows_to_python(rows) == [("ann", "hi ann")]
+
+    def test_ambiguous_arity_needs_hint(self):
+        system = GlueNailSystem()
+        system.load(
+            """
+            proc f(X:Y)
+              return(X:Y) := in(X) & Y = X.
+            end
+            proc f(X, Z:Y)
+              return(X, Z:Y) := in(X, Z) & Y = X.
+            end
+            """
+        )
+        with pytest.raises(GlueRuntimeError, match="arities"):
+            system.call("f", [(1,)])
+        assert system.call("f", [(1,)], arity=2)
+
+
+class TestEdbRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        system = GlueNailSystem()
+        system.facts("edge", [(1, 2), (2, 3)])
+        path = str(tmp_path / "edb.gnd")
+        assert system.save_edb(path) == 2
+        fresh = GlueNailSystem()
+        fresh.load(PATH)
+        fresh.load_edb(path)
+        assert len(fresh.query("path(X, Y)?")) == 3
+
+
+class TestForeign:
+    def test_foreign_procedure_via_import(self):
+        events = [("mouse", ("p", 3, 4))]
+
+        def event_fn(ctx, rows):
+            if not events:
+                return []
+            kind, data = events.pop(0)
+            from repro.terms.term import mk
+
+            return [(mk(kind), mk(data))]
+
+        system = GlueNailSystem()
+        system.register_foreign("windows", "event", 2, 0, event_fn)
+        system.load(
+            """
+            module app;
+            export clicks(:X, Y);
+            from windows import event(:Type, Data);
+            proc clicks(:X, Y)
+              return(:X, Y) := event(mouse, p(X, Y)).
+            end
+            end
+            """
+        )
+        assert rows_to_python(system.call("clicks")) == [(3, 4)]
+
+    def test_unregistered_foreign_fails_at_runtime(self):
+        system = GlueNailSystem()
+        system.load(
+            """
+            module app;
+            export go(:X);
+            from missing import thing(:X);
+            proc go(:X)
+              return(:X) := thing(X).
+            end
+            end
+            """
+        )
+        with pytest.raises(GlueRuntimeError, match="not registered"):
+            system.call("go")
+
+
+class TestConversions:
+    def test_term_to_python(self):
+        assert term_to_python(Atom("a")) == "a"
+        assert term_to_python(Num(2.5)) == 2.5
+        assert term_to_python(Compound(Atom("f"), (Num(1),))) == ("f", 1)
+
+    def test_nested_compound(self):
+        term = Compound(Compound(Atom("s"), (Atom("k"),)), (Num(1),))
+        assert term_to_python(term) == (("s", "k"), 1)
+
+    def test_counters_reset(self):
+        system = GlueNailSystem()
+        system.facts("a", [(1,)])
+        assert system.counters.inserts == 1
+        system.reset_counters()
+        assert system.counters.inserts == 0

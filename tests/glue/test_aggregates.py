@@ -1,0 +1,72 @@
+"""Unit tests for the aggregate operators (paper Section 3.3)."""
+
+import math
+
+import pytest
+
+from repro.errors import GlueRuntimeError
+from repro.glue.aggregates import AGGREGATES, apply_aggregate
+from repro.terms.term import Atom, Num
+
+
+def nums(*values):
+    return [Num(v) for v in values]
+
+
+class TestOperators:
+    def test_all_eight_present(self):
+        assert set(AGGREGATES) == {
+            "min", "max", "mean", "sum", "product", "arbitrary", "std_dev", "count",
+        }
+
+    def test_min_max_numeric(self):
+        assert apply_aggregate("min", nums(3, 1, 2)) == Num(1)
+        assert apply_aggregate("max", nums(3, 1, 2)) == Num(3)
+
+    def test_min_max_on_atoms(self):
+        values = [Atom("b"), Atom("a"), Atom("c")]
+        assert apply_aggregate("min", values) == Atom("a")
+        assert apply_aggregate("max", values) == Atom("c")
+
+    def test_sum_and_product(self):
+        assert apply_aggregate("sum", nums(1, 2, 3)) == Num(6)
+        assert apply_aggregate("product", nums(2, 3, 4)) == Num(24)
+
+    def test_mean(self):
+        assert apply_aggregate("mean", nums(1, 2, 3, 4)) == Num(2.5)
+
+    def test_mean_preserves_duplicates(self):
+        # Duplicates in the value list are meaningful (the paper's
+        # temperature example): mean([10, 10, 40]) != mean({10, 40}).
+        assert apply_aggregate("mean", nums(10, 10, 40)) == Num(20)
+
+    def test_std_dev_population(self):
+        result = apply_aggregate("std_dev", nums(2, 4, 4, 4, 5, 5, 7, 9))
+        assert math.isclose(result.value, 2.0)
+
+    def test_count(self):
+        assert apply_aggregate("count", nums(5, 5, 5)) == Num(3)
+
+    def test_count_non_numeric(self):
+        assert apply_aggregate("count", [Atom("a"), Atom("b")]) == Num(2)
+
+    def test_arbitrary_deterministic(self):
+        assert apply_aggregate("arbitrary", nums(7, 8, 9)) == Num(7)
+
+    def test_single_value(self):
+        for op in ("min", "max", "mean", "sum", "product", "std_dev"):
+            result = apply_aggregate(op, nums(5))
+            assert result.value in (5, 0)  # std_dev of one value is 0
+
+    def test_numeric_ops_reject_atoms(self):
+        for op in ("mean", "sum", "product", "std_dev"):
+            with pytest.raises(GlueRuntimeError):
+                apply_aggregate(op, [Atom("x")])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(GlueRuntimeError):
+            apply_aggregate("min", [])
+
+    def test_unknown_operator(self):
+        with pytest.raises(GlueRuntimeError):
+            apply_aggregate("median", nums(1))

@@ -1,0 +1,45 @@
+"""Guard the runnable examples: each runs cleanly and prints its headline
+results.  Run as subprocesses so they exercise exactly what a user gets."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+CASES = {
+    "quickstart.py": ["ancestor(alice, X)?", "family_tree", "saved 5 facts"],
+    "cad_select.py": ["user selected: line_17", "user selected: circle_3",
+                      "nothing selected"],
+    "university.py": ["students(cs99)", "wilson (student)", "set_eq"],
+    "payroll.py": ["ann -> 110", "removed: ['bob', 'eve']", "headcount=2"],
+    "graph_analysis.py": ["seminaive (full)", "magic (demand)", "True"],
+    "bill_of_materials.py": ["spoke  x 64", "SHORT tube by 1"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    for marker in CASES[script]:
+        assert marker in result.stdout, f"{script}: missing {marker!r}"
+
+
+def test_every_example_is_covered():
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(CASES), "new example? add its markers to CASES"

@@ -1,0 +1,150 @@
+"""Figure 1 end-to-end: the micro-CAD ``select`` module.
+
+The paper's windowing I/O is substituted by scripted foreign procedures
+(mouse/keyboard event queue, highlight/dehighlight recorders) per the
+reproduction's substitution policy; the module text itself follows
+Figure 1.
+"""
+
+import io
+
+import pytest
+
+from repro.core.query import rows_to_python
+from repro.core.system import GlueNailSystem
+from repro.terms.term import mk
+
+CAD_MODULE = """
+module example;
+export select(:Key);
+from windows import event(:Type, Data);
+from graphics import highlight(Key:), dehighlight(Key:);
+edb element(Key, Origin, P1, P2, DS), tolerance(T);
+
+proc select(:Key)
+rels possible(Key, D), try(Key), confirmed(Key);
+  possible(Key, D) :=
+    event(mouse, p(X, Y)) & graphic_search(p(X, Y), Key, D).
+  repeat
+    try(Key) :=
+      possible(Key, D) & D = min(D) & It = arbitrary(Key) &
+      --possible(It, D).
+    confirmed(K) :=
+      try(K) & highlight(K) & write('This one?') &
+      event(keyboard, KeyBuffer) & dehighlight(K) & KeyBuffer = 'y'.
+  until { confirmed(K) | empty(possible(K, _)) };
+  return(:Key) := confirmed(Key).
+end
+
+graphic_search(p(X, Y), Key, Dist) :-
+  element(Key, _, p(Xmin, Ymin), _, _) & tolerance(T) &
+  Dist = (X - Xmin) * (X - Xmin) + (Y - Ymin) * (Y - Ymin) &
+  Dist < T.
+end
+"""
+
+
+class Harness:
+    """Scripted window system: an event queue plus highlight recorders."""
+
+    def __init__(self, events):
+        self.events = list(events)
+        self.highlighted = []
+        self.dehighlighted = []
+        self.out = io.StringIO()
+
+    def event_fn(self, ctx, rows):
+        if not self.events:
+            return []
+        kind, data = self.events.pop(0)
+        return [(mk(kind), mk(data))]
+
+    def highlight_fn(self, ctx, rows):
+        self.highlighted.extend(str(r[0]) for r in rows)
+        return rows
+
+    def dehighlight_fn(self, ctx, rows):
+        self.dehighlighted.extend(str(r[0]) for r in rows)
+        return rows
+
+    def build(self):
+        system = GlueNailSystem(out=self.out)
+        system.register_foreign("windows", "event", 2, 0, self.event_fn)
+        system.register_foreign("graphics", "highlight", 1, 1, self.highlight_fn)
+        system.register_foreign("graphics", "dehighlight", 1, 1, self.dehighlight_fn)
+        system.load(CAD_MODULE)
+        # Three elements at increasing distance from the click point (5,5).
+        system.facts(
+            "element",
+            [
+                ("near", "o1", ("p", 5, 6), ("p", 0, 0), "ds"),    # dist 1
+                ("mid", "o2", ("p", 7, 5), ("p", 0, 0), "ds"),     # dist 4
+                ("far", "o3", ("p", 9, 8), ("p", 0, 0), "ds"),     # dist 25
+                ("offscreen", "o4", ("p", 90, 90), ("p", 0, 0), "ds"),
+            ],
+        )
+        system.facts("tolerance", [(50,)])
+        return system
+
+
+class TestSelect:
+    def test_first_candidate_accepted(self):
+        harness = Harness([("mouse", ("p", 5, 5)), ("keyboard", "y")])
+        system = harness.build()
+        rows = rows_to_python(system.call("select"))
+        assert rows == [("near",)]
+        assert harness.highlighted == ["near"]
+        assert harness.dehighlighted == ["near"]
+        assert harness.out.getvalue() == "This one?"
+
+    def test_candidates_offered_in_distance_order(self):
+        harness = Harness(
+            [
+                ("mouse", ("p", 5, 5)),
+                ("keyboard", "n"),
+                ("keyboard", "n"),
+                ("keyboard", "y"),
+            ]
+        )
+        system = harness.build()
+        rows = rows_to_python(system.call("select"))
+        assert rows == [("far",)]
+        assert harness.highlighted == ["near", "mid", "far"]
+
+    def test_rejecting_everything_returns_nothing(self):
+        harness = Harness(
+            [
+                ("mouse", ("p", 5, 5)),
+                ("keyboard", "n"),
+                ("keyboard", "n"),
+                ("keyboard", "n"),
+            ]
+        )
+        system = harness.build()
+        assert system.call("select") == []
+
+    def test_tolerance_excludes_far_elements(self):
+        harness = Harness([("mouse", ("p", 5, 5)), ("keyboard", "y")])
+        system = harness.build()
+        system.call("select")
+        # The offscreen element (distance 14450) never became a candidate.
+        assert "offscreen" not in harness.highlighted
+
+    def test_click_far_from_everything(self):
+        harness = Harness([("mouse", ("p", 60, 60)), ("keyboard", "y")])
+        system = harness.build()
+        assert system.call("select") == []
+        assert harness.highlighted == []
+
+    def test_graphic_search_is_a_nail_predicate(self):
+        harness = Harness([])
+        system = harness.build()
+        rows = system.query("graphic_search(p(5, 5), Key, D)?")
+        got = {(str(r[1]), r[2].value) for r in rows}
+        assert got == {("near", 1), ("mid", 4), ("far", 25)}
+
+    def test_module_exports_select_only(self):
+        harness = Harness([])
+        system = harness.build()
+        compiled = system.compile()
+        assert ("select", 1) in compiled.exported

@@ -1,0 +1,62 @@
+"""Toolchain composition: the output of one tool feeds the next."""
+
+import pytest
+
+from repro.core.cli import main
+
+PROGRAM = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y) & edge(Y, Z).
+edge(1, 2).
+edge(2, 3).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.glue"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestToolchain:
+    def test_nail2glue_output_passes_check(self, program_file, tmp_path, capsys):
+        # nail2glue | check: the generated module is a valid program.
+        assert main(["nail2glue", program_file]) == 0
+        generated = capsys.readouterr().out
+        gen_file = tmp_path / "generated.glue"
+        gen_file.write_text(generated)
+        assert main(["check", str(gen_file)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_nail2glue_output_runs_and_matches_query(self, program_file, tmp_path, capsys):
+        assert main(["nail2glue", program_file]) == 0
+        generated = capsys.readouterr().out
+        gen_file = tmp_path / "generated.glue"
+        gen_file.write_text(generated)
+        # Run the generated driver, dump the EDB, then query the dump.
+        dump = str(tmp_path / "state.gnd")
+        assert main(
+            ["run", str(gen_file), "--call", "nail_eval_all", "--save", dump]
+        ) == 0
+        capsys.readouterr()
+        assert main(["query", program_file, "path(1, Y)?", "--edb", dump]) == 0
+        out = capsys.readouterr().out
+        assert "(1, 3)" in out
+
+    def test_fmt_output_passes_check(self, program_file, tmp_path, capsys):
+        assert main(["fmt", program_file]) == 0
+        formatted = capsys.readouterr().out
+        fmt_file = tmp_path / "formatted.glue"
+        fmt_file.write_text(formatted)
+        assert main(["check", str(fmt_file)]) == 0
+
+    def test_explain_of_generated_code(self, program_file, tmp_path, capsys):
+        assert main(["nail2glue", program_file]) == 0
+        generated = capsys.readouterr().out
+        gen_file = tmp_path / "generated.glue"
+        gen_file.write_text(generated)
+        assert main(["explain", str(gen_file)]) == 0
+        out = capsys.readouterr().out
+        assert "proc nail_stratum_0/0" in out
+        assert "ANTIJOIN" in out  # the seminaive negation-as-difference

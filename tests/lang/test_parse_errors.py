@@ -1,0 +1,107 @@
+"""Systematic parse-error tests: every error path reports a position."""
+
+import pytest
+
+from repro.lang.parser import (
+    ParseError,
+    parse_ground_fact,
+    parse_program,
+    parse_query,
+    parse_statement,
+    parse_term,
+)
+
+
+def error_of(fn, text):
+    with pytest.raises(ParseError) as excinfo:
+        fn(text)
+    return str(excinfo.value)
+
+
+class TestStatementErrors:
+    def test_missing_operator(self):
+        message = error_of(parse_statement, "p(X) q(X).")
+        assert "expected" in message
+
+    def test_missing_terminator(self):
+        error_of(parse_statement, "p(X) := q(X)")
+
+    def test_trailing_garbage(self):
+        message = error_of(parse_statement, "p(X) := q(X). extra")
+        assert "trailing" in message
+
+    def test_bad_modify_keys(self):
+        message = error_of(parse_statement, "p(X) +=[foo] q(X).")
+        assert "key variable" in message
+
+    def test_unterminated_body_disjunction(self):
+        error_of(parse_statement, "p(X) := { a(X) | b(X).")
+
+    def test_colon_twice_in_head(self):
+        message = error_of(parse_statement, "return(X:Y:Z) := q(X, Y, Z).")
+        assert "duplicate ':'" in message
+
+    def test_head_must_be_application(self):
+        message = error_of(parse_statement, "p := q(X).")
+        assert "application" in message
+
+    def test_positions_in_messages(self):
+        message = error_of(parse_statement, "p(X) :=\n q(X")
+        assert "2:" in message  # line 2
+
+
+class TestProcErrors:
+    def test_missing_end(self):
+        message = error_of(parse_program, "proc p(:X)\n return(:X) := q(X).")
+        assert "end" in message
+
+    def test_params_not_variables(self):
+        message = error_of(parse_program, "proc p(foo:X)\nend")
+        assert "parameter" in message
+
+    def test_rels_needs_semicolon(self):
+        error_of(parse_program, "proc p(:X)\nrels a(V)\n return(:X) := a(X).\nend")
+
+    def test_nail_rule_in_proc(self):
+        message = error_of(parse_program, "proc p(:X)\n q(X) :- r(X).\nend")
+        assert "not allowed inside procedures" in message
+
+
+class TestModuleErrors:
+    def test_module_needs_semicolon(self):
+        error_of(parse_program, "module m\nend")
+
+    def test_import_needs_module_name(self):
+        error_of(parse_program, "module m;\nfrom import p(:X);\nend")
+
+    def test_export_needs_signature(self):
+        error_of(parse_program, "module m;\nexport ;\nend")
+
+
+class TestTermAndQueryErrors:
+    def test_arithmetic_in_argument_position(self):
+        message = error_of(parse_term, "f(X + 1)")
+        assert "argument position" in message
+
+    def test_unbalanced_parens(self):
+        error_of(parse_term, "f(a, b")
+
+    def test_query_must_be_application(self):
+        message = error_of(parse_query, "42?")
+        assert "application" in message
+
+    def test_fact_must_be_ground(self):
+        message = error_of(parse_ground_fact, "p(X).")
+        assert "ground" in message
+
+    def test_double_negation(self):
+        message = error_of(parse_statement, "p(X) := !!q(X).")
+        assert "negation" in message
+
+    def test_unchanged_needs_pattern(self):
+        message = error_of(parse_statement, "p(X) := q(X) & unchanged(foo).")
+        assert "unchanged" in message
+
+    def test_empty_needs_application(self):
+        message = error_of(parse_statement, "p(X) := q(X) & empty(foo).")
+        assert "empty" in message

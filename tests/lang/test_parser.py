@@ -1,0 +1,343 @@
+"""Unit tests for the parser, driven by the paper's own examples."""
+
+import pytest
+
+from repro.lang.ast import (
+    AggCall,
+    AssignStmt,
+    BinOp,
+    CompareSubgoal,
+    EdbDecl,
+    EmptyCond,
+    ExportDecl,
+    GroupBySubgoal,
+    ImportDecl,
+    PredSubgoal,
+    ProcDecl,
+    RepeatStmt,
+    RuleDecl,
+    UnchangedCond,
+    UpdateSubgoal,
+)
+from repro.lang.parser import (
+    ParseError,
+    parse_directive_rel,
+    parse_ground_fact,
+    parse_module,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_statement,
+    parse_term,
+)
+from repro.terms.term import Atom, Compound, Num, Var
+
+
+class TestStatements:
+    def test_basic_insert(self):
+        # Section 3.1's first example.
+        stmt = parse_statement("r(X,Y) += s(X,W) & t(f(W,X),Y).")
+        assert stmt.op == "+="
+        assert stmt.head_pred == Atom("r")
+        assert len(stmt.body) == 2
+        second = stmt.body[1]
+        assert second.args[0] == Compound(Atom("f"), (Var("W"), Var("X")))
+
+    def test_all_four_operators(self):
+        assert parse_statement("p(X) := q(X).").op == ":="
+        assert parse_statement("p(X) += q(X).").op == "+="
+        assert parse_statement("p(X) -= q(X).").op == "-="
+        modify = parse_statement("p(X, Y) +=[X] q(X, Y).")
+        assert modify.op == "modify"
+        assert modify.keys == (Var("X"),)
+
+    def test_modify_multiple_keys(self):
+        stmt = parse_statement("p(A, B, C) +=[A, B] q(A, B, C).")
+        assert stmt.keys == (Var("A"), Var("B"))
+
+    def test_identity_matrix_example(self):
+        stmt = parse_statement("matrix(X, X, 1.0) := row(X).")
+        assert stmt.head_args == (Var("X"), Var("X"), Num(1.0))
+
+    def test_negation(self):
+        stmt = parse_statement("p(X) := q(X) & !r(X).")
+        assert stmt.body[1].negated
+
+    def test_double_negation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("p(X) := q(X) & !!r(X).")
+
+    def test_update_subgoals(self):
+        stmt = parse_statement("p(X) := q(X) & --old(X) & ++new(X).")
+        assert isinstance(stmt.body[1], UpdateSubgoal)
+        assert stmt.body[1].op == "--"
+        assert stmt.body[2].op == "++"
+
+    def test_comparison_subgoals(self):
+        stmt = parse_statement("p(X) := q(X, Y) & X != Y & X < 10.")
+        assert isinstance(stmt.body[1], CompareSubgoal)
+        assert stmt.body[1].op == "!="
+        assert stmt.body[2].op == "<"
+
+    def test_arithmetic_expression(self):
+        stmt = parse_statement("p(D) := q(X, Y) & D = (X - Y) * (X - Y).")
+        binding = stmt.body[1]
+        assert isinstance(binding.right, BinOp)
+        assert binding.right.op == "*"
+
+    def test_precedence(self):
+        stmt = parse_statement("p(X) := q(A, B, C) & X = A + B * C.")
+        expr = stmt.body[1].right
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_aggregation(self):
+        # Section 3.3's max_temp example.
+        stmt = parse_statement("max_temp(MaxT) := temperature(T) & MaxT = max(T).")
+        agg = stmt.body[1]
+        assert isinstance(agg.right, AggCall)
+        assert agg.right.op == "max"
+
+    def test_inline_aggregate_restriction(self):
+        # "coldest_cities" with the combined form T = min(T).
+        stmt = parse_statement("coldest(Name) := daily_temp(Name, T) & T = min(T).")
+        assert isinstance(stmt.body[1].right, AggCall)
+
+    def test_group_by(self):
+        stmt = parse_statement(
+            "avg(C, A) := grades(C, S, G) & group_by(C) & A = mean(G)."
+        )
+        assert isinstance(stmt.body[1], GroupBySubgoal)
+        assert stmt.body[1].terms == (Var("C"),)
+
+    def test_true_false_literals(self):
+        stmt = parse_statement("p() := true.")
+        assert stmt.body[0] == PredSubgoal(pred=Atom("true"), args=())
+
+    def test_zero_arity_head(self):
+        stmt = parse_statement("flag() := q(X).")
+        assert stmt.head_args == ()
+
+    def test_return_head_with_colon(self):
+        stmt = parse_statement("return(X:Y) := connected(X, Y).")
+        assert stmt.head_bound == 1
+        assert stmt.head_args == (Var("X"), Var("Y"))
+
+    def test_return_all_free(self):
+        stmt = parse_statement("return(:Key) := confirmed(Key).")
+        assert stmt.head_bound == 0
+
+    def test_return_all_bound(self):
+        stmt = parse_statement("return(S, T:) := !different(S, T).")
+        assert stmt.head_bound == 2
+
+    def test_hilog_head(self):
+        stmt = parse_statement("students(ID)(Name) += attends(Name, ID).")
+        assert stmt.head_pred == Compound(Atom("students"), (Var("ID"),))
+        assert stmt.head_args == (Var("Name"),)
+
+    def test_hilog_predicate_variable_subgoal(self):
+        stmt = parse_statement("p(X) := sets(S) & S(X).")
+        subgoal = stmt.body[1]
+        assert subgoal.pred == Var("S")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("p(X) := q(X)")
+
+    def test_builtin_function_call(self):
+        stmt = parse_statement("p(N) := q(S) & N = length(S).")
+        assert stmt.body[1].right.name == "length"
+
+    def test_concat(self):
+        stmt = parse_statement("p(C) := q(A, B) & C = concat(A, B).")
+        assert stmt.body[1].right.name == "concat"
+
+
+class TestRules:
+    def test_basic_rule(self):
+        rule = parse_rule("anc(X, Y) :- par(X, Y).")
+        assert isinstance(rule, RuleDecl)
+
+    def test_parameterized_tc(self):
+        rule = parse_rule("tc(E, X, Z) :- tc(E, X, Y) & E(Y, Z).")
+        assert rule.body[1].pred == Var("E")
+
+    def test_unit_clause(self):
+        rule = parse_rule("tc(E, X, X).")
+        assert rule.body == (PredSubgoal(pred=Atom("true"), args=()),)
+
+    def test_ground_fact_as_unit_clause(self):
+        rule = parse_rule("edge(1, 2).")
+        assert rule.head_args == (Num(1), Num(2))
+
+    def test_rule_with_arithmetic_comparison(self):
+        rule = parse_rule(
+            "near(K) :- element(K, X, Y) & t(T) & (X - 1) * (X - 1) + Y * Y < T."
+        )
+        assert rule.body[2].op == "<"
+
+    def test_rule_head_colon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X:Y) :- q(X, Y).")
+
+    def test_rules_inside_procs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("proc p(:X)\n q(X) :- r(X).\nend")
+
+
+class TestProcs:
+    PROC = """
+    proc tc_e(X:Y)
+    rels connected(X, Y);
+      connected(X, Y) := in(X) & e(X, Y).
+      repeat
+        connected(X, Y) += connected(X, Z) & e(Z, Y).
+      until unchanged(connected(_, _));
+      return(X:Y) := connected(X, Y).
+    end
+    """
+
+    def test_tc_e_structure(self):
+        program = parse_program(self.PROC)
+        (proc,) = program.items
+        assert isinstance(proc, ProcDecl)
+        assert proc.name == "tc_e"
+        assert proc.bound_params == (Var("X"),)
+        assert proc.free_params == (Var("Y"),)
+        assert proc.locals == (EdbDecl(name="connected", attrs=("X", "Y")),)
+        assert len(proc.body) == 3
+        assert isinstance(proc.body[1], RepeatStmt)
+
+    def test_repeat_until_unchanged(self):
+        program = parse_program(self.PROC)
+        repeat = program.items[0].body[1]
+        (alt,) = repeat.until.alternatives
+        assert isinstance(alt[0], UnchangedCond)
+        assert alt[0].arity == 2
+
+    def test_until_disjunction(self):
+        source = """
+        proc p(:K)
+          repeat
+            a(K) := b(K).
+          until { confirmed(K) | empty(possible(K)) };
+        end
+        """
+        proc = parse_program(source).items[0]
+        repeat = proc.body[0]
+        assert len(repeat.until.alternatives) == 2
+        assert isinstance(repeat.until.alternatives[1][0], EmptyCond)
+
+    def test_proc_keyword_alias(self):
+        program = parse_program("procedure p(:X)\n return(:X) := q(X).\nend")
+        assert program.items[0].name == "p"
+
+    def test_zero_arity_proc(self):
+        program = parse_program("proc init(:)\n return(:) := true.\nend")
+        proc = program.items[0]
+        assert proc.arity == 0 and proc.bound_arity == 0
+
+    def test_params_need_colon(self):
+        with pytest.raises(ParseError):
+            parse_program("proc p(X)\n return(X) := q(X).\nend")
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_program("proc p(:X)\n return(:X) := q(X).")
+
+    def test_multiple_rels_decls(self):
+        source = """
+        proc p(:X)
+        rels a(U);
+        rels b(V, W);
+          return(:X) := a(X).
+        end
+        """
+        proc = parse_program(source).items[0]
+        assert len(proc.locals) == 2
+
+
+class TestModules:
+    def test_figure_1_module(self):
+        source = """
+        module example;
+        export select(:Key);
+        from windows import event(:Type, Data);
+        from graphics import highlight(Key:), dehighlight(Key:);
+        edb element(Key, Origin, P1, P2, DS), tolerance(T);
+
+        proc select(:Key)
+        rels possible(Key, D), try(Key), confirmed(Key);
+          possible(Key, D) :=
+            event(mouse, p(X, Y)) & graphic_search(p(X, Y), Key, D).
+          repeat
+            try(Key) := possible(Key, D) & D = min(D) & It = arbitrary(Key) &
+                        --possible(It, D).
+            confirmed(K) := try(K) & highlight(K) & write('This one?') &
+                            event(keyboard, KeyBuffer) & dehighlight(K) &
+                            KeyBuffer = 'y'.
+          until { confirmed(K) | empty(possible(K)) };
+          return(:Key) := confirmed(Key).
+        end
+
+        graphic_search(p(X, Y), Key, Dist) :-
+          element(Key, _, p(Xmin, Ymin), _, _) & tolerance(T) &
+          (X - Xmin) * (X - Xmin) + (Y - Ymin) * (Y - Ymin) < T.
+        end
+        """
+        module = parse_module(source)
+        assert module.name == "example"
+        assert [sig.name for sig in module.exports] == ["select"]
+        assert len(module.imports) == 2
+        assert {d.name for d in module.edb_decls} == {"element", "tolerance"}
+        assert [p.name for p in module.procs] == ["select"]
+        assert len(module.rules) == 1
+
+    def test_module_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_program("module m;\nexport p(:X);")
+
+    def test_multiple_modules(self):
+        program = parse_program("module a;\nend\nmodule b;\nend")
+        assert [m.name for m in program.modules] == ["a", "b"]
+
+    def test_import_sig_binding_split(self):
+        module = parse_module("module m;\nfrom g import highlight(Key:);\nend")
+        sig = module.imports[0].sigs[0]
+        assert sig.bound == ("Key",) and sig.free == ()
+
+    def test_statement_count(self):
+        program = parse_program(TestProcs.PROC)
+        assert program.statement_count() == 3
+
+
+class TestHelpers:
+    def test_parse_query(self):
+        q = parse_query("path(1, Y)?")
+        assert q.pred == Atom("path")
+        assert q.args == (Num(1), Var("Y"))
+
+    def test_parse_query_without_question_mark(self):
+        assert parse_query("path(1, Y)").args[0] == Num(1)
+
+    def test_parse_ground_fact(self):
+        name, row = parse_ground_fact("edge(1, 2).")
+        assert name == Atom("edge") and row == (Num(1), Num(2))
+
+    def test_parse_ground_fact_hilog(self):
+        name, row = parse_ground_fact("students(cs99)(wilson).")
+        assert name == Compound(Atom("students"), (Atom("cs99"),))
+
+    def test_nonground_fact_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ground_fact("edge(X, 2).")
+
+    def test_parse_directive_rel(self):
+        assert parse_directive_rel("% rel edge / 2") == (Atom("edge"), 2)
+        assert parse_directive_rel("% not a directive") is None
+
+    def test_parse_term_number_functor(self):
+        # HiLog: arbitrary terms as functors.
+        term = parse_term("0(a)")
+        assert term == Compound(Num(0), (Atom("a"),))

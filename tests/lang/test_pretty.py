@@ -1,0 +1,129 @@
+"""Pretty-printer round-trip tests: parse(pretty(ast)) == ast."""
+
+import pytest
+
+from repro.lang.parser import parse_program, parse_statement
+from repro.lang.pretty import pretty_program, pretty_statement
+
+STATEMENTS = [
+    "r(X, Y) += s(X, W) & t(f(W, X), Y).",
+    "matrix(X, X, 1.0) := row(X).",
+    "matrix(X, Y, 0.0) += row(X) & row(Y) & X != Y.",
+    "max_temp(MaxT) := temperature(T) & MaxT = max(T).",
+    "coldest(Name) := daily_temp(Name, T) & T = min(T).",
+    "avg(C, A) := grades(C, S, G) & group_by(C) & A = mean(G).",
+    "p(X) := q(X) & !r(X).",
+    "p(X) := q(X) & --old(X) & ++new(X).",
+    "p(X, Y) +=[X] q(X, Y).",
+    "p(A, B, C) +=[A, C] q(A, B, C).",
+    "return(X:Y) := connected(X, Y).",
+    "return(:Key) := confirmed(Key).",
+    "return(S, T:) := !different(S, T).",
+    "students(ID)(Name) += attends(Name, ID).",
+    "p(X) := sets(S) & S(X).",
+    "p(D) := q(X, Y) & D = (X - Y) * (X - Y) + 1.",
+    "p(N) := q(S) & N = length(S) & N >= 3.",
+    "p(C) := q(A, B) & C = concat(A, B, 'suffix').",
+    "flag() := true.",
+    "p('a quoted atom') := q('with \\'escapes\\'').",
+    "p(X) := q(X) & X = -5.",
+    "w(X) := q(X) & write(X).",
+]
+
+PROGRAMS = [
+    """
+    proc tc_e(X:Y)
+    rels connected(X, Y);
+      connected(X, Y) := in(X) & e(X, Y).
+      repeat
+        connected(X, Y) += connected(X, Z) & e(Z, Y).
+      until unchanged(connected(_, _));
+      return(X:Y) := connected(X, Y).
+    end
+    """,
+    """
+    module m;
+    export p(:X);
+    from other import q(A:B);
+    edb base(K, V);
+    proc p(:X)
+      return(:X) := base(X, _) & q(X, _).
+    end
+    derived(X) :- base(X, _).
+    end
+    """,
+    """
+    proc set_eq(S, T:)
+    rels different(A, B);
+      different(S, T) := in(S, T) & S(X) & !T(X).
+      different(S, T) += in(S, T) & T(X) & !S(X).
+      return(S, T:) := !different(S, T).
+    end
+    """,
+    """
+    anc(X, Y) :- par(X, Y).
+    anc(X, Z) :- anc(X, Y) & par(Y, Z).
+    single(X) :- person(X) & !married(X).
+    tc(E, X, X).
+    """,
+    """
+    proc looped(:)
+      repeat
+        a(X) := b(X).
+        repeat
+          c(X) += a(X).
+        until unchanged(c(_));
+      until { empty(b(X)) | unchanged(a(_)) };
+      return(:) := true.
+    end
+    """,
+]
+
+
+@pytest.mark.parametrize("text", STATEMENTS)
+def test_statement_roundtrip(text):
+    stmt = parse_statement(text)
+    assert parse_statement(pretty_statement(stmt)) == stmt
+
+
+@pytest.mark.parametrize("text", PROGRAMS)
+def test_program_roundtrip(text):
+    program = parse_program(text)
+    printed = pretty_program(program)
+    assert parse_program(printed) == program
+
+
+@pytest.mark.parametrize("text", PROGRAMS)
+def test_pretty_is_stable(text):
+    """pretty(parse(pretty(p))) == pretty(p): printing is a fixpoint."""
+    once = pretty_program(parse_program(text))
+    twice = pretty_program(parse_program(once))
+    assert once == twice
+
+
+UNION_STATEMENTS = [
+    "out(X, V) := seed(X) & { a(X, V) | b(X, V) }.",
+    "out(X) := { a(X) | b(X) | c(X) }.",
+    "out(X, C) := n(X) & { X < 5 & C = small(X) | X >= 5 & C = big(X) }.",
+    "out(X) := { a(X) | { b(X) | c(X) } }.",
+]
+
+
+@pytest.mark.parametrize("text", UNION_STATEMENTS)
+def test_union_statement_roundtrip(text):
+    stmt = parse_statement(text)
+    assert parse_statement(pretty_statement(stmt)) == stmt
+
+
+RESERVED_ATOMS = [
+    "p('abs') := q('min', 'proc').",
+    "p(X) := q(X) & X != 'mod'.",
+    "'edb'(X) := q(X).",
+    "p('abs'(1)) := q('end'(2, 3)).",
+]
+
+
+@pytest.mark.parametrize("text", RESERVED_ATOMS)
+def test_reserved_name_atoms_roundtrip(text):
+    stmt = parse_statement(text)
+    assert parse_statement(pretty_statement(stmt)) == stmt

@@ -1,0 +1,255 @@
+"""Tests for the NAIL! engine: on-demand, stratified, cached evaluation."""
+
+import pytest
+
+from repro.errors import GlueRuntimeError, UnsafeRuleError
+from repro.lang.parser import parse_program
+from repro.nail.engine import NailEngine
+from repro.storage.database import Database
+from repro.terms.term import Atom, Compound, Num, Var
+
+
+def rules_of(text):
+    return list(parse_program(text).items)
+
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y) & edge(Y, Z).
+"""
+
+
+class TestBasics:
+    def test_materialize_transitive_closure(self):
+        db = Database()
+        db.facts("edge", [(1, 2), (2, 3), (3, 4)])
+        engine = NailEngine(db, rules_of(PATH))
+        rel = engine.materialize(Atom("path"), 2)
+        assert len(rel) == 6
+
+    def test_query_with_bound_argument(self):
+        db = Database()
+        db.facts("edge", [(1, 2), (2, 3)])
+        engine = NailEngine(db, rules_of(PATH))
+        rows = engine.query(Atom("path"), (Num(1), Var("Y")))
+        assert sorted(r[1].value for r in rows) == [2, 3]
+
+    def test_defines(self):
+        engine = NailEngine(Database(), rules_of(PATH))
+        assert engine.defines(("path", (), 2))
+        assert not engine.defines(("edge", (), 2))
+
+    def test_non_nail_predicate_rejected(self):
+        engine = NailEngine(Database(), rules_of(PATH))
+        with pytest.raises(GlueRuntimeError):
+            engine.materialize(Atom("edge"), 2)
+
+    def test_empty_edb_gives_empty_idb(self):
+        engine = NailEngine(Database(), rules_of(PATH))
+        assert len(engine.materialize(Atom("path"), 2)) == 0
+
+    def test_unsafe_rule_rejected_up_front(self):
+        with pytest.raises(UnsafeRuleError):
+            NailEngine(Database(), rules_of("p(X, Y) :- q(X)."))
+
+    def test_naive_and_seminaive_agree(self):
+        db = Database()
+        db.facts("edge", [(1, 2), (2, 3), (3, 1), (3, 4)])
+        semi = NailEngine(db, rules_of(PATH), strategy="seminaive")
+        naive = NailEngine(db, rules_of(PATH), strategy="naive")
+        assert (
+            semi.materialize(Atom("path"), 2).sorted_rows()
+            == naive.materialize(Atom("path"), 2).sorted_rows()
+        )
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            NailEngine(Database(), [], strategy="quantum")
+
+
+class TestCaching:
+    def test_recomputation_only_after_edb_change(self):
+        db = Database()
+        db.facts("edge", [(1, 2)])
+        engine = NailEngine(db, rules_of(PATH))
+        first = engine.materialize(Atom("path"), 2)
+        again = engine.materialize(Atom("path"), 2)
+        assert first is again  # cached relation object
+
+    def test_edb_update_invalidates(self):
+        # "The meaning is always: use the current value" (Section 2).
+        db = Database()
+        db.facts("edge", [(1, 2)])
+        engine = NailEngine(db, rules_of(PATH))
+        assert len(engine.materialize(Atom("path"), 2)) == 1
+        db.fact("edge", 2, 3)
+        assert len(engine.materialize(Atom("path"), 2)) == 3
+
+    def test_edb_delete_invalidates(self):
+        db = Database()
+        db.facts("edge", [(1, 2), (2, 3)])
+        engine = NailEngine(db, rules_of(PATH))
+        assert len(engine.materialize(Atom("path"), 2)) == 3
+        db.get("edge", 2).delete((Num(2), Num(3)))
+        assert len(engine.materialize(Atom("path"), 2)) == 1
+
+
+class TestStratifiedPrograms:
+    WINS = """
+    win(X) :- move(X, Y) & !win(Y).
+    """
+
+    def test_negation_across_strata(self):
+        db = Database()
+        db.facts("node", [(i,) for i in range(5)])
+        db.facts("edge", [(0, 1), (1, 2)])
+        rules = rules_of(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X) & edge(X, Y).
+            unreach(X) :- node(X) & !reach(X).
+            """
+        )
+        db.facts("start", [(0,)])
+        engine = NailEngine(db, rules)
+        unreach = engine.materialize(Atom("unreach"), 1)
+        assert sorted(r[0].value for r in unreach.rows()) == [3, 4]
+
+    def test_aggregation_in_lower_stratum(self):
+        db = Database()
+        db.facts("salary", [("ann", 10), ("bob", 20), ("cat", 30)])
+        rules = rules_of(
+            """
+            avg_salary(A) :- salary(_, S) & A = mean(S).
+            above_avg(N) :- salary(N, S) & avg_salary(A) & S > A.
+            """
+        )
+        engine = NailEngine(db, rules)
+        above = engine.materialize(Atom("above_avg"), 1)
+        assert [r[0].name for r in above.rows()] == ["cat"]
+
+    def test_group_by_in_rules(self):
+        db = Database()
+        db.facts("grade", [("cs1", 80), ("cs1", 90), ("cs2", 60)])
+        rules = rules_of("avg(C, A) :- grade(C, G) & group_by(C) & A = mean(G).")
+        engine = NailEngine(db, rules)
+        rows = engine.materialize(Atom("avg"), 2).sorted_rows()
+        assert [(r[0].name, r[1].value) for r in rows] == [("cs1", 85.0), ("cs2", 60)]
+
+
+class TestFactsAndRulesMix:
+    def test_edb_facts_union_with_rules(self):
+        # A predicate may have stored facts *and* rules.
+        db = Database()
+        db.facts("path", [(100, 200)])
+        db.facts("edge", [(1, 2)])
+        engine = NailEngine(db, rules_of(PATH))
+        rows = engine.materialize(Atom("path"), 2)
+        assert (Num(100), Num(200)) in rows
+        assert (Num(1), Num(2)) in rows
+
+    def test_facts_feed_recursion(self):
+        db = Database()
+        db.facts("path", [(0, 1)])
+        db.facts("edge", [(1, 2)])
+        engine = NailEngine(db, rules_of(PATH))
+        rows = engine.materialize(Atom("path"), 2)
+        # The seeded fact path(0,1) extends through edge(1,2).
+        assert (Num(0), Num(2)) in rows
+
+    def test_source_facts_via_unit_clauses(self):
+        db = Database()
+        rules = rules_of(PATH + "edge(1, 2).\nedge(2, 3).")
+        engine = NailEngine(db, rules)
+        assert len(engine.materialize(Atom("path"), 2)) == 3
+
+
+class TestHiLogFamilies:
+    def test_family_materialization(self):
+        db = Database()
+        db.facts("attends", [("wilson", "cs99"), ("green", "cs99"), ("kim", "cs1")])
+        engine = NailEngine(db, rules_of("students(ID)(N) :- attends(N, ID)."))
+        cs99 = engine.materialize(Compound(Atom("students"), (Atom("cs99"),)), 1)
+        assert len(cs99) == 2
+        cs1 = engine.materialize(Compound(Atom("students"), (Atom("cs1"),)), 1)
+        assert len(cs1) == 1
+
+    def test_recursive_family(self):
+        db = Database()
+        db.facts("e", [("g1", 1, 2), ("g1", 2, 3), ("g2", 5, 6)])
+        rules = rules_of(
+            """
+            tc(G)(X, Y) :- e(G, X, Y).
+            tc(G)(X, Z) :- tc(G)(X, Y) & e(G, Y, Z).
+            """
+        )
+        engine = NailEngine(db, rules)
+        g1 = engine.materialize(Compound(Atom("tc"), (Atom("g1"),)), 2)
+        assert len(g1) == 3
+        g2 = engine.materialize(Compound(Atom("tc"), (Atom("g2"),)), 2)
+        assert len(g2) == 1
+
+    def test_predicate_variable_body(self):
+        db = Database()
+        db.facts("colors", [("red",), ("blue",)])
+        db.facts("listing", [("colors",)])
+        rules = rules_of("all_members(S, X) :- listing(S) & S(X).")
+        engine = NailEngine(db, rules)
+        rows = engine.materialize(Atom("all_members"), 2)
+        assert len(rows) == 2
+
+
+class TestDemandEvaluation:
+    """Demand-driven answers for rules that need caller bindings."""
+
+    DEMAND_RULE = "shifted(X, Y) :- offset(D) & Y = X + D."
+
+    def _engine(self):
+        db = Database()
+        db.facts("offset", [(10,), (20,)])
+        return NailEngine(db, rules_of(self.DEMAND_RULE), check_safety=False), db
+
+    def test_can_materialize_false_for_demand_rule(self):
+        engine, _ = self._engine()
+        assert not engine.can_materialize(Atom("shifted"), 2)
+
+    def test_materialize_raises_with_guidance(self):
+        from repro.errors import UnsafeRuleError
+
+        engine, _ = self._engine()
+        with pytest.raises(UnsafeRuleError, match="demand"):
+            engine.materialize(Atom("shifted"), 2)
+
+    def test_query_uses_demand_path(self):
+        engine, _ = self._engine()
+        rows = engine.query(Atom("shifted"), (Num(1), Var("Y")))
+        assert sorted(r[1].value for r in rows) == [11, 21]
+
+    def test_demand_cache_hit(self):
+        engine, db = self._engine()
+        engine.query(Atom("shifted"), (Num(1), Var("Y")))
+        scans_after_first = db.counters.tuples_scanned
+        engine.query(Atom("shifted"), (Num(1), Var("Y")))
+        assert db.counters.tuples_scanned == scans_after_first  # cached
+
+    def test_demand_cache_invalidated_by_edb_change(self):
+        engine, db = self._engine()
+        assert len(engine.query(Atom("shifted"), (Num(1), Var("Y")))) == 2
+        db.fact("offset", 30)
+        assert len(engine.query(Atom("shifted"), (Num(1), Var("Y")))) == 3
+
+    def test_demand_with_negation_falls_back_to_full(self):
+        # Negated IDB literals are outside the magic fragment; a demand
+        # query on a *safe* program falls back to full evaluation.
+        db = Database()
+        db.facts("node", [(1,), (2,)])
+        db.facts("edge", [(1, 2)])
+        rules = rules_of(
+            """
+            covered(X) :- edge(X, _).
+            lonely(X) :- node(X) & !covered(X).
+            """
+        )
+        engine = NailEngine(db, rules, check_safety=False)
+        rows = engine.demand(Atom("lonely"), 1, (Num(2),))
+        assert [r[0].value for r in rows] == [2]

@@ -1,0 +1,102 @@
+"""Unit tests for rule preparation: safety and evaluation ordering."""
+
+import pytest
+
+from repro.errors import UnsafeRuleError
+from repro.lang.ast import PredSubgoal
+from repro.lang.parser import parse_rule
+from repro.nail.rules import (
+    check_rule_safety,
+    order_body_for_evaluation,
+    prepare_rules,
+)
+
+
+class TestSafety:
+    def test_range_restricted_ok(self):
+        check_rule_safety(parse_rule("p(X, Y) :- e(X, Y)."))
+
+    def test_head_var_not_bound(self):
+        with pytest.raises(UnsafeRuleError, match="range-restricted"):
+            check_rule_safety(parse_rule("p(X, Y) :- e(X)."))
+
+    def test_unit_clause_with_vars_unsafe(self):
+        with pytest.raises(UnsafeRuleError):
+            check_rule_safety(parse_rule("tc(E, X, X)."))
+
+    def test_ground_unit_clause_safe(self):
+        check_rule_safety(parse_rule("edge(1, 2)."))
+
+    def test_demand_bindings_rescue(self):
+        # The magic seed binds E and X, making the unit clause safe.
+        check_rule_safety(parse_rule("tc(E, X, X)."), demand_bound={"E", "X"})
+
+    def test_negation_over_unbound(self):
+        with pytest.raises(UnsafeRuleError, match="negated"):
+            check_rule_safety(parse_rule("p(X) :- e(X) & !q(Y)."))
+
+    def test_comparison_over_unbound(self):
+        with pytest.raises(UnsafeRuleError, match="comparison"):
+            check_rule_safety(parse_rule("p(X) :- e(X) & X < Y."))
+
+    def test_binding_comparison_counts_as_bound(self):
+        check_rule_safety(parse_rule("p(X, D) :- e(X) & D = X * 2."))
+
+    def test_pred_var_must_be_bound(self):
+        with pytest.raises(UnsafeRuleError, match="predicate variable"):
+            check_rule_safety(parse_rule("p(X) :- S(X)."))
+
+    def test_head_pred_var_must_be_bound(self):
+        with pytest.raises(UnsafeRuleError):
+            check_rule_safety(parse_rule("S(X) :- e(X)."))
+
+
+class TestOrdering:
+    def test_reorders_family_parameter_binding(self):
+        # The family literal tc(G)(...) needs G bound; the EDB literal
+        # binding G must be scheduled first.
+        rule = parse_rule("tc(G)(X, Z) :- tc(G)(X, Y) & e(G, Y, Z).")
+        ordered = order_body_for_evaluation(rule)
+        first = ordered.body[0]
+        assert isinstance(first, PredSubgoal)
+        assert str(first.pred) == "e"
+
+    def test_moves_negation_after_bindings(self):
+        rule = parse_rule("p(X) :- !bad(X) & e(X).")
+        ordered = order_body_for_evaluation(rule)
+        assert not ordered.body[0].negated
+        assert ordered.body[1].negated
+
+    def test_already_ordered_rule_untouched(self):
+        rule = parse_rule("p(X, Y) :- e(X, Y) & X < Y.")
+        assert order_body_for_evaluation(rule) is rule
+
+    def test_aggregates_stay_in_place(self):
+        rule = parse_rule("p(M) :- e(T) & M = max(T) & q(M).")
+        ordered = order_body_for_evaluation(rule)
+        # q(M) must not move before the aggregate that binds M.
+        texts = [str(s) for s in ordered.body]
+        agg_index = next(i for i, s in enumerate(texts) if "max" in s)
+        q_index = next(i for i, s in enumerate(texts) if s.startswith("PredSubgoal(pred=Atom(name='q'"))
+        assert q_index > agg_index
+
+
+class TestPrepareRules:
+    def test_collects_structure(self):
+        infos = prepare_rules(
+            [parse_rule("p(X) :- e(X) & !q(X)."), parse_rule("m(V) :- s(T) & V = max(T).")]
+        )
+        assert infos[0].has_negation and not infos[0].has_aggregate
+        assert infos[1].has_aggregate and not infos[1].has_negation
+        assert infos[0].body_skeletons == (("e", (), 1),)
+
+    def test_safety_check_optional(self):
+        rules = [parse_rule("tc(E, X, X).")]
+        with pytest.raises(UnsafeRuleError):
+            prepare_rules(rules, check_safety=True)
+        infos = prepare_rules(rules, check_safety=False)
+        assert len(infos) == 1
+
+    def test_head_vars_property(self):
+        (info,) = prepare_rules([parse_rule("p(X, f(Y)) :- e(X, Y).")])
+        assert info.head_vars == {"X", "Y"}

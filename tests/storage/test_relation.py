@@ -1,0 +1,234 @@
+"""Unit tests for the Relation storage class."""
+
+import pytest
+
+from repro.storage.relation import Relation
+from repro.storage.stats import CostCounters
+from repro.terms.term import Atom, Compound, Num, Var
+
+
+def rel(name="r", arity=2, **kwargs):
+    return Relation(Atom(name), arity, **kwargs)
+
+
+def row(*values):
+    return tuple(Num(v) if isinstance(v, (int, float)) else Atom(v) for v in values)
+
+
+class TestBasics:
+    def test_insert_and_contains(self):
+        r = rel()
+        assert r.insert(row(1, 2))
+        assert row(1, 2) in r
+        assert len(r) == 1
+
+    def test_duplicate_insert_returns_false(self):
+        r = rel()
+        r.insert(row(1, 2))
+        assert not r.insert(row(1, 2))
+        assert len(r) == 1
+
+    def test_duplicates_counted(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.insert(row(1, 2))
+        assert r.counters.duplicate_inserts == 1
+
+    def test_arity_checked(self):
+        r = rel(arity=2)
+        with pytest.raises(ValueError):
+            r.insert(row(1,))
+
+    def test_only_ground_tuples(self):
+        r = rel(arity=1)
+        with pytest.raises(ValueError):
+            r.insert((Var("X"),))
+
+    def test_only_terms(self):
+        r = rel(arity=1)
+        with pytest.raises(TypeError):
+            r.insert((1,))
+
+    def test_name_must_be_ground(self):
+        with pytest.raises(ValueError):
+            Relation(Var("X"), 1)
+
+    def test_compound_relation_name(self):
+        # HiLog set names are legal relation names.
+        name = Compound(Atom("students"), (Atom("cs99"),))
+        r = Relation(name, 1)
+        assert r.name == name
+
+    def test_delete(self):
+        r = rel()
+        r.insert(row(1, 2))
+        assert r.delete(row(1, 2))
+        assert not r.delete(row(1, 2))
+        assert len(r) == 0
+
+    def test_clear(self):
+        r = rel()
+        r.insert_many([row(1, 2), row(2, 3)])
+        r.clear()
+        assert len(r) == 0
+
+    def test_replace(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.replace([row(5, 6)])
+        assert list(r.rows()) == [row(5, 6)]
+
+    def test_insertion_order_preserved(self):
+        r = rel()
+        r.insert(row(2, 1))
+        r.insert(row(1, 2))
+        assert list(r.rows()) == [row(2, 1), row(1, 2)]
+
+    def test_sorted_rows_canonical(self):
+        r = rel()
+        r.insert(row(2, 1))
+        r.insert(row(1, 2))
+        assert r.sorted_rows() == [row(1, 2), row(2, 1)]
+
+    def test_delete_many_accepts_own_rows_iterator(self):
+        r = rel()
+        r.insert_many([row(1, 2), row(2, 3)])
+        assert r.delete_many(r.rows()) == 2
+        assert len(r) == 0
+
+    def test_zero_arity_relation(self):
+        r = rel(arity=0)
+        assert r.insert(())
+        assert () in r
+        assert not r.insert(())
+
+
+class TestVersioning:
+    def test_version_bumps_on_mutation(self):
+        r = rel()
+        v0 = r.version
+        r.insert(row(1, 2))
+        assert r.version > v0
+
+    def test_version_stable_on_noop(self):
+        r = rel()
+        r.insert(row(1, 2))
+        v = r.version
+        r.insert(row(1, 2))  # duplicate: no change
+        r.delete(row(9, 9))  # absent: no change
+        assert r.version == v
+
+    def test_clear_empty_is_noop(self):
+        r = rel()
+        v = r.version
+        r.clear()
+        assert r.version == v
+
+    def test_listener_called(self):
+        events = []
+        r = Relation(Atom("r"), 1, listener=lambda relation: events.append(relation.name))
+        r.insert(row(1))
+        assert events == [Atom("r")]
+
+
+class TestSelect:
+    def setup_method(self):
+        self.r = rel()
+        self.r.insert_many([row(1, 10), row(1, 20), row(2, 10)])
+
+    def test_full_scan(self):
+        results = list(self.r.select((Var("X"), Var("Y"))))
+        assert len(results) == 3
+
+    def test_bound_first_column(self):
+        results = list(self.r.select((Num(1), Var("Y"))))
+        assert sorted(b["Y"].value for b in results) == [10, 20]
+
+    def test_bound_both(self):
+        assert len(list(self.r.select((Num(1), Num(10))))) == 1
+        assert len(list(self.r.select((Num(1), Num(99))))) == 0
+
+    def test_with_base_bindings(self):
+        results = list(self.r.select((Var("X"), Var("Y")), {"X": Num(2)}))
+        assert len(results) == 1
+        assert results[0]["Y"] == Num(10)
+
+    def test_repeated_var(self):
+        r = rel()
+        r.insert_many([row(1, 1), row(1, 2)])
+        results = list(r.select((Var("X"), Var("X"))))
+        assert len(results) == 1
+        assert results[0]["X"] == Num(1)
+
+    def test_anonymous_vars(self):
+        results = list(self.r.select((Var("_"), Var("_"))))
+        assert all(b == {} for b in results)
+        assert len(results) == 3
+
+    def test_compound_pattern(self):
+        r = Relation(Atom("t"), 1)
+        inner = Compound(Atom("p"), (Num(3), Num(4)))
+        r.insert((inner,))
+        results = list(r.select((Compound(Atom("p"), (Var("X"), Var("Y"))),)))
+        assert results == [{"X": Num(3), "Y": Num(4)}]
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            list(self.r.select((Var("X"),)))
+
+    def test_count_matching(self):
+        assert self.r.count_matching((Num(1), Var("Y"))) == 2
+
+
+class TestIndexes:
+    def test_build_and_probe(self):
+        r = rel()
+        r.insert_many([row(i % 5, i) for i in range(50)])
+        r.build_index((0,))
+        before = r.counters.tuples_scanned
+        results = list(r.select((Num(3), Var("Y"))))
+        assert len(results) == 10
+        assert r.counters.tuples_scanned == before  # no scan: index used
+        assert r.counters.index_lookups >= 1
+
+    def test_index_maintained_on_insert_delete(self):
+        r = rel()
+        r.build_index((0,))
+        r.insert(row(1, 2))
+        assert len(list(r.select((Num(1), Var("Y"))))) == 1
+        r.delete(row(1, 2))
+        assert len(list(r.select((Num(1), Var("Y"))))) == 0
+
+    def test_fully_bound_select_is_membership_test(self):
+        r = rel()
+        r.insert_many([row(i, i + 1) for i in range(10)])
+        before = r.counters.tuples_scanned
+        assert len(list(r.select((Num(3), Num(4))))) == 1
+        assert len(list(r.select((Num(3), Num(99))))) == 0
+        assert r.counters.tuples_scanned == before  # no scan at all
+
+    def test_subset_index_usable(self):
+        r = Relation(Atom("r"), 3)
+        r.insert_many([row(i % 4, i, i % 2) for i in range(20)])
+        r.build_index((0,))
+        # Columns 0 and 2 bound, but the pattern's middle column is free:
+        # the (0,) index narrows the probe.
+        results = list(r.select((Num(3), Var("Y"), Num(1))))
+        assert results
+        assert r.counters.index_lookups >= 1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            rel().build_index((5,))
+
+    def test_same_select_results_with_and_without_index(self):
+        plain = rel()
+        indexed = rel()
+        data = [row(i % 3, i % 4) for i in range(24)]
+        plain.insert_many(data)
+        indexed.insert_many(data)
+        indexed.build_index((0,))
+        for pattern in [(Num(1), Var("Y")), (Var("X"), Num(2)), (Num(0), Num(0))]:
+            left = sorted(str(b) for b in plain.select(pattern))
+            right = sorted(str(b) for b in indexed.select(pattern))
+            assert left == right

@@ -1,0 +1,61 @@
+"""Unit tests for the cost-counter blocks."""
+
+from repro.storage.stats import CostCounters, RelationStats, ScanCostLedger
+
+
+class TestCostCounters:
+    def test_reset(self):
+        counters = CostCounters()
+        counters.tuples_scanned = 10
+        counters.proc_calls = 2
+        counters.reset()
+        assert counters.tuples_scanned == 0
+        assert counters.proc_calls == 0
+
+    def test_snapshot_covers_all_fields(self):
+        counters = CostCounters()
+        snapshot = counters.snapshot()
+        assert "tuples_scanned" in snapshot
+        assert "pipeline_breaks" in snapshot
+        assert "dynamic_dispatches" in snapshot
+        assert all(v == 0 for v in snapshot.values())
+
+    def test_addition(self):
+        a = CostCounters(tuples_scanned=3, inserts=1)
+        b = CostCounters(tuples_scanned=4, deletes=2)
+        merged = a + b
+        assert merged.tuples_scanned == 7
+        assert merged.inserts == 1
+        assert merged.deletes == 2
+
+    def test_total_tuple_touches(self):
+        counters = CostCounters(
+            tuples_scanned=10,
+            index_probe_tuples=5,
+            index_build_tuples=3,
+            inserts=2,
+            deletes=1,
+            materialized_tuples=4,
+        )
+        assert counters.total_tuple_touches == 25
+
+    def test_touches_exclude_counts_not_costs(self):
+        # Pure event counters (breaks, lookups, calls) are not touches.
+        counters = CostCounters(pipeline_breaks=7, index_lookups=9, proc_calls=3)
+        assert counters.total_tuple_touches == 0
+
+
+class TestLedgers:
+    def test_ledger_accumulates(self):
+        ledger = ScanCostLedger()
+        ledger.record_scan(10)
+        ledger.record_scan(15)
+        assert ledger.cumulative_scan_cost == 25
+        assert ledger.scans == 2
+
+    def test_relation_stats_per_column_set(self):
+        stats = RelationStats()
+        a = stats.ledger((0,))
+        b = stats.ledger((1,))
+        assert a is not b
+        assert stats.ledger((0,)) is a

@@ -1,0 +1,96 @@
+"""Tests for the directory-of-TSV persistence format."""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.database import Database
+from repro.storage.tsvdir import load_tsv_dir, save_tsv_dir
+from repro.terms.term import Atom, Compound, Num, mk
+from tests.conftest import ground_terms
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path, db):
+        db.facts("edge", [(1, 2), (2, 3)])
+        db.facts("name", [("ann",)])
+        count = save_tsv_dir(db, str(tmp_path))
+        assert count == 3
+        loaded = load_tsv_dir(str(tmp_path))
+        assert loaded.get("edge", 2).sorted_rows() == db.get("edge", 2).sorted_rows()
+        assert loaded.get("name", 1).sorted_rows() == db.get("name", 1).sorted_rows()
+
+    def test_file_layout(self, tmp_path, db):
+        db.facts("edge", [(1, 2)])
+        save_tsv_dir(db, str(tmp_path))
+        assert (tmp_path / "edge.2.facts").exists()
+        assert (tmp_path / "edge.2.facts").read_text() == "1\t2\n"
+
+    def test_same_name_different_arity(self, tmp_path, db):
+        db.facts("p", [(1,)])
+        db.facts("p", [(1, 2)])
+        save_tsv_dir(db, str(tmp_path))
+        loaded = load_tsv_dir(str(tmp_path))
+        assert len(loaded.get("p", 1)) == 1
+        assert len(loaded.get("p", 2)) == 1
+
+    def test_quoted_atoms_with_tabs_and_newlines(self, tmp_path, db):
+        db.fact("msg", "with\ttab", "with\nnewline")
+        save_tsv_dir(db, str(tmp_path))
+        loaded = load_tsv_dir(str(tmp_path))
+        assert (Atom("with\ttab"), Atom("with\nnewline")) in loaded.get("msg", 2)
+
+    def test_compound_values(self, tmp_path, db):
+        db.fact("geom", ("p", 1, 2), ("p", 3, 4))
+        save_tsv_dir(db, str(tmp_path))
+        loaded = load_tsv_dir(str(tmp_path))
+        assert loaded.get("geom", 2).sorted_rows() == db.get("geom", 2).sorted_rows()
+
+    def test_compound_relation_names(self, tmp_path, db):
+        name = mk(("students", "cs99"))
+        db.relation(name, 1).insert((Atom("wilson"),))
+        save_tsv_dir(db, str(tmp_path))
+        loaded = load_tsv_dir(str(tmp_path))
+        assert (Atom("wilson"),) in loaded.get(name, 1)
+
+    def test_zero_arity(self, tmp_path, db):
+        db.relation("flag", 0).insert(())
+        db.declare("unset_flag", 0)
+        save_tsv_dir(db, str(tmp_path))
+        loaded = load_tsv_dir(str(tmp_path))
+        assert () in loaded.get("flag", 0)
+        assert len(loaded.get("unset_flag", 0)) == 0
+
+    def test_bad_field_count_reports_position(self, tmp_path):
+        (tmp_path / "edge.2.facts").write_text("1\t2\n1\n")
+        import pytest
+
+        with pytest.raises(ValueError, match=":2"):
+            load_tsv_dir(str(tmp_path))
+
+    def test_non_facts_files_ignored(self, tmp_path, db):
+        db.facts("edge", [(1, 2)])
+        save_tsv_dir(db, str(tmp_path))
+        (tmp_path / "README.txt").write_text("not facts")
+        loaded = load_tsv_dir(str(tmp_path))
+        assert len(loaded) == 1
+
+
+@given(st.lists(st.tuples(ground_terms, ground_terms), max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_property_tsv_roundtrip_arbitrary_terms(rows):
+    import tempfile
+
+    db = Database()
+    for a, b in rows:
+        db.relation("t", 2).insert((a, b))
+    with tempfile.TemporaryDirectory() as tmp:
+        save_tsv_dir(db, tmp)
+        loaded = load_tsv_dir(tmp)
+    original = db.get("t", 2)
+    restored = loaded.get("t", 2)
+    if original is None:
+        assert restored is None or len(restored) == 0
+    else:
+        assert restored.sorted_rows() == original.sorted_rows()

@@ -1,0 +1,48 @@
+"""Tests for the uniondiff operator (paper Section 10)."""
+
+from repro.storage.relation import Relation
+from repro.storage.uniondiff import uniondiff
+from repro.terms.term import Atom, Num
+
+
+def row(*values):
+    return tuple(Num(v) for v in values)
+
+
+class TestUniondiff:
+    def test_returns_only_new(self):
+        r = Relation(Atom("r"), 1)
+        r.insert(row(1))
+        new = uniondiff(r, [row(1), row(2), row(3)])
+        assert new == [row(2), row(3)]
+        assert len(r) == 3
+
+    def test_duplicates_in_delta_collapse(self):
+        r = Relation(Atom("r"), 1)
+        new = uniondiff(r, [row(1), row(1), row(2)])
+        assert new == [row(1), row(2)]
+
+    def test_empty_delta(self):
+        r = Relation(Atom("r"), 1)
+        r.insert(row(1))
+        assert uniondiff(r, []) == []
+
+    def test_all_old(self):
+        r = Relation(Atom("r"), 1)
+        r.insert_many([row(1), row(2)])
+        assert uniondiff(r, [row(1), row(2)]) == []
+
+    def test_preserves_first_occurrence_order(self):
+        r = Relation(Atom("r"), 1)
+        new = uniondiff(r, [row(3), row(1), row(3), row(2)])
+        assert new == [row(3), row(1), row(2)]
+
+    def test_union_and_diff_laws(self):
+        """new == delta - old, and relation == old | delta afterwards."""
+        r = Relation(Atom("r"), 1)
+        old = [row(i) for i in range(5)]
+        r.insert_many(old)
+        delta = [row(i) for i in range(3, 8)]
+        new = uniondiff(r, delta)
+        assert set(new) == set(delta) - set(old)
+        assert set(r.rows()) == set(old) | set(delta)

@@ -1,0 +1,118 @@
+"""Unit tests for matching and substitution."""
+
+import pytest
+
+from repro.terms.matching import (
+    MatchError,
+    instantiate,
+    match,
+    match_tuple,
+    rename_apart,
+    substitute,
+)
+from repro.terms.term import Atom, Compound, Num, Var
+
+
+def c(functor, *args):
+    return Compound(Atom(functor) if isinstance(functor, str) else functor, args)
+
+
+class TestMatch:
+    def test_var_binds(self):
+        assert match(Var("X"), Num(1)) == {"X": Num(1)}
+
+    def test_constant_matches_itself(self):
+        assert match(Atom("a"), Atom("a")) == {}
+
+    def test_constant_mismatch(self):
+        assert match(Atom("a"), Atom("b")) is None
+
+    def test_num_matches_across_int_float(self):
+        assert match(Num(2), Num(2.0)) == {}
+
+    def test_compound_recursive(self):
+        pattern = c("f", Var("X"), Atom("a"))
+        ground = c("f", Num(1), Atom("a"))
+        assert match(pattern, ground) == {"X": Num(1)}
+
+    def test_compound_arity_mismatch(self):
+        assert match(c("f", Var("X")), c("f", Num(1), Num(2))) is None
+
+    def test_repeated_var_must_agree(self):
+        pattern = c("f", Var("X"), Var("X"))
+        assert match(pattern, c("f", Num(1), Num(1))) == {"X": Num(1)}
+        assert match(pattern, c("f", Num(1), Num(2))) is None
+
+    def test_anonymous_matches_anything_without_binding(self):
+        pattern = c("f", Var("_"), Var("_"))
+        result = match(pattern, c("f", Num(1), Num(2)))
+        assert result == {}
+
+    def test_existing_bindings_respected(self):
+        assert match(Var("X"), Num(2), {"X": Num(1)}) is None
+        assert match(Var("X"), Num(1), {"X": Num(1)}) == {"X": Num(1)}
+
+    def test_input_bindings_not_mutated(self):
+        base = {}
+        match(Var("X"), Num(1), base)
+        assert base == {}
+
+    def test_hilog_functor_variable_position(self):
+        # Matching a pattern with a variable functor against ground data.
+        pattern = Compound(Var("S"), (Var("X"),))
+        ground = Compound(c("students", Atom("cs99")), (Atom("wilson"),))
+        result = match(pattern, ground)
+        assert result["S"] == c("students", Atom("cs99"))
+        assert result["X"] == Atom("wilson")
+
+
+class TestMatchTuple:
+    def test_positional(self):
+        result = match_tuple((Var("X"), Atom("a")), (Num(1), Atom("a")))
+        assert result == {"X": Num(1)}
+
+    def test_length_mismatch(self):
+        assert match_tuple((Var("X"),), (Num(1), Num(2))) is None
+
+    def test_cross_position_consistency(self):
+        assert match_tuple((Var("X"), Var("X")), (Num(1), Num(2))) is None
+
+    def test_empty(self):
+        assert match_tuple((), ()) == {}
+
+
+class TestSubstitute:
+    def test_bound_replaced_unbound_kept(self):
+        term = c("f", Var("X"), Var("Y"))
+        out = substitute(term, {"X": Num(1)})
+        assert out == c("f", Num(1), Var("Y"))
+
+    def test_identity_when_nothing_bound(self):
+        term = c("f", Var("X"))
+        assert substitute(term, {}) is term
+
+    def test_functor_substitution(self):
+        term = Compound(Var("S"), (Var("X"),))
+        out = substitute(term, {"S": Atom("p")})
+        assert out == Compound(Atom("p"), (Var("X"),))
+
+
+class TestInstantiate:
+    def test_full_instantiation(self):
+        term = c("f", Var("X"))
+        assert instantiate(term, {"X": Num(1)}) == c("f", Num(1))
+
+    def test_unbound_raises(self):
+        with pytest.raises(MatchError):
+            instantiate(Var("X"), {})
+
+
+class TestRenameApart:
+    def test_renames_all_vars(self):
+        term = c("f", Var("X"), c("g", Var("Y")))
+        out = rename_apart(term, "_1")
+        assert out == c("f", Var("X_1"), c("g", Var("Y_1")))
+
+    def test_ground_unchanged(self):
+        term = c("f", Num(1))
+        assert rename_apart(term, "_1") == term

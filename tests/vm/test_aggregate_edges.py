@@ -1,0 +1,121 @@
+"""Aggregation edge cases through the full pipeline."""
+
+import pytest
+
+from repro.core.query import rows_to_python
+from tests.conftest import make_system
+
+
+def run(source, facts=None, **kwargs):
+    system = make_system(source, **kwargs)
+    for name, rows in (facts or {}).items():
+        system.facts(name, rows)
+    system.run_script()
+    return system
+
+
+def rel(system, name, arity):
+    return sorted(rows_to_python(system.relation_rows(name, arity)))
+
+
+class TestAggregateEdges:
+    def test_two_aggregates_in_sequence(self):
+        # The second aggregator sees the supplementary relation extended by
+        # the first (MaxV column included).
+        system = run(
+            "stats(Min, Max) := n(V) & Max = max(V) & Min = min(V).",
+            facts={"n": [(3,), (1,), (2,)]},
+        )
+        assert rel(system, "stats", 2) == [(1, 3)]
+
+    def test_aggregate_of_computed_expression(self):
+        system = run(
+            "total(T) := item(P, Q) & V = P * Q & T = sum(V).",
+            facts={"item": [(2, 3), (4, 5)]},
+        )
+        assert rel(system, "total", 1) == [(26,)]
+
+    def test_aggregate_argument_can_be_expression(self):
+        system = run(
+            "m(X) := n(V) & X = max(V * V).",
+            facts={"n": [(-3,), (2,)]},
+        )
+        assert rel(system, "m", 1) == [(9,)]
+
+    def test_filter_with_inequality_against_aggregate(self):
+        system = run(
+            "above(V) := n(V) & V > mean(V).",
+            facts={"n": [(1,), (2,), (9,)]},
+        )
+        assert rel(system, "above", 1) == [(9,)]
+
+    def test_group_by_then_global_aggregate_layering(self):
+        # Aggregate after a group_by stays grouped: each group's count,
+        # then per-group max over the (identical) count value.
+        system = run(
+            "per(K, C) := d(K, V) & group_by(K) & C = count(V) & C = max(C).",
+            facts={"d": [("a", 1), ("a", 2), ("b", 3)]},
+        )
+        assert rel(system, "per", 2) == [("a", 2), ("b", 1)]
+
+    def test_sum_of_floats_and_ints(self):
+        system = run(
+            "t(S) := n(V) & S = sum(V).",
+            facts={"n": [(1,), (2.5,)]},
+        )
+        assert rel(system, "t", 1) == [(3.5,)]
+
+    def test_group_key_can_be_output(self):
+        system = run(
+            "counts(K, C) := d(K, _) & group_by(K) & C = count(K).",
+            facts={"d": [("x", 1), ("x", 2), ("y", 3)]},
+        )
+        # d(K,_) projects to distinct K per group: count is 1 per group.
+        assert rel(system, "counts", 2) == [("x", 1), ("y", 1)]
+
+
+class TestModifyEdges:
+    def test_modify_with_computed_value(self):
+        system = run(
+            "stock(K, V) +=[K] stock(K, Old) & delta(K, D) & V = Old + D.",
+            facts={"stock": [("a", 10), ("b", 5)], "delta": [("a", -3)]},
+        )
+        assert rel(system, "stock", 2) == [("a", 7), ("b", 5)]
+
+    def test_modify_key_collision_within_result(self):
+        # Two result rows with the same key: both inserted (the key only
+        # governs which OLD tuples are removed).
+        system = run(
+            "m(K, V) +=[K] src(K, V).",
+            facts={"m": [("k", 0)], "src": [("k", 1), ("k", 2)]},
+        )
+        assert rel(system, "m", 2) == [("k", 1), ("k", 2)]
+
+    def test_modify_all_columns_key(self):
+        system = run(
+            "m(A, B) +=[A, B] src(A, B).",
+            facts={"m": [(1, 1)], "src": [(1, 1), (2, 2)]},
+        )
+        assert rel(system, "m", 2) == [(1, 1), (2, 2)]
+
+
+class TestDynamicHeadEdges:
+    def test_dynamic_head_modify(self):
+        system = run(
+            "bucket(K)(Id, V) +=[Id] data(K, Id, V).",
+            facts={"data": [("a", 1, 10), ("a", 2, 20), ("b", 1, 30)]},
+        )
+        from repro.terms.term import mk
+
+        a_rows = system.db.get(mk(("bucket", "a")), 2)
+        assert len(a_rows) == 2
+
+    def test_dynamic_head_delete(self):
+        from repro.terms.term import mk
+
+        system = make_system("bucket(K)(V) -= kill(K, V).")
+        system.db.relation(mk(("bucket", "a")), 1).insert((mk(1),))
+        system.db.relation(mk(("bucket", "a")), 1).insert((mk(2),))
+        system.facts("kill", [("a", 1)])
+        system.run_script()
+        assert len(system.db.get(mk(("bucket", "a")), 1)) == 1

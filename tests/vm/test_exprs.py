@@ -1,0 +1,93 @@
+"""Unit tests for expression/pattern compilation to row closures."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.parser import parse_statement, parse_term
+from repro.terms.term import Atom, Compound, Num, Var
+from repro.vm.exprs import compile_expr, compile_pattern, compile_term_code
+
+
+def expr_of(statement_text):
+    """The right-hand side of the statement's comparison subgoal."""
+    stmt = parse_statement(statement_text)
+    return stmt.body[-1].right
+
+
+COLS = {"X": 0, "Y": 1, "S": 2}
+ROW = (Num(4), Num(3), Atom("hi"))
+
+
+class TestCompileExpr:
+    def test_constant(self):
+        fn = compile_expr(Num(7), COLS)
+        assert fn(ROW) == Num(7)
+
+    def test_variable_lookup(self):
+        fn = compile_expr(Var("Y"), COLS)
+        assert fn(ROW) == Num(3)
+
+    def test_arithmetic(self):
+        fn = compile_expr(expr_of("p(D) := q(X, Y) & D = X * 2 + Y."), COLS)
+        assert fn(ROW) == Num(11)
+
+    def test_unary_minus(self):
+        fn = compile_expr(expr_of("p(D) := q(X, Y) & D = -X."), COLS)
+        assert fn(ROW) == Num(-4)
+
+    def test_builtin_function(self):
+        fn = compile_expr(expr_of("p(D) := q(S) & D = length(S)."), COLS)
+        assert fn(ROW) == Num(2)
+
+    def test_nested_functions(self):
+        fn = compile_expr(
+            expr_of("p(D) := q(S) & D = concat(S, to_string(X))."), COLS
+        )
+        assert fn(ROW) == Atom("hi4")
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(CompileError, match="unbound"):
+            compile_expr(Var("Nope"), COLS)
+
+    def test_anonymous_rejected(self):
+        with pytest.raises(CompileError, match="anonymous"):
+            compile_expr(Var("_"), COLS)
+
+    def test_stray_aggregate_rejected(self):
+        from repro.lang.ast import AggCall
+
+        with pytest.raises(CompileError, match="aggregate"):
+            compile_expr(AggCall(op="max", arg=Var("X")), COLS)
+
+
+class TestCompileTermCode:
+    def test_compound_instantiation(self):
+        term = parse_term("f(X, g(Y))")
+        fn = compile_term_code(term, COLS)
+        assert fn(ROW) == Compound(
+            Atom("f"), (Num(4), Compound(Atom("g"), (Num(3),)))
+        )
+
+    def test_hilog_functor_instantiation(self):
+        term = Compound(Var("S"), (Var("X"),))
+        fn = compile_term_code(term, COLS)
+        assert fn(ROW) == Compound(Atom("hi"), (Num(4),))
+
+    def test_ground_term_constant(self):
+        term = parse_term("point(1, 2)")
+        fn = compile_term_code(term, COLS)
+        assert fn(ROW) == term
+
+
+class TestCompilePattern:
+    def test_bound_vars_substituted_new_vars_kept(self):
+        patterns = compile_pattern((Var("X"), Var("New"), Var("_")), COLS)
+        result = patterns(ROW)
+        assert result[0] == Num(4)
+        assert result[1] == Var("New")
+        assert result[2] == Var("_")
+
+    def test_compound_partial_pattern(self):
+        pattern = compile_pattern((parse_term("f(X, Z)"),), COLS)
+        (result,) = pattern(ROW)
+        assert result == Compound(Atom("f"), (Num(4), Var("Z")))
