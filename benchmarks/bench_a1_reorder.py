@@ -34,7 +34,7 @@ def run(optimize, n):
 @pytest.mark.parametrize("optimize", [True, False])
 def test_bad_order_body(benchmark, optimize):
     system = benchmark(run, optimize, 300)
-    assert system.relation_rows("out", 2)
+    assert system.rows("out", 2)
 
 
 def test_shape_optimizer_cuts_scanning(benchmark):
@@ -42,7 +42,7 @@ def test_shape_optimizer_cuts_scanning(benchmark):
     for n in (100, 400):
         on = run(True, n)
         off = run(False, n)
-        assert on.relation_rows("out", 2) == off.relation_rows("out", 2)
+        assert on.rows("out", 2) == off.rows("out", 2)
         rows.append(
             (n, on.counters.tuples_scanned, off.counters.tuples_scanned,
              f"{off.counters.tuples_scanned / max(on.counters.tuples_scanned, 1):.1f}x")

@@ -44,7 +44,7 @@ def run(adaptive, big_n=2000, small_n=2):
 @pytest.mark.parametrize("adaptive", [False, True])
 def test_bad_static_order(benchmark, adaptive):
     system = benchmark(run, adaptive)
-    assert system.relation_rows("out", 2)
+    assert system.rows("out", 2)
 
 
 def test_shape_runtime_sizes_beat_static_guess(benchmark):
@@ -61,7 +61,7 @@ def test_shape_runtime_sizes_beat_static_guess(benchmark):
     # Who wins: knowing live sizes always helps here, more as big grows.
     assert run(True, 8000).counters.tuples_scanned < run(False, 8000).counters.tuples_scanned
     # Same answers.
-    assert run(True).relation_rows("out", 2) == run(False).relation_rows("out", 2)
+    assert run(True).rows("out", 2) == run(False).rows("out", 2)
     # One compiled variant is cached, not one per execution.
     system = build(True, 2000, 2)
     (stmt,) = system.compile().script

@@ -55,7 +55,7 @@ def test_transitive_closure(benchmark, route):
     facts = {"edge": chain_edges(25)}
     if route == "generated":
         system, result = benchmark(run_generated, PATH_RULES, facts)
-        assert len(system.relation_rows("path", 2)) == 25 * 26 // 2
+        assert len(system.rows("path", 2)) == 25 * 26 // 2
     else:
         engine = benchmark(run_native, PATH_RULES, facts)
         assert len(engine.materialize(Atom("path"), 2)) == 25 * 26 // 2
@@ -80,14 +80,14 @@ def test_shape_generated_matches_native(benchmark):
         system, result = run_generated(rules_text, facts)
         engine = run_native(rules_text, facts)
         for pred, arity in outputs:
-            generated = system.relation_rows(pred, arity)
+            generated = system.rows(pred, arity)
             native = engine.materialize(Atom(pred), arity).sorted_rows()
             assert generated == native, (name, pred)
         rows.append(
             (
                 name,
                 len(result.stratum_procs),
-                sum(len(system.relation_rows(p, a)) for p, a in outputs),
+                sum(len(system.rows(p, a)) for p, a in outputs),
                 "identical",
             )
         )

@@ -34,7 +34,7 @@ def run_grouped(courses, students):
 @pytest.mark.parametrize("courses", [5, 50])
 def test_group_by_mean(benchmark, courses):
     system = benchmark(run_grouped, courses, 20)
-    assert len(system.relation_rows("course_average", 2)) == courses
+    assert len(system.rows("course_average", 2)) == courses
 
 
 def test_shape_duplicate_preserving_and_cascading(benchmark):
@@ -44,7 +44,7 @@ def test_shape_duplicate_preserving_and_cascading(benchmark):
         {"reading": [("north", 10), ("south", 10), ("east", 40)]},
     )
     system.run_script()
-    (row,) = system.relation_rows("avg", 1)
+    (row,) = system.rows("avg", 1)
     assert row[0].value == 20  # (10+10+40)/3, NOT (10+40)/2 = 25
     wrong_projection_mean = (10 + 40) / 2
     assert row[0].value != wrong_projection_mean
@@ -58,8 +58,8 @@ def test_shape_duplicate_preserving_and_cascading(benchmark):
         {"emp": [("eng", "a", 1), ("eng", "a", 2), ("eng", "b", 4), ("ops", "a", 8)]},
     )
     system.run_script()
-    fine = {(str(r[0]), str(r[1])): r[2].value for r in system.relation_rows("fine", 3)}
-    coarse = {str(r[0]): r[1].value for r in system.relation_rows("coarse", 2)}
+    fine = {(str(r[0]), str(r[1])): r[2].value for r in system.rows("fine", 3)}
+    coarse = {str(r[0]): r[1].value for r in system.rows("coarse", 2)}
     assert fine == {("eng", "a"): 3, ("eng", "b"): 4, ("ops", "a"): 8}
     assert coarse == {"eng": 7, "ops": 8}
 
@@ -69,7 +69,7 @@ def test_shape_duplicate_preserving_and_cascading(benchmark):
         system = run_grouped(courses, 10)
         rows.append(
             (courses, courses * 10, system.counters.tuples_scanned,
-             len(system.relation_rows("course_average", 2)))
+             len(system.rows("course_average", 2)))
         )
     print_series(
         "E12: group_by aggregation (tuples scanned vs group count)",

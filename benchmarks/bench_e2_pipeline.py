@@ -34,7 +34,7 @@ def run_chain(strategy, n):
 @pytest.mark.parametrize("strategy", ["pipelined", "materialized"])
 def test_join_chain(benchmark, strategy):
     result = benchmark(run_chain, strategy, 300)
-    assert result.relation_rows("out", 2)
+    assert result.rows("out", 2)
 
 
 def test_shape_pipelining_stores_less(benchmark):
@@ -65,7 +65,7 @@ def test_shape_pipelining_stores_less(benchmark):
         < last["materialized"]["materialized_tuples"]
     )
     # Identical answers.
-    a = run_chain("pipelined", 200).relation_rows("out", 2)
-    b = run_chain("materialized", 200).relation_rows("out", 2)
+    a = run_chain("pipelined", 200).rows("out", 2)
+    b = run_chain("materialized", 200).rows("out", 2)
     assert a == b
     benchmark(run_chain, "pipelined", 200)

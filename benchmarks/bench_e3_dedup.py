@@ -39,7 +39,7 @@ def run(dedup, keys, fanout):
 @pytest.mark.parametrize("dedup", [True, False])
 def test_duplicate_heavy(benchmark, dedup):
     system = benchmark(run, dedup, 20, 8)
-    assert len(system.relation_rows("out", 2)) == 20 * 8
+    assert len(system.rows("out", 2)) == 20 * 8
 
 
 def test_shape_dedup_wins_on_duplicates_loses_without(benchmark):
@@ -75,7 +75,7 @@ def test_shape_dedup_wins_on_duplicates_loses_without(benchmark):
     )
     # Results identical either way.
     assert (
-        run(True, 20, 8).relation_rows("out", 2)
-        == run(False, 20, 8).relation_rows("out", 2)
+        run(True, 20, 8).rows("out", 2)
+        == run(False, 20, 8).rows("out", 2)
     )
     benchmark(run, True, 20, 8)

@@ -95,7 +95,7 @@ def main() -> None:
     for row in shortages:
         print(f"   SHORT {row[1]} by {row[2]}")
     print("   stock after build:",
-          sorted(rows_to_python(system.relation_rows("stock", 2))))
+          sorted(rows_to_python(system.rows("stock", 2))))
 
 
 if __name__ == "__main__":

@@ -49,7 +49,7 @@ end
 
 
 def show_employees(system):
-    for row in sorted(rows_to_python(system.relation_rows("employee", 3))):
+    for row in sorted(rows_to_python(system.rows("employee", 3))):
         print(f"  {row[0]:8s} {row[1]:6s} {row[2]:>8}")
 
 
@@ -81,8 +81,8 @@ def main() -> None:
     system.facts("termination_queue", [("bob",), ("eve",)])
     gone = system.call("process_terminations")
     print("  removed:", sorted(r[0] for r in rows_to_python(gone)))
-    print("  queue now:", rows_to_python(system.relation_rows("termination_queue", 1)))
-    print("  log:", sorted(rows_to_python(system.relation_rows("termination_log", 1))))
+    print("  queue now:", rows_to_python(system.rows("termination_queue", 1)))
+    print("  log:", sorted(rows_to_python(system.rows("termination_log", 1))))
     show_employees(system)
 
     print("\n== report: sum + count per department (group_by) ==")

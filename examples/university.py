@@ -62,7 +62,7 @@ def main() -> None:
 
     print("\n== implied IDB tuples (the paper's example output) ==")
     for course in ("cs99", "cs1"):
-        members = system.idb_rows(set_name("students", course), 1)
+        members = system.rows(set_name("students", course), 1)
         print(f"  students({course}) = {sorted(str(m[0]) for m in members)}")
 
     print("\n== dereferencing sets from Glue ==")

@@ -21,9 +21,12 @@ Quick start::
         print(row)
 """
 
+from repro import obs
 from repro.core.query import rows_to_python, term_to_python
+from repro.core.result import QueryResult
 from repro.core.system import GlueNailSystem
 from repro.errors import CompileError, GlueNailError, GlueRuntimeError, UnsafeRuleError
+from repro.obs.query_stats import QueryStats
 from repro.storage.database import Database
 from repro.terms.term import Atom, Compound, Num, Term, Var, mk
 
@@ -38,10 +41,13 @@ __all__ = [
     "GlueNailSystem",
     "GlueRuntimeError",
     "Num",
+    "QueryResult",
+    "QueryStats",
     "Term",
     "UnsafeRuleError",
     "Var",
     "mk",
+    "obs",
     "rows_to_python",
     "term_to_python",
 ]

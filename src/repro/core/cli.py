@@ -10,7 +10,9 @@ Subcommands::
 Common options: ``--edb facts.gnd`` loads an EDB dump before running,
 ``--save facts.gnd`` persists the EDB afterwards, ``--strategy
 pipelined|materialized`` picks the execution strategy, ``--stats`` prints
-the cost counters.
+the cost counters, ``--trace-json FILE`` streams the execution trace as
+JSON lines.  ``query --explain-analyze`` prints the plan annotated with
+actual rows, counter deltas and timings.
 """
 
 from __future__ import annotations
@@ -31,6 +33,11 @@ def _build_system(args) -> GlueNailSystem:
         strategy=args.strategy,
         dedup_on_break=not args.no_dedup,
     )
+    if getattr(args, "trace_json", None):
+        from repro.obs.tracer import JsonLinesSink
+
+        stream = open(args.trace_json, "w", encoding="utf-8")
+        system.tracer.add_sink(JsonLinesSink(stream))
     system.load_file(args.program)
     if args.edb:
         system.load_edb(args.edb)
@@ -80,6 +87,9 @@ def cmd_run(args) -> int:
 
 def cmd_query(args) -> int:
     system = _build_system(args)
+    if args.explain_analyze:
+        print(system.explain_analyze(args.query, magic=args.magic))
+        return 0
     rows = system.query_magic(args.query) if args.magic else system.query(args.query)
     for row in sorted(rows, key=str):
         print(tuple_to_str(row))
@@ -142,6 +152,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--strategy", choices=("pipelined", "materialized"), default="pipelined"
     )
     parser.add_argument("--stats", action="store_true", help="print cost counters")
+    parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="write the execution trace as one JSON event per line",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -166,6 +181,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(p_query)
     p_query.add_argument("query", help="query text, e.g. 'path(1, X)?'")
     p_query.add_argument("--magic", action="store_true", help="demand-driven evaluation")
+    p_query.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="run the query and print the plan annotated with actual "
+             "rows, counter deltas and timings",
+    )
     p_query.set_defaults(fn=cmd_query)
 
     p_n2g = sub.add_parser("nail2glue", help="print generated Glue for the rules")

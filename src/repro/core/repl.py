@@ -40,6 +40,9 @@ Commands:
   .dump NAME/ARITY     print a relation's tuples
   .magic QUERY?        answer a query demand-driven
   .explain             show the compiled plans
+  .analyze QUERY?      run a query, print the plan with actual rows/costs
+  .profile on|off      trace queries (`.last` then shows the trace tree)
+  .last                stats (and trace, with .profile on) of the last query
   .strategy NAME       pipelined | materialized
   .stats               cost counters since the last .stats
   .save FILE / .load FILE   EDB persistence
@@ -206,6 +209,9 @@ class Repl:
             ".dump": self._cmd_dump,
             ".magic": self._cmd_magic,
             ".explain": self._cmd_explain,
+            ".analyze": self._cmd_analyze,
+            ".profile": self._cmd_profile,
+            ".last": self._cmd_last,
             ".strategy": self._cmd_strategy,
             ".stats": self._cmd_stats,
             ".save": self._cmd_save,
@@ -269,6 +275,31 @@ class Repl:
         from repro.vm.explain import explain_program
 
         self._print(explain_program(self.system.compile()))
+
+    def _cmd_analyze(self, arg: str) -> None:
+        if not arg:
+            self._print("usage: .analyze query?")
+            return
+        self._print(self.system.explain_analyze(arg))
+
+    def _cmd_profile(self, arg: str) -> None:
+        if arg == "on":
+            self.system.enable_tracing()
+            self._print("profiling on")
+        elif arg == "off":
+            self.system.disable_tracing()
+            self._print("profiling off")
+        else:
+            self._print("usage: .profile on|off")
+
+    def _cmd_last(self, _arg: str) -> None:
+        from repro.obs.report import render_profile
+
+        result = self.system.last_result
+        if result is None or result.stats is None:
+            self._print("(no query has run yet)")
+            return
+        self._print(render_profile(result.stats, result.trace))
 
     def _cmd_strategy(self, arg: str) -> None:
         if arg not in ("pipelined", "materialized"):

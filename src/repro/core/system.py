@@ -20,21 +20,26 @@ engine's version check).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+import warnings
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.scope import pred_skeleton
+from repro.core.result import QueryResult
 from repro.errors import GlueNailError, GlueRuntimeError
 from repro.lang.ast import Program
 from repro.lang.parser import parse_program, parse_query
 from repro.nail.engine import NailEngine, magic_query
+from repro.obs.query_stats import QueryStats
+from repro.obs.tracer import CollectingSink, TraceSink, Tracer
 from repro.storage.database import Database
 from repro.storage.persist import load_database, save_database
-from repro.storage.stats import CostCounters
+from repro.storage.stats import CostCounters, counter_delta
 from repro.terms.matching import match_tuple
 from repro.terms.term import Term, is_ground, mk
 from repro.vm.compiler import ForeignSig, ProgramCompiler
 from repro.vm.machine import ExecContext, ForeignProc, Machine
-from repro.vm.plan import CompiledProgram
+from repro.vm.plan import CompiledProc, CompiledProgram
 
 Row = Tuple[Term, ...]
 
@@ -55,6 +60,7 @@ class GlueNailSystem:
         inp=None,
         max_loop_iterations: int = 1_000_000,
         adaptive_reorder: bool = False,
+        trace: Union[bool, TraceSink] = False,
     ):
         self.db = db if db is not None else Database()
         self.strict = strict
@@ -74,6 +80,11 @@ class GlueNailSystem:
         self._machine: Optional[Machine] = None
         self._ctx: Optional[ExecContext] = None
         self._engine: Optional[NailEngine] = None
+
+        self._collector: Optional[CollectingSink] = None
+        self.last_result: Optional[QueryResult] = None
+        if trace:
+            self.enable_tracing(trace if isinstance(trace, TraceSink) else None)
 
     # ------------------------------------------------------------------ #
     # loading and compilation
@@ -184,6 +195,72 @@ class GlueNailSystem:
         self.db.counters.reset()
 
     # ------------------------------------------------------------------ #
+    # tracing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tracer(self) -> Tracer:
+        """The database's tracing hub (shared by VM, engine and storage)."""
+        return self.db.tracer
+
+    def enable_tracing(self, sink: Optional[TraceSink] = None) -> CollectingSink:
+        """Turn on tracing; every subsequent entry point carries ``.trace``.
+
+        A persistent :class:`CollectingSink` backs the per-query trace
+        slices; an extra ``sink`` (e.g. :class:`JsonLinesSink`) is fanned
+        out alongside it.  Returns the collector.
+        """
+        if self._collector is None:
+            self._collector = CollectingSink()
+            self.tracer.add_sink(self._collector)
+        if sink is not None:
+            self.tracer.add_sink(sink)
+        return self._collector
+
+    def disable_tracing(self) -> None:
+        """Remove the collector installed by :meth:`enable_tracing`.
+
+        Sinks added explicitly (``tracer.add_sink``) stay installed.
+        """
+        if self._collector is not None:
+            self.tracer.remove_sink(self._collector)
+            self._collector = None
+
+    def _instrumented_entry(self, kind: str, label: str, runner) -> QueryResult:
+        """Run one entry point, diffing counters and slicing the trace.
+
+        ``runner`` returns ``(rows, resolution, plan_fn)``; the resulting
+        :class:`QueryResult` carries rows plus :class:`QueryStats`, the
+        query's own trace-event slice, and the lazily rendered plan.
+        """
+        tracer = self.tracer
+        collector = self._collector
+        start = len(collector.events) if collector is not None else 0
+        before = self.db.counters.as_tuple()
+        t0 = perf_counter()
+        if tracer.enabled:
+            with tracer.span(kind, label) as span:
+                rows, resolution, plan_fn = runner()
+                span.rows = len(rows)
+                span.attrs["resolution"] = resolution
+        else:
+            rows, resolution, plan_fn = runner()
+        elapsed = perf_counter() - t0
+        stats = QueryStats(
+            query=label,
+            resolution=resolution,
+            rows=len(rows),
+            elapsed_s=elapsed,
+            counters=counter_delta(before, self.db.counters.as_tuple()),
+        )
+        trace = collector.events[start:] if collector is not None else []
+        result = QueryResult(
+            rows, stats=stats, resolution=resolution, trace=trace, plan_fn=plan_fn
+        )
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
@@ -193,48 +270,76 @@ class GlueNailSystem:
         inputs: Sequence[Sequence[object]] = ((),),
         module: Optional[str] = None,
         arity: Optional[int] = None,
-    ) -> List[Row]:
+    ) -> QueryResult:
         """Call a Glue procedure once on a set of input tuples.
 
         ``inputs`` is a sequence of tuples matching the procedure's bound
         arity; plain Python values are lifted to terms.  Returns the
-        procedure's return relation as a list of term tuples.
+        procedure's return relation as a :class:`QueryResult`.
         """
         self.compile()
         lifted = [tuple(mk(v) for v in row) for row in inputs]
         if arity is None:
+            # Only procedures visible under the requested module count as
+            # arity candidates; without the filter an unrelated same-name
+            # procedure elsewhere made the arity "ambiguous".
             candidates = sorted(
-                {key[2] for key in self._compiled.procs if key[1] == name}
+                {
+                    key[2]
+                    for key in self._compiled.procs
+                    if key[1] == name and (module is None or key[0] == module)
+                }
             )
             if not candidates:
-                raise GlueRuntimeError(f"no procedure named {name}")
+                where = f" in module {module}" if module is not None else ""
+                raise GlueRuntimeError(f"no procedure named {name}{where}")
             if len(candidates) > 1:
                 raise GlueRuntimeError(
                     f"procedure {name} has several arities {candidates}; pass arity="
                 )
             arity = candidates[0]
         proc = self._compiled.find_proc(name, arity, module=module)
-        return self._machine.call_proc(proc, lifted)
+        label = f"{proc.module + '.' if proc.module else ''}{name}/{arity}"
+
+        def runner():
+            return self._machine.call_proc(proc, lifted), "procedure", (
+                lambda: self._proc_plan(proc)
+            )
+
+        return self._instrumented_entry("call", label, runner)
 
     def run_script(self) -> None:
         """Execute the loose top-level statements of the loaded program."""
         self.compile()
         self._machine.run_script()
 
-    def query(self, text: str) -> List[Row]:
+    def query(self, text: str) -> QueryResult:
         """Answer an ad-hoc query ``p(args)?`` against NAIL!, the EDB, or a
         Glue procedure, in that resolution order."""
         self.compile()
         subgoal = parse_query(text)
+
+        def runner():
+            return self._resolve_query(subgoal)
+
+        return self._instrumented_entry("query", text.strip(), runner)
+
+    def _resolve_query(self, subgoal):
+        """The resolution chain: NAIL! -> EDB -> exported procedure -> [].
+
+        Returns ``(rows, resolution, plan_fn)``.
+        """
         pred, args = subgoal.pred, subgoal.args
         if not is_ground(pred):
             raise GlueNailError("the query predicate itself must be ground")
         skeleton = pred_skeleton(pred, len(args))
         if self._engine.defines(skeleton):
-            return self._engine.query(pred, args)
+            rows = self._engine.query(pred, args)
+            return rows, "nail", lambda: self._nail_plan(skeleton)
         relation = self.db.get(pred, len(args))
         if relation is not None:
-            return [dict_row for dict_row in self._match_rows(relation, args)]
+            rows = self._match_rows(relation, args)
+            return rows, "edb", lambda: f"scan {pred}/{len(args)} (EDB relation)"
         # Fall back to a procedure call with the bound prefix as input.
         if skeleton[0] is not None:
             key = (skeleton[0], len(args))
@@ -254,8 +359,30 @@ class GlueNailSystem:
                         f"{proc.bound_arity} argument(s) bound"
                     )
                 rows = self._machine.call_proc(proc, [tuple(bound)])
-                return [row for row in rows if match_tuple(args, row) is not None]
-        return []
+                filtered = [row for row in rows if match_tuple(args, row) is not None]
+                return filtered, "procedure", lambda: self._proc_plan(proc)
+        return [], "none", None
+
+    def _nail_plan(self, skeleton) -> str:
+        """The NAIL! 'plan': the defining rules plus their stratum."""
+        from repro.lang.pretty import pretty_rule
+
+        lines = []
+        index = self._engine._stratum_of.get(skeleton)
+        head = f"{skeleton[0]}/{skeleton[-1]}"
+        if index is not None:
+            lines.append(f"NAIL! predicate {head} (stratum {index}, "
+                         f"{self.nail_strategy} evaluation)")
+        for info in self._engine.rule_infos:
+            if info.head_skeleton == skeleton:
+                lines.append("  " + pretty_rule(info.rule).strip())
+        return "\n".join(lines)
+
+    @staticmethod
+    def _proc_plan(proc: CompiledProc) -> str:
+        from repro.vm.explain import explain_proc
+
+        return explain_proc(proc)
 
     @staticmethod
     def _match_rows(relation, args) -> List[Row]:
@@ -265,7 +392,7 @@ class GlueNailSystem:
                 out.append(row)
         return out
 
-    def query_magic(self, text: str) -> List[Row]:
+    def query_magic(self, text: str) -> QueryResult:
         """Answer a NAIL! query demand-driven (magic sets).
 
         Queries outside the magic fragment (aggregates, negated IDB
@@ -276,14 +403,35 @@ class GlueNailSystem:
 
         self.compile()
         subgoal = parse_query(text)
+
+        def runner():
+            try:
+                answers, _engine = magic_query(
+                    self.db, self._compiled.rules, subgoal.pred, subgoal.args,
+                    strategy=self.nail_strategy,
+                )
+            except MagicTransformError:
+                return self._resolve_query(subgoal)
+            skeleton = pred_skeleton(subgoal.pred, len(subgoal.args))
+            return answers, "magic", lambda: self._nail_plan(skeleton)
+
+        return self._instrumented_entry("query_magic", text.strip(), runner)
+
+    def explain_analyze(self, text: str, magic: bool = False) -> str:
+        """Run a query with tracing forced on and render the full report:
+        static plan, per-step actual rows, per-unit counter deltas and
+        wall-clock timings (the EXPLAIN ANALYZE of paper-cost accounting).
+        """
+        from repro.obs.report import render_explain_analyze
+
+        sink = CollectingSink()
+        self.tracer.add_sink(sink)
         try:
-            answers, _engine = magic_query(
-                self.db, self._compiled.rules, subgoal.pred, subgoal.args,
-                strategy=self.nail_strategy,
-            )
-            return answers
-        except MagicTransformError:
-            return self.query(text)
+            result = self.query_magic(text) if magic else self.query(text)
+        finally:
+            self.tracer.remove_sink(sink)
+        return render_explain_analyze(text, result.stats, sink.events,
+                                      plan=result.plan)
 
     # ------------------------------------------------------------------ #
     # EDB convenience
@@ -295,17 +443,66 @@ class GlueNailSystem:
     def facts(self, name, rows) -> int:
         return self.db.facts(name, rows)
 
+    def rows(self, name, arity: int) -> QueryResult:
+        """All rows of ``name/arity`` in canonical (sorted) order.
+
+        One accessor for both worlds: a NAIL!-defined predicate is
+        materialized (forcing evaluation); otherwise the EDB relation is
+        read; unknown names give an empty result.  ``.resolution`` on the
+        returned :class:`QueryResult` says which path answered.
+        """
+        self.compile()
+        name_term = name if isinstance(name, Term) else mk(name)
+        skeleton = pred_skeleton(name_term, arity)
+        label = f"{name_term}/{arity}"
+
+        def runner():
+            if self._engine.defines(skeleton):
+                out = self._engine.materialize(name_term, arity).sorted_rows()
+                return out, "nail", lambda: self._nail_plan(skeleton)
+            relation = self.db.get(name_term, arity)
+            if relation is None:
+                return [], "none", None
+            return (
+                relation.sorted_rows(),
+                "edb",
+                lambda: f"scan {name_term}/{arity} (EDB relation)",
+            )
+
+        return self._instrumented_entry("rows", label, runner)
+
     def relation_rows(self, name, arity: int) -> List[Row]:
+        """Deprecated: use :meth:`rows`.  Reads the EDB only (no compile)."""
+        warnings.warn(
+            "GlueNailSystem.relation_rows() is deprecated; use rows()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         relation = self.db.get(name, arity)
         if relation is None:
             return []
         return relation.sorted_rows()
 
-    def idb_rows(self, name, arity: int) -> List[Row]:
-        """The current extension of a NAIL! predicate (forces evaluation)."""
+    def idb_rows(self, name, arity: int) -> QueryResult:
+        """Deprecated: use :meth:`rows`.
+
+        The current extension of a NAIL! predicate (forces evaluation);
+        raises for names no rule defines, as it always has.
+        """
+        warnings.warn(
+            "GlueNailSystem.idb_rows() is deprecated; use rows()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.compile()
         name_term = mk(name) if not isinstance(name, Term) else name
-        return self._engine.materialize(name_term, arity).sorted_rows()
+        skeleton = pred_skeleton(name_term, arity)
+
+        def runner():
+            out = self._engine.materialize(name_term, arity).sorted_rows()
+            return out, "nail", lambda: self._nail_plan(skeleton)
+
+        return self._instrumented_entry("rows", f"{name_term}/{arity}", runner)
 
     def save_edb(self, path: str) -> int:
         return save_database(self.db, path)

@@ -53,7 +53,8 @@ class NailEngine:
         for stratum in self.strata:
             for skeleton in stratum.skeletons:
                 self._stratum_of[skeleton] = stratum.index
-        self.idb = Database(counters=db.counters)
+        self.tracer = db.tracer
+        self.idb = Database(counters=db.counters, tracer=db.tracer)
         self._computed_through = -1
         self._edb_version_seen: Optional[int] = None
         self._stratum_safe: Dict[int, Optional[str]] = {}  # index -> error or None
@@ -75,6 +76,10 @@ class NailEngine:
         if stratum_index is None:
             raise GlueRuntimeError(f"{name}/{arity} is not a NAIL! predicate")
         self._refresh()
+        if stratum_index <= self._computed_through and self.tracer.enabled:
+            # Repeated references inside one EDB state cost nothing, and
+            # the trace should say so rather than show a silent gap.
+            self.tracer.event("idb_cache_hit", f"{name}/{arity}")
         self._compute_through(stratum_index)
         return self.idb.relation(name, arity)
 
@@ -164,6 +169,11 @@ class NailEngine:
                             f"the magic fragment: {exc}"
                         ) from exc
             self._demand_cache[key] = cached
+            if self.tracer.enabled:
+                bound = sum(1 for p in signature if p is not None)
+                self.tracer.event(
+                    "demand", f"{name}/{arity}", rows=len(cached), bound_positions=bound
+                )
         out = []
         for row in cached:
             if match_tuple(patterns, row) is not None:
@@ -183,7 +193,7 @@ class NailEngine:
         version = self.db.version
         if self._edb_version_seen != version:
             # The EDB changed: every derived relation is stale.
-            self.idb = Database(counters=self.db.counters)
+            self.idb = Database(counters=self.db.counters, tracer=self.tracer)
             self._computed_through = -1
             self._demand_cache.clear()
             self._edb_version_seen = version
@@ -248,22 +258,34 @@ class NailEngine:
                     "(use a demand-bound query instead)"
                 )
         rows_fn = self._rows_fn()
+        tracer = self.tracer if self.tracer.enabled else None
         for stratum in self.strata[self._computed_through + 1 : stratum_index + 1]:
             relevant = [
                 info for info in self.rule_infos if info.head_skeleton in stratum.skeletons
             ]
-            self._declare_heads(relevant)
-            self._seed_from_edb(stratum.skeletons)
-            if self.strategy == "naive":
-                self.rounds_run = naive_eval(relevant, rows_fn, self.idb)
+            if tracer is None:
+                self._eval_stratum(stratum, relevant, rows_fn, None)
             else:
-                self.rounds_run = seminaive_eval(
-                    relevant, set(stratum.skeletons), rows_fn, self.idb
-                )
+                with tracer.span(
+                    "stratum", f"stratum {stratum.index}",
+                    rules=len(relevant), strategy=self.strategy,
+                ) as span:
+                    self._eval_stratum(stratum, relevant, rows_fn, tracer)
+                    span.attrs["rounds"] = self.rounds_run
         self._computed_through = stratum_index
         # Recompute freshness marker: materialization itself must not count
         # as an EDB change (it does not touch self.db).
         self._edb_version_seen = self.db.version
+
+    def _eval_stratum(self, stratum, relevant, rows_fn, tracer) -> None:
+        self._declare_heads(relevant)
+        self._seed_from_edb(stratum.skeletons)
+        if self.strategy == "naive":
+            self.rounds_run = naive_eval(relevant, rows_fn, self.idb, tracer=tracer)
+        else:
+            self.rounds_run = seminaive_eval(
+                relevant, set(stratum.skeletons), rows_fn, self.idb, tracer=tracer
+            )
 
     def _seed_from_edb(self, skeletons) -> None:
         """EDB facts stored under a rule-defined name join the derived
@@ -358,7 +380,15 @@ def magic_query(
         check_safety=True,
         extra_edb=seed_db,
     )
-    relation = engine.materialize(program.answer_pred, len(args))
+    tracer = db.tracer
+    if not tracer.enabled:
+        relation = engine.materialize(program.answer_pred, len(args))
+    else:
+        with tracer.span(
+            "magic", f"{pred}/{len(args)}", rewritten_rules=len(program.rules)
+        ) as span:
+            relation = engine.materialize(program.answer_pred, len(args))
+            span.rows = len(relation)
     answers = [
         row for row in relation.rows() if match_tuple(tuple(args), row) is not None
     ]

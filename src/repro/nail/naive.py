@@ -22,23 +22,35 @@ def naive_eval(
     rows_fn: RowsFn,
     idb: Database,
     max_passes: int = 1_000_000,
+    tracer=None,
 ) -> int:
     """Run all rules to fixpoint, full re-derivation each pass.
 
     ``rows_fn`` resolves every predicate; derived tuples go into ``idb``
     (which ``rows_fn`` must consult for IDB names).  Returns the number of
-    passes run.
+    passes run.  ``tracer``, when given, receives one ``pass`` span per
+    pass whose ``rows`` is the number of genuinely new tuples.
     """
     passes = 0
     while True:
         passes += 1
         if passes > max_passes:
             raise RuntimeError("naive evaluation did not converge")
-        added = 0
-        for info in rule_infos:
-            bindings_list = eval_rule_body(info.rule, rows_fn)
-            for name, row in derive_heads(info.rule, bindings_list):
-                if idb.relation(name, len(row)).insert(row):
-                    added += 1
+        if tracer is None:
+            added = _run_pass(rule_infos, rows_fn, idb)
+        else:
+            with tracer.span("pass", f"pass {passes}") as span:
+                added = _run_pass(rule_infos, rows_fn, idb)
+                span.rows = added
         if added == 0:
             return passes
+
+
+def _run_pass(rule_infos: Sequence[RuleInfo], rows_fn: RowsFn, idb: Database) -> int:
+    added = 0
+    for info in rule_infos:
+        bindings_list = eval_rule_body(info.rule, rows_fn)
+        for name, row in derive_heads(info.rule, bindings_list):
+            if idb.relation(name, len(row)).insert(row):
+                added += 1
+    return added

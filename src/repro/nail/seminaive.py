@@ -54,28 +54,45 @@ def _merge_derivations(
             delta.setdefault((name, arity), []).extend(new_rows)
 
 
+def _delta_size(delta: DeltaStore) -> int:
+    return sum(len(rows) for rows in delta.values())
+
+
 def seminaive_eval(
     rule_infos: Sequence[RuleInfo],
     stratum: Set[Skeleton],
     rows_fn: RowsFn,
     idb: Database,
     max_rounds: int = 1_000_000,
+    tracer=None,
 ) -> int:
     """Evaluate one stratum to fixpoint with seminaive iteration.
 
     ``rule_infos`` must be exactly the rules whose heads are in
     ``stratum``; ``rows_fn`` resolves every predicate (EDB, lower strata,
     and the current stratum's accumulating relations in ``idb``).  Returns
-    the number of rounds.
+    the number of rounds.  ``tracer``, when given, receives one ``round``
+    span per fixpoint round with per-rule ``rule`` events inside it.
     """
     relevant = [info for info in rule_infos if info.head_skeleton in stratum]
     delta: DeltaStore = {}
 
     # Round 0: evaluate every rule in full (base facts plus anything the
     # lower strata already provide).
-    for info in relevant:
-        bindings_list = eval_rule_body(info.rule, rows_fn)
-        _merge_derivations(derive_heads(info.rule, bindings_list), idb, delta)
+    if tracer is None:
+        for info in relevant:
+            bindings_list = eval_rule_body(info.rule, rows_fn)
+            _merge_derivations(derive_heads(info.rule, bindings_list), idb, delta)
+    else:
+        with tracer.span("round", "round 0", rules=len(relevant)) as span:
+            for i, info in enumerate(relevant):
+                with tracer.span("rule", _rule_label(i, info)) as rule_span:
+                    bindings_list = eval_rule_body(info.rule, rows_fn)
+                    _merge_derivations(
+                        derive_heads(info.rule, bindings_list), idb, delta
+                    )
+                    rule_span.rows = len(bindings_list)
+            span.rows = _delta_size(delta)
 
     rounds = 1
     recursive = [
@@ -92,11 +109,39 @@ def seminaive_eval(
             raise RuntimeError("seminaive evaluation did not converge")
         delta_fn = _delta_rows_fn(delta)
         new_delta: DeltaStore = {}
-        for info, positions in recursive:
-            for position in positions:
-                bindings_list = eval_rule_body(
-                    info.rule, rows_fn, delta_index=position, delta_rows_fn=delta_fn
-                )
-                _merge_derivations(derive_heads(info.rule, bindings_list), idb, new_delta)
+        if tracer is None:
+            for info, positions in recursive:
+                for position in positions:
+                    bindings_list = eval_rule_body(
+                        info.rule, rows_fn, delta_index=position, delta_rows_fn=delta_fn
+                    )
+                    _merge_derivations(
+                        derive_heads(info.rule, bindings_list), idb, new_delta
+                    )
+        else:
+            with tracer.span(
+                "round", f"round {rounds - 1}", delta_in=_delta_size(delta)
+            ) as span:
+                for i, (info, positions) in enumerate(recursive):
+                    for position in positions:
+                        with tracer.span(
+                            "rule", _rule_label(i, info), delta_pos=position
+                        ) as rule_span:
+                            bindings_list = eval_rule_body(
+                                info.rule,
+                                rows_fn,
+                                delta_index=position,
+                                delta_rows_fn=delta_fn,
+                            )
+                            _merge_derivations(
+                                derive_heads(info.rule, bindings_list), idb, new_delta
+                            )
+                            rule_span.rows = len(bindings_list)
+                span.rows = _delta_size(new_delta)
         delta = new_delta
     return rounds
+
+
+def _rule_label(index: int, info: RuleInfo) -> str:
+    skeleton = info.head_skeleton  # (base name, application chain, arity)
+    return f"rule#{index} {skeleton[0]}/{skeleton[-1]}"

@@ -1,0 +1,44 @@
+"""Query-execution observability: tracing, per-query stats, EXPLAIN ANALYZE.
+
+The subsystem has three parts:
+
+* :mod:`repro.obs.tracer` -- a :class:`Tracer` hub owned by each
+  :class:`~repro.storage.database.Database` and threaded through the VM,
+  the NAIL! engine and the relations.  Disabled (and zero-cost) until a
+  sink is installed.
+* :mod:`repro.obs.query_stats` -- :class:`QueryStats`, the per-entry-point
+  counter-delta/elapsed-time record carried by every
+  :class:`~repro.core.result.QueryResult`.
+* :mod:`repro.obs.report` -- renderers for EXPLAIN ANALYZE reports and
+  REPL profiles.
+"""
+
+from repro.obs.query_stats import QueryStats
+from repro.obs.report import (
+    format_event,
+    format_event_tree,
+    render_explain_analyze,
+    render_profile,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingSink,
+    JsonLinesSink,
+    TraceEvent,
+    Tracer,
+    TraceSink,
+)
+
+__all__ = [
+    "CollectingSink",
+    "JsonLinesSink",
+    "NULL_TRACER",
+    "QueryStats",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "format_event",
+    "format_event_tree",
+    "render_explain_analyze",
+    "render_profile",
+]

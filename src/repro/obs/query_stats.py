@@ -1,0 +1,62 @@
+"""Per-query work accounting: counter deltas + wall-clock per entry point.
+
+Every :class:`~repro.core.result.QueryResult` carries one of these; the
+facade diffs the database's :class:`CostCounters` around each entry point
+(``query``/``query_magic``/``call``/``rows``) so a query's cost can be
+read without resetting the global counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """What one entry-point invocation cost.
+
+    ``counters`` is the full per-counter delta (all fields, zeros
+    included) in :data:`repro.storage.stats.COUNTER_FIELDS` order;
+    ``nonzero`` narrows it to the counters that moved.
+    """
+
+    query: str
+    resolution: str  # "nail" | "magic" | "edb" | "procedure" | "none"
+    rows: int
+    elapsed_s: float
+    counters: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def nonzero(self) -> Dict[str, int]:
+        return {name: value for name, value in self.counters.items() if value}
+
+    @property
+    def total_tuple_touches(self) -> int:
+        """Same scalar as ``CostCounters.total_tuple_touches``, per query."""
+        get = self.counters.get
+        return (
+            get("tuples_scanned", 0)
+            + get("index_probe_tuples", 0)
+            + get("index_build_tuples", 0)
+            + get("inserts", 0)
+            + get("deletes", 0)
+            + get("materialized_tuples", 0)
+        )
+
+    def format(self) -> str:
+        """A short human-readable block (used by the REPL's ``.last``)."""
+        lines = [
+            f"query:      {self.query}",
+            f"resolution: {self.resolution}",
+            f"rows:       {self.rows}",
+            f"elapsed:    {self.elapsed_s * 1000.0:.3f} ms",
+        ]
+        moved = self.nonzero
+        if moved:
+            lines.append("counters:")
+            for name in sorted(moved):
+                lines.append(f"  {name:22s} {moved[name]}")
+        else:
+            lines.append("counters:   (no storage work recorded)")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Rendering of traces: ``EXPLAIN ANALYZE`` reports and REPL profiles.
+
+The renderers consume :class:`~repro.obs.tracer.TraceEvent` lists.  Sinks
+receive span events at exit (children first), so rendering sorts on
+``seq`` -- the deterministic start order -- and indents by ``depth``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.obs.query_stats import QueryStats
+from repro.obs.tracer import TraceEvent
+
+
+def _format_counters(counters) -> str:
+    if not counters:
+        return ""
+    return " ".join(f"{name}={counters[name]}" for name in sorted(counters))
+
+
+def format_event(event: TraceEvent) -> str:
+    pad = "  " * event.depth
+    parts = [f"{pad}{event.kind:<14s} {event.name}"]
+    if event.rows is not None:
+        parts.append(f"rows={event.rows}")
+    if event.dur_s:
+        parts.append(f"{event.dur_s * 1000.0:.3f}ms")
+    counters = _format_counters(event.counters)
+    if counters:
+        parts.append(f"[{counters}]")
+    for key in sorted(event.attrs):
+        parts.append(f"{key}={event.attrs[key]}")
+    return "  ".join(parts)
+
+
+def format_event_tree(events: Iterable[TraceEvent]) -> List[str]:
+    """One line per event, program order, indented by nesting depth."""
+    return [format_event(e) for e in sorted(events, key=lambda e: e.seq)]
+
+
+def render_profile(stats: QueryStats, events: Sequence[TraceEvent] = ()) -> str:
+    """The REPL ``.last`` view: stats block plus the trace tree (if any)."""
+    out = [stats.format()]
+    if events:
+        out.append("trace:")
+        out.extend("  " + line for line in format_event_tree(events))
+    return "\n".join(out)
+
+
+def render_explain_analyze(
+    text: str,
+    stats: QueryStats,
+    events: Sequence[TraceEvent],
+    plan: str = "",
+) -> str:
+    """The full EXPLAIN ANALYZE report for one query.
+
+    Sections: a header (resolution, rows, elapsed, total counter deltas),
+    the static plan as the compiler saw it, and the execution tree with
+    per-step actual row counts, per-step counter deltas and timings.
+    """
+    lines = [f"EXPLAIN ANALYZE {text.strip()}"]
+    lines.append(
+        f"resolution: {stats.resolution}   rows: {stats.rows}   "
+        f"time: {stats.elapsed_s * 1000.0:.3f} ms"
+    )
+    moved = stats.nonzero
+    if moved:
+        lines.append("counters:   " + _format_counters(moved))
+    if plan:
+        lines.append("")
+        lines.append("Plan")
+        lines.append("----")
+        lines.extend(plan.splitlines())
+    lines.append("")
+    lines.append("Execution")
+    lines.append("---------")
+    tree = format_event_tree(events)
+    if tree:
+        lines.extend(tree)
+    else:
+        lines.append("(no events recorded -- results served from cache?)")
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Structured tracing of query execution.
+
+The paper's evaluation (Sections 9-10) is an argument about *costs*; the
+tracer makes those costs attributable to an individual query, stratum,
+plan step or fixpoint round instead of one global counter blob.
+
+Architecture: every :class:`~repro.storage.database.Database` owns one
+:class:`Tracer` hub that is threaded through the VM, the NAIL! engine and
+the relations.  The hub is disabled (``enabled = False``) until a sink is
+installed, and every instrumentation site guards on ``tracer.enabled``
+before doing any work, so tracing is zero-cost when off.
+
+Event schema (deterministic in structure; wall-clock fields vary):
+
+========== =========================================================
+``seq``    start order of the event (spans are sequenced at *enter*)
+``depth``  nesting depth at the time the event started
+``kind``   ``query`` | ``query_magic`` | ``call`` | ``rows`` |
+           ``proc`` | ``stmt`` | ``repeat`` | ``step`` |
+           ``pipeline_break`` | ``index_build`` | ``stratum`` |
+           ``round`` | ``pass`` | ``rule`` | ``idb_cache_hit`` |
+           ``magic``
+``name``   human-readable label (plan-step text, predicate name, ...)
+``rows``   rows produced by the traced unit (``None`` when n/a)
+``dur_ms`` wall-clock duration in milliseconds (0 for instant events)
+``counters`` nonzero :class:`CostCounters` deltas over the unit
+========== =========================================================
+
+Kind-specific attributes (``resolution``, ``module``, ``rounds``, ...)
+are merged into the JSON object emitted by :class:`JsonLinesSink`.
+
+Sinks receive span events at span *exit* (children before parents);
+consumers rebuild the tree by sorting on ``seq`` and indenting by
+``depth``.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Dict, List, Optional
+
+# NOTE: this module must not import repro.storage at module level --
+# storage imports the tracer, and the storage package initializer pulls in
+# every storage submodule, so a top-level import here would be circular.
+# ``counters`` is duck-typed: any object with ``as_tuple()``.
+
+
+class TraceEvent:
+    """One completed span or instant event."""
+
+    __slots__ = ("kind", "name", "seq", "depth", "dur_s", "rows", "counters", "attrs")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        seq: int,
+        depth: int,
+        dur_s: float = 0.0,
+        rows: Optional[int] = None,
+        counters: Optional[Dict[str, int]] = None,
+        attrs: Optional[dict] = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.seq = seq
+        self.depth = depth
+        self.dur_s = dur_s
+        self.rows = rows
+        self.counters = counters if counters is not None else {}
+        self.attrs = attrs if attrs is not None else {}
+
+    def to_dict(self) -> dict:
+        out = {
+            "seq": self.seq,
+            "depth": self.depth,
+            "kind": self.kind,
+            "name": self.name,
+            "rows": self.rows,
+            "dur_ms": round(self.dur_s * 1000.0, 3),
+            "counters": self.counters,
+        }
+        out.update(self.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceEvent #{self.seq} d{self.depth} {self.kind} {self.name!r}>"
+
+
+class TraceSink:
+    """Receives completed events; implementations decide what to keep."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+
+class CollectingSink(TraceSink):
+    """Keeps every event in memory (drives ``.trace`` and EXPLAIN ANALYZE)."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class JsonLinesSink(TraceSink):
+    """Writes one JSON object per event to a text stream (``--trace-json``)."""
+
+    def __init__(self, stream):
+        self.stream = stream
+
+    def emit(self, event: TraceEvent) -> None:
+        self.stream.write(json.dumps(event.to_dict(), default=str) + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+
+
+class _Span:
+    """A live span: counter snapshot + clock at enter, event at exit."""
+
+    __slots__ = ("_tracer", "kind", "name", "attrs", "rows", "_seq", "_depth", "_t0", "_c0")
+
+    def __init__(self, tracer: "Tracer", kind: str, name: str, attrs: dict):
+        self._tracer = tracer
+        self.kind = kind
+        self.name = name
+        self.attrs = attrs
+        self.rows: Optional[int] = None
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        tracer._seq += 1
+        self._seq = tracer._seq
+        self._depth = tracer._depth
+        tracer._depth += 1
+        counters = tracer.counters
+        self._c0 = counters.as_tuple() if counters is not None else None
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = perf_counter() - self._t0
+        tracer = self._tracer
+        tracer._depth -= 1
+        if self._c0 is not None:
+            from repro.storage.stats import nonzero_delta
+
+            delta = nonzero_delta(self._c0, tracer.counters.as_tuple())
+        else:
+            delta = {}
+        tracer._dispatch(
+            TraceEvent(self.kind, self.name, self._seq, self._depth, dur,
+                       self.rows, delta, self.attrs)
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    rows = None
+    attrs: dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """The tracing hub: span/event emission fanned out to sinks.
+
+    ``enabled`` is a plain attribute kept in sync with the sink list so
+    hot paths pay one attribute read when tracing is off.
+    """
+
+    def __init__(self, counters=None):
+        self.counters = counters  # duck-typed: needs .as_tuple(); may be None
+        self.sinks: List[TraceSink] = []
+        self.enabled = False
+        self._seq = 0
+        self._depth = 0
+
+    # -------------------------------------------------------------- #
+    # sink management
+    # -------------------------------------------------------------- #
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        if sink not in self.sinks:
+            self.sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        if sink in self.sinks:
+            self.sinks.remove(sink)
+        self.enabled = bool(self.sinks)
+
+    # -------------------------------------------------------------- #
+    # emission
+    # -------------------------------------------------------------- #
+
+    def span(self, kind: str, name: str, **attrs):
+        """A context manager timing a unit of work; set ``.rows`` inside."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, kind, name, attrs)
+
+    def event(
+        self,
+        kind: str,
+        name: str,
+        rows: Optional[int] = None,
+        counters: Optional[Dict[str, int]] = None,
+        dur_s: float = 0.0,
+        **attrs,
+    ) -> None:
+        """An instant (zero-duration) event."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        self._dispatch(
+            TraceEvent(kind, name, self._seq, self._depth, dur_s, rows,
+                       counters, attrs)
+        )
+
+    def _dispatch(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+# The shared always-disabled tracer: the default for relations created
+# outside any database/system wiring.  Do not install sinks on it.
+NULL_TRACER = Tracer()

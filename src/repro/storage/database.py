@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
+from repro.obs.tracer import Tracer
 from repro.storage.adaptive import AdaptiveIndexPolicy, IndexPolicy
 from repro.storage.relation import Relation
 from repro.storage.stats import CostCounters
@@ -36,9 +37,12 @@ class Database:
         self,
         index_policy: Optional[IndexPolicy] = None,
         counters: Optional[CostCounters] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.index_policy = index_policy if index_policy is not None else AdaptiveIndexPolicy()
         self.counters = counters if counters is not None else CostCounters()
+        # One tracing hub per database; disabled until a sink is installed.
+        self.tracer = tracer if tracer is not None else Tracer(self.counters)
         self._relations: dict = {}  # PredKey -> Relation
         self._version = 0
 
@@ -65,6 +69,7 @@ class Database:
                 counters=self.counters,
                 index_policy=self.index_policy,
                 listener=self._bump,
+                tracer=self.tracer,
             )
             self._relations[key] = relation
             self._version += 1

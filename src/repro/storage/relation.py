@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.adaptive import IndexPolicy
 from repro.storage.index import HashIndex
 from repro.storage.stats import CostCounters, RelationStats
@@ -35,6 +36,7 @@ class Relation:
         counters: Optional[CostCounters] = None,
         index_policy: Optional[IndexPolicy] = None,
         listener: Optional[Callable[["Relation"], None]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if arity < 0:
             raise ValueError("arity must be non-negative")
@@ -44,6 +46,7 @@ class Relation:
         self.arity = arity
         self.counters = counters if counters is not None else CostCounters()
         self.index_policy = index_policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = RelationStats()
         self._rows: dict = {}  # Row -> None; dict preserves insertion order
         self._indexes: dict = {}  # tuple[int, ...] -> HashIndex
@@ -168,6 +171,12 @@ class Relation:
         self._indexes[columns] = index
         self.counters.index_builds += 1
         self.counters.index_build_tuples += loaded
+        if self.tracer.enabled:
+            self.tracer.event(
+                "index_build",
+                f"{self.name}/{self.arity} cols={list(columns)}",
+                rows=loaded,
+            )
         return index
 
     def has_index(self, columns: Tuple[int, ...]) -> bool:

@@ -38,6 +38,14 @@ class CostCounters:
     def snapshot(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def as_tuple(self) -> tuple:
+        """A cheap positional snapshot (field order of ``COUNTER_FIELDS``).
+
+        The tracer takes these at span boundaries, so this avoids building
+        a dict per instrumentation point.
+        """
+        return tuple(getattr(self, name) for name in COUNTER_FIELDS)
+
     def __add__(self, other: "CostCounters") -> "CostCounters":
         merged = CostCounters()
         for f in fields(self):
@@ -55,6 +63,24 @@ class CostCounters:
             + self.deletes
             + self.materialized_tuples
         )
+
+
+COUNTER_FIELDS: tuple = tuple(f.name for f in fields(CostCounters))
+
+
+def counter_delta(before: tuple, after: tuple) -> dict:
+    """Full per-counter difference of two ``as_tuple`` snapshots."""
+    return {name: after[i] - before[i] for i, name in enumerate(COUNTER_FIELDS)}
+
+
+def nonzero_delta(before: tuple, after: tuple) -> dict:
+    """Like :func:`counter_delta` but only the counters that moved."""
+    out = {}
+    for i, name in enumerate(COUNTER_FIELDS):
+        diff = after[i] - before[i]
+        if diff:
+            out[name] = diff
+    return out
 
 
 @dataclass

@@ -95,6 +95,21 @@ def explain_step(step: Step) -> str:
     return f"{kind:10s} {detail:44s} cols=({cols}){barrier}"
 
 
+def step_label(step: Step) -> str:
+    """The EXPLAIN line for one step, collapsed to single spaces.
+
+    Used as the deterministic ``name`` of ``step`` trace events so EXPLAIN
+    ANALYZE output lines up with plain EXPLAIN.
+    """
+    return " ".join(explain_step(step).split())
+
+
+def stmt_label(stmt: CompiledStmt) -> str:
+    """A compact label for a compiled assignment (trace ``stmt`` events)."""
+    op = stmt.op if stmt.op != "modify" else f"+=[{','.join(map(str, stmt.key_positions))}]"
+    return f"{_ref_text(stmt.head_ref)} {op}"
+
+
 def explain_stmt(stmt, indent: int = 0) -> List[str]:
     pad = "  " * indent
     lines: List[str] = []

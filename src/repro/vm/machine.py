@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.scope import PredClass, pred_skeleton
@@ -26,7 +27,7 @@ from repro.errors import GlueRuntimeError
 from repro.glue.builtins import BUILTIN_PROCS
 from repro.storage.database import Database
 from repro.storage.relation import Relation
-from repro.storage.stats import CostCounters
+from repro.storage.stats import COUNTER_FIELDS, CostCounters
 from repro.terms.term import Atom, Term
 from repro.vm.plan import (
     CompiledProc,
@@ -77,6 +78,7 @@ class ExecContext:
         self.inp = inp if inp is not None else sys.stdin
         self.max_loop_iterations = max_loop_iterations
         self.adaptive_reorder = adaptive_reorder
+        self.tracer = self.db.tracer
         self.foreign: Dict[Tuple[str, int], ForeignProc] = {}
         self.nail_engine = None  # wired by repro.core.system
 
@@ -100,10 +102,14 @@ class Frame:
         if proc is not None:
             for name, arity in proc.locals:
                 self.locals[(name, arity)] = Relation(
-                    Atom(name), arity, counters=ctx.counters
+                    Atom(name), arity, counters=ctx.counters, tracer=ctx.tracer
                 )
-            self.in_rel = Relation(Atom("in"), proc.bound_arity, counters=ctx.counters)
-            self.return_rel = Relation(Atom("return"), proc.arity, counters=ctx.counters)
+            self.in_rel = Relation(
+                Atom("in"), proc.bound_arity, counters=ctx.counters, tracer=ctx.tracer
+            )
+            self.return_rel = Relation(
+                Atom("return"), proc.arity, counters=ctx.counters, tracer=ctx.tracer
+            )
         else:
             self.in_rel = None
             self.return_rel = None
@@ -233,6 +239,18 @@ class Machine:
 
     def call_proc(self, proc: CompiledProc, input_rows: List[Row]) -> List[Row]:
         """Invoke a compiled procedure on a set of input tuples."""
+        tracer = self.ctx.tracer
+        if not tracer.enabled:
+            return self._call_proc_impl(proc, input_rows)
+        with tracer.span(
+            "proc", f"{proc.name}/{proc.arity}", module=proc.module,
+            inputs=len(input_rows),
+        ) as span:
+            rows = self._call_proc_impl(proc, input_rows)
+            span.rows = len(rows)
+            return rows
+
+    def _call_proc_impl(self, proc: CompiledProc, input_rows: List[Row]) -> List[Row]:
         self.ctx.counters.proc_calls += 1
         frame = Frame(proc, self.ctx)
         for row in input_rows:
@@ -263,10 +281,22 @@ class Machine:
             self._exec_repeat(stmt, frame)
             return
         assert isinstance(stmt, CompiledStmt)
+        tracer = self.ctx.tracer
+        if not tracer.enabled:
+            self._exec_assign(stmt, frame)
+            return
+        from repro.vm.explain import stmt_label
+
+        with tracer.span("stmt", stmt_label(stmt)) as span:
+            self._exec_assign(stmt, frame, span)
+
+    def _exec_assign(self, stmt: CompiledStmt, frame: Frame, span=None) -> None:
         if self.ctx.adaptive_reorder:
             stmt = self._adapted_variant(stmt, frame)
         rows = self.run_plan(stmt.plan, frame)
         head_rows = list(dict.fromkeys(tuple(fn(r) for fn in stmt.head_fns) for r in rows))
+        if span is not None:
+            span.rows = len(head_rows)
         self._apply_head(stmt, rows, head_rows, frame)
         if stmt.is_return and head_rows:
             # "Assigning to this relation also has the effect of exiting the
@@ -369,12 +399,21 @@ class Machine:
         return variant
 
     def _exec_repeat(self, stmt: CompiledRepeat, frame: Frame) -> None:
+        tracer = self.ctx.tracer
+        if not tracer.enabled:
+            self._exec_repeat_impl(stmt, frame)
+            return
+        with tracer.span("repeat", "repeat/until") as span:
+            iterations = self._exec_repeat_impl(stmt, frame)
+            span.attrs["iterations"] = iterations
+
+    def _exec_repeat_impl(self, stmt: CompiledRepeat, frame: Frame) -> int:
         iterations = 0
         while True:
             for inner in stmt.body:
                 self.exec_stmt(inner, frame)
             if self._eval_until(stmt.until_alts, frame):
-                return
+                return iterations + 1
             iterations += 1
             if iterations >= self.ctx.max_loop_iterations:
                 raise GlueRuntimeError(
@@ -398,6 +437,16 @@ class Machine:
             return self._run_materialized(plan, frame)
         return self._run_pipelined(plan, frame)
 
+    # -- per-step instrumentation (EXPLAIN ANALYZE) -------------------- #
+    #
+    # Tracing must not change what executes: the pipelined strategy stays
+    # lazy, so each step's output stream is wrapped in a metering iterator
+    # that accumulates rows-out, wall time and counter deltas *inclusive*
+    # of its upstream chain.  Since a pipeline segment is linear, a step's
+    # own (exclusive) cost is its accumulator minus its upstream step's.
+    # Barriers materialize eagerly and are measured directly; the segment
+    # baseline restarts after each barrier.
+
     def _dedup(self, rows: List[Row]) -> List[Row]:
         before = len(rows)
         rows = list(dict.fromkeys(rows))
@@ -405,6 +454,8 @@ class Machine:
         return rows
 
     def _run_materialized(self, plan: Plan, frame: Frame) -> List[Row]:
+        if self.ctx.tracer.enabled:
+            return self._run_materialized_traced(plan, frame)
         counters = self.ctx.counters
         current: List[Row] = [()]
         for step in plan:
@@ -432,6 +483,8 @@ class Machine:
         seed: Optional[List[Row]] = None,
         count_final: bool = True,
     ) -> List[Row]:
+        if self.ctx.tracer.enabled:
+            return self._run_pipelined_traced(plan, frame, seed, count_final)
         counters = self.ctx.counters
         stream = iter([()] if seed is None else seed)
         for step in plan:
@@ -452,3 +505,150 @@ class Machine:
             counters.materializations += 1
             counters.materialized_tuples += len(result)
         return self._dedup(result)
+
+    def _run_materialized_traced(self, plan: Plan, frame: Frame) -> List[Row]:
+        counters = self.ctx.counters
+        tracer = self.ctx.tracer
+        from repro.vm.explain import step_label
+
+        current: List[Row] = [()]
+        for step in plan:
+            c0 = counters.as_tuple()
+            t0 = perf_counter()
+            if step.is_barrier:
+                current = step.materialize_apply(current, self, frame)
+            else:
+                current = list(step.iterate(current, self, frame))
+            counters.materializations += 1
+            counters.materialized_tuples += len(current)
+            current = self._dedup(current)
+            tracer.event(
+                "step", step_label(step), rows=len(current),
+                counters=_nonzero_counter_diff(c0, counters.as_tuple()),
+                dur_s=perf_counter() - t0,
+            )
+            if not current:
+                return []
+        return current
+
+    def _run_pipelined_traced(
+        self,
+        plan: Plan,
+        frame: Frame,
+        seed: Optional[List[Row]],
+        count_final: bool,
+    ) -> List[Row]:
+        counters = self.ctx.counters
+        snap = counters.as_tuple
+        stream = iter([()] if seed is None else seed)
+        meters: List[Tuple[Step, _StepMeter, Optional[_StepMeter]]] = []
+        base: Optional[_StepMeter] = None
+        aborted = False
+        for step in plan:
+            if step.is_barrier:
+                materialized = list(stream)  # upstream meters finish here
+                counters.pipeline_breaks += 1
+                counters.materializations += 1
+                counters.materialized_tuples += len(materialized)
+                if self.ctx.dedup_on_break:
+                    materialized = self._dedup(materialized)
+                meter = _StepMeter()
+                meter.break_rows = len(materialized)
+                meters.append((step, meter, None))
+                if not materialized:
+                    aborted = True
+                    result: List[Row] = []
+                    break
+                c0 = snap()
+                t0 = perf_counter()
+                out = step.materialize_apply(materialized, self, frame)
+                meter.dur = perf_counter() - t0
+                meter.add(c0, snap())
+                meter.rows = len(out)
+                stream = iter(out)
+                base = None  # the next lazy step starts a fresh segment
+            else:
+                meter = _StepMeter()
+                meters.append((step, meter, base))
+                stream = _metered(step.iterate(stream, self, frame), meter, snap)
+                base = meter
+        if not aborted:
+            result = list(stream)
+            if count_final:
+                counters.materializations += 1
+                counters.materialized_tuples += len(result)
+            result = self._dedup(result)
+        self._emit_step_events(meters)
+        return result
+
+    def _emit_step_events(
+        self, meters: List[Tuple["Step", "_StepMeter", Optional["_StepMeter"]]]
+    ) -> None:
+        tracer = self.ctx.tracer
+        from repro.vm.explain import step_label
+
+        for step, meter, base in meters:
+            if meter.break_rows is not None:
+                tracer.event("pipeline_break", step_label(step), rows=meter.break_rows)
+            if base is None:
+                dur = meter.dur
+                delta = meter.delta
+            else:
+                dur = max(meter.dur - base.dur, 0.0)
+                delta = [a - b for a, b in zip(meter.delta, base.delta)]
+            tracer.event(
+                "step", step_label(step), rows=meter.rows,
+                counters={
+                    COUNTER_FIELDS[i]: v for i, v in enumerate(delta) if v
+                },
+                dur_s=dur,
+            )
+
+
+class _StepMeter:
+    """Accumulates one plan step's rows-out, wall time and counter deltas.
+
+    For lazy (non-barrier) steps the numbers are *inclusive* of the
+    upstream chain; :meth:`Machine._emit_step_events` subtracts the
+    upstream meter to get the step's own cost.  ``break_rows`` is set on
+    barrier meters to the supplementary-relation size at the break.
+    """
+
+    __slots__ = ("rows", "dur", "delta", "break_rows")
+
+    def __init__(self):
+        self.rows = 0
+        self.dur = 0.0
+        self.delta = [0] * len(COUNTER_FIELDS)
+        self.break_rows: Optional[int] = None
+
+    def add(self, before: tuple, after: tuple) -> None:
+        delta = self.delta
+        for i in range(len(delta)):
+            delta[i] += after[i] - before[i]
+
+
+def _metered(inner, meter: _StepMeter, snap) -> "Iterator[Row]":
+    """Wrap a step's output stream, charging each pull to ``meter``."""
+    while True:
+        c0 = snap()
+        t0 = perf_counter()
+        try:
+            row = next(inner)
+        except StopIteration:
+            meter.dur += perf_counter() - t0
+            meter.add(c0, snap())
+            return
+        meter.dur += perf_counter() - t0
+        meter.add(c0, snap())
+        meter.rows += 1
+        yield row
+
+
+def _nonzero_counter_diff(before: tuple, after: tuple) -> Dict[str, int]:
+    out = {}
+    for i, name in enumerate(COUNTER_FIELDS):
+        diff = after[i] - before[i]
+        if diff:
+            out[name] = diff
+    return out

@@ -1,0 +1,145 @@
+"""EXPLAIN ANALYZE, the CLI trace flags and the REPL profiling commands."""
+
+import io
+import json
+
+from repro.core.cli import main as cli_main
+from repro.core.repl import Repl
+from repro.core.system import GlueNailSystem
+
+RECURSIVE = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y) & edge(Y, Z).
+"""
+
+
+def _system():
+    system = GlueNailSystem()
+    system.load(RECURSIVE)
+    system.facts("edge", [(1, 2), (2, 3), (3, 4)])
+    return system
+
+
+class TestExplainAnalyze:
+    def test_recursive_query_shows_rounds_rows_and_counters(self):
+        report = _system().explain_analyze("path(1, Y)?")
+        assert "EXPLAIN ANALYZE path(1, Y)?" in report
+        assert "resolution: nail   rows: 3" in report
+        # Static plan section: the defining rules.
+        assert "path(X, Z) :- path(X, Y) & edge(Y, Z)." in report
+        # Execution section: per-round / per-rule actual rows + deltas.
+        assert "round 0" in report and "round 1" in report
+        assert "rule#0 path/2" in report
+        assert "rows=" in report and "inserts=" in report
+
+    def test_procedure_query_shows_per_step_rows(self):
+        system = GlueNailSystem()
+        system.load(
+            """
+            module m;
+            export pairs(:X, Y);
+            proc pairs(:X, Y)
+              gp(A, C) := parent(A, B) & parent(B, C).
+              return(:X, Y) := gp(X, Y).
+            end
+            end
+            """
+        )
+        system.facts("parent", [("a", "b"), ("b", "c")])
+        report = system.explain_analyze("pairs(X, Y)?")
+        assert "resolution: procedure" in report
+        # The static plan and the execution tree share step labels.
+        assert "ASSIGN gp/2" in report
+        assert report.count("SCAN parent/2") >= 2  # plan line + step event
+        step_lines = [
+            line for line in report.splitlines() if line.strip().startswith("step")
+        ]
+        assert step_lines and all("rows=" in line for line in step_lines)
+
+    def test_cached_second_run_says_so(self):
+        system = _system()
+        system.query("path(1, Y)?")  # populate the IDB cache
+        report = system.explain_analyze("path(1, Y)?")
+        assert "idb_cache_hit" in report
+
+    def test_magic_mode(self):
+        report = _system().explain_analyze("path(1, Y)?", magic=True)
+        assert "resolution: magic" in report
+        assert "magic" in report and "rewritten_rules=" in report
+
+    def test_explain_analyze_leaves_tracing_off(self):
+        system = _system()
+        system.explain_analyze("path(1, Y)?")
+        assert not system.tracer.enabled
+        assert system.query("edge(1, Y)?").trace == []
+
+
+class TestCli:
+    def _program(self, tmp_path):
+        path = tmp_path / "prog.glue"
+        path.write_text(RECURSIVE + "edge(1, 2).\nedge(2, 3).\n")
+        return str(path)
+
+    def test_explain_analyze_flag(self, tmp_path, capsys):
+        assert cli_main(["query", self._program(tmp_path), "path(1, Y)?",
+                         "--explain-analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "Execution" in out and "round 0" in out
+
+    def test_trace_json_flag_writes_one_event_per_line(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        assert cli_main(["query", self._program(tmp_path), "path(1, Y)?",
+                         "--trace-json", str(trace_file)]) == 0
+        events = [json.loads(line) for line in trace_file.read_text().splitlines()]
+        assert events
+        assert {"seq", "depth", "kind", "name", "rows", "dur_ms", "counters"} <= set(
+            events[0]
+        )
+        assert any(e["kind"] == "query" for e in events)
+
+
+class TestReplProfiling:
+    def _run(self, lines):
+        out = io.StringIO()
+        repl = Repl(out=out)
+        for line in lines:
+            repl.feed(line + "\n")
+        return out.getvalue()
+
+    def test_profile_and_last(self):
+        output = self._run(
+            [
+                "edge(1, 2).",
+                "edge(2, 3).",
+                "path(X, Y) :- edge(X, Y).",
+                "path(X, Z) :- path(X, Y) & edge(Y, Z).",
+                ".profile on",
+                "path(1, Y)?",
+                ".last",
+                ".profile off",
+            ]
+        )
+        assert "profiling on" in output
+        assert "resolution: nail" in output
+        assert "trace:" in output and "round 0" in output
+        assert "profiling off" in output
+
+    def test_last_without_queries(self):
+        assert "(no query has run yet)" in self._run([".last"])
+
+    def test_last_without_profiling_shows_stats_only(self):
+        output = self._run(["edge(1, 2).", "edge(X, Y)?", ".last"])
+        assert "resolution: edb" in output
+        assert "trace:" not in output
+
+    def test_analyze_command(self):
+        output = self._run(
+            [
+                "edge(1, 2).",
+                "path(X, Y) :- edge(X, Y).",
+                ".analyze path(X, Y)?",
+            ]
+        )
+        assert "EXPLAIN ANALYZE" in output
+        assert "Execution" in output

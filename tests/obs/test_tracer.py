@@ -1,0 +1,159 @@
+"""The tracing hub: spans, sinks, determinism and zero-cost-off."""
+
+import io
+import json
+
+from repro.core.system import GlueNailSystem
+from repro.obs.tracer import CollectingSink, JsonLinesSink, NULL_SPAN, Tracer
+from repro.storage.stats import CostCounters
+
+
+def _system(**kwargs):
+    system = GlueNailSystem(**kwargs)
+    system.load(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y) & edge(Y, Z).
+        """
+    )
+    system.facts("edge", [(1, 2), (2, 3), (3, 4)])
+    return system
+
+
+class TestTracerCore:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("query", "q") is NULL_SPAN
+        assert tracer.span("stmt", "s") is NULL_SPAN
+
+    def test_events_only_reach_sinks_while_enabled(self):
+        tracer = Tracer()
+        sink = CollectingSink()
+        tracer.event("step", "before-sink")  # dropped: disabled
+        tracer.add_sink(sink)
+        tracer.event("step", "counted")
+        tracer.remove_sink(sink)
+        tracer.event("step", "after-sink")  # dropped again
+        assert [e.name for e in sink.events] == ["counted"]
+        assert not tracer.enabled
+
+    def test_span_nesting_assigns_seq_in_program_order(self):
+        tracer = Tracer()
+        sink = tracer.add_sink(CollectingSink())
+        with tracer.span("query", "outer"):
+            with tracer.span("stmt", "inner-1"):
+                pass
+            with tracer.span("stmt", "inner-2"):
+                pass
+        # Sinks see children first (exit order) ...
+        assert [e.name for e in sink.events] == ["inner-1", "inner-2", "outer"]
+        # ... but seq/depth reconstruct the program-order tree.
+        ordered = sorted(sink.events, key=lambda e: e.seq)
+        assert [(e.name, e.depth) for e in ordered] == [
+            ("outer", 0),
+            ("inner-1", 1),
+            ("inner-2", 1),
+        ]
+
+    def test_span_records_counter_deltas(self):
+        counters = CostCounters()
+        tracer = Tracer(counters)
+        sink = tracer.add_sink(CollectingSink())
+        with tracer.span("stmt", "work"):
+            counters.inserts += 3
+            counters.tuples_scanned += 7
+        (event,) = sink.events
+        assert event.counters == {"inserts": 3, "tuples_scanned": 7}
+
+    def test_json_lines_sink_emits_one_object_per_line(self):
+        stream = io.StringIO()
+        tracer = Tracer()
+        tracer.add_sink(JsonLinesSink(stream))
+        tracer.event("index_build", "r/2 cols=[0]", rows=5)
+        with tracer.span("query", "q(X)?") as span:
+            span.rows = 1
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["kind"] == "index_build"
+        assert first["rows"] == 5
+        assert second["kind"] == "query"
+        assert second["seq"] > first["seq"]
+
+
+class TestSystemTracing:
+    def test_trace_events_cover_fixpoint_structure(self):
+        system = _system(trace=True)
+        result = system.query("path(1, Y)?")
+        kinds = {e.kind for e in result.trace}
+        assert {"query", "stratum", "round", "rule"} <= kinds
+        query_events = [e for e in result.trace if e.kind == "query"]
+        assert query_events[0].rows == len(result)
+        assert query_events[0].attrs["resolution"] == "nail"
+
+    def test_trace_slices_are_per_query(self):
+        system = _system(trace=True)
+        first = system.query("path(1, Y)?")
+        second = system.query("edge(1, Y)?")
+        assert first.trace and second.trace
+        first_seqs = {e.seq for e in first.trace}
+        assert all(e.seq not in first_seqs for e in second.trace)
+        assert second.resolution == "edb"
+
+    def test_event_structure_is_deterministic(self):
+        def shape(events):
+            return [
+                (e.kind, e.name, e.rows, dict(e.counters))
+                for e in sorted(events, key=lambda e: e.seq)
+            ]
+
+        runs = []
+        for _ in range(2):
+            system = _system(trace=True)
+            runs.append(shape(system.query("path(1, Y)?").trace))
+        assert runs[0] == runs[1]
+
+    def test_tracing_disabled_leaves_counters_identical(self):
+        """Tracing off must not perturb the deterministic cost model."""
+        plain = _system()
+        plain.query("path(1, Y)?")
+        traced = _system(trace=True)
+        traced.query("path(1, Y)?")
+        assert plain.counters.snapshot() == traced.counters.snapshot()
+
+    def test_disable_tracing_stops_collection(self):
+        system = _system()
+        system.enable_tracing()
+        assert system.query("path(1, Y)?").trace
+        system.disable_tracing()
+        result = system.query("edge(1, Y)?")
+        assert result.trace == []
+        assert not system.tracer.enabled
+
+    def test_index_build_emits_event(self):
+        system = _system()
+        collector = system.enable_tracing()
+        relation = system.db.relation("edge", 2)
+        relation.build_index((0,))
+        (event,) = [e for e in collector.events if e.kind == "index_build"]
+        assert event.rows == len(relation)
+        assert "edge/2" in event.name and "[0]" in event.name
+
+    def test_materialized_strategy_traces_steps_too(self):
+        system = GlueNailSystem(strategy="materialized", trace=True)
+        system.load(
+            """
+            module m;
+            export pairs(:X, Y);
+            proc pairs(:X, Y)
+              return(:X, Y) := edge(X, Y).
+            end
+            end
+            """
+        )
+        system.facts("edge", [(1, 2), (2, 3)])
+        result = system.call("pairs")
+        kinds = {e.kind for e in result.trace}
+        assert {"call", "proc", "stmt", "step"} <= kinds
+        steps = [e for e in result.trace if e.kind == "step"]
+        assert all(e.rows is not None for e in steps)
