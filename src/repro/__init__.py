@@ -19,6 +19,14 @@ Quick start::
     system.facts("edge", [(1, 2), (2, 3), (3, 4)])
     for row in system.query("path(1, Y)?"):
         print(row)
+
+Durable, multi-client use (see :mod:`repro.txn` and :mod:`repro.server`)::
+
+    system = GlueNailSystem.open("state/")    # WAL + checkpoint, recovered
+    with system.transaction():
+        system.fact("edge", 4, 5)             # atomic, durable at commit
+
+    # gluenail serve --db state/   +   gluenail connect   on the CLI
 """
 
 from repro import obs

@@ -6,13 +6,16 @@ Subcommands::
     gluenail run    program.glue [options]    # run the script / a procedure
     gluenail query  program.glue "p(1, X)?"   # ad-hoc query
     gluenail nail2glue program.glue           # print the generated Glue code
+    gluenail serve  --db DIR [options]        # concurrent TCP query server
+    gluenail connect [--host H --port P]      # REPL against a live server
 
 Common options: ``--edb facts.gnd`` loads an EDB dump before running,
-``--save facts.gnd`` persists the EDB afterwards, ``--strategy
-pipelined|materialized`` picks the execution strategy, ``--stats`` prints
-the cost counters, ``--trace-json FILE`` streams the execution trace as
-JSON lines.  ``query --explain-analyze`` prints the plan annotated with
-actual rows, counter deltas and timings.
+``--db DIR`` opens a durable database directory (WAL + checkpoint, with
+crash recovery), ``--save facts.gnd`` persists the EDB afterwards,
+``--strategy pipelined|materialized`` picks the execution strategy,
+``--stats`` prints the cost counters, ``--trace-json FILE`` streams the
+execution trace as JSON lines.  ``query --explain-analyze`` prints the
+plan annotated with actual rows, counter deltas and timings.
 """
 
 from __future__ import annotations
@@ -27,12 +30,16 @@ from repro.terms.printer import tuple_to_str
 
 
 def _build_system(args) -> GlueNailSystem:
-    system = GlueNailSystem(
+    options = dict(
         strict=args.strict,
         optimize=not args.no_optimize,
         strategy=args.strategy,
         dedup_on_break=not args.no_dedup,
     )
+    if getattr(args, "db", None):
+        system = GlueNailSystem.open(args.db, **options)
+    else:
+        system = GlueNailSystem(**options)
     if getattr(args, "trace_json", None):
         from repro.obs.tracer import JsonLinesSink
 
@@ -130,19 +137,94 @@ def cmd_repl(args) -> int:
     from repro.core.repl import Repl
     from repro.core.system import GlueNailSystem
 
-    system = GlueNailSystem()
+    if getattr(args, "db", None):
+        system = GlueNailSystem.open(args.db)
+    else:
+        system = GlueNailSystem()
     if args.program:
         system.load_file(args.program)
     if args.edb:
         system.load_edb(args.edb)
     repl = Repl(system=system)
     repl.run(sys.stdin)
+    system.close()
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.server.server import GlueNailServer
+
+    program = None
+    if args.program:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            program = handle.read()
+    server = GlueNailServer(
+        db_dir=args.db,
+        program=program,
+        host=args.host,
+        port=args.port,
+        sync=not args.no_sync,
+    )
+    if args.edb:
+        from repro.storage.persist import load_database
+
+        load_database(args.edb, server.db)
+    where = "durable store " + args.db if args.db else "in-memory EDB"
+    print(f"gluenail: serving {where} on {server.host}:{server.port}",
+          file=sys.stderr)
+    if server.store is not None and server.store.recovered_txns:
+        print(f"gluenail: recovered {server.store.recovered_txns} committed "
+              f"transaction(s) from the WAL", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_connect(args) -> int:
+    from repro.server.client import Client, RemoteError
+
+    try:
+        client = Client(host=args.host, port=args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    session = client.ping()
+    print(f"connected to {args.host}:{args.port} as {session} -- "
+          ".help for help, .quit to leave")
+    try:
+        for line in sys.stdin:
+            try:
+                out = client.repl(line)
+            except RemoteError as exc:
+                print(f"error: {exc}")
+                continue
+            except ConnectionError:
+                print("server closed the connection", file=sys.stderr)
+                return 1
+            sys.stdout.write(out)
+            sys.stdout.flush()
+            if line.strip() in (".quit", ".exit"):
+                break
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        client.close()
     return 0
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="Glue-Nail source file")
     parser.add_argument("--edb", help="EDB dump to load before running")
+    parser.add_argument(
+        "--db",
+        metavar="DIR",
+        help="durable database directory (WAL + checkpoint, recovered on open)",
+    )
     parser.add_argument("--facts-dir", help="directory of .facts TSV files to load")
     parser.add_argument("--strict", action="store_true", help="require declarations")
     parser.add_argument("--no-optimize", action="store_true", help="disable reordering")
@@ -204,7 +286,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_repl = sub.add_parser("repl", help="interactive session")
     p_repl.add_argument("program", nargs="?", help="program to preload")
     p_repl.add_argument("--edb", help="EDB dump to load first")
+    p_repl.add_argument("--db", metavar="DIR",
+                        help="durable database directory (recovered on open)")
     p_repl.set_defaults(fn=cmd_repl)
+
+    p_serve = sub.add_parser("serve", help="run the concurrent TCP query server")
+    p_serve.add_argument("--db", metavar="DIR",
+                         help="durable database directory (recovered on open)")
+    p_serve.add_argument("--program", help="Glue-Nail source preloaded per session")
+    p_serve.add_argument("--edb", help="EDB dump loaded into the shared database")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7411)
+    p_serve.add_argument("--no-sync", action="store_true",
+                         help="skip fsync on commit (faster, less durable)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_connect = sub.add_parser("connect", help="REPL against a live server")
+    p_connect.add_argument("--host", default="127.0.0.1")
+    p_connect.add_argument("--port", type=int, default=7411)
+    p_connect.add_argument("--timeout", type=float, default=None,
+                           help="socket timeout in seconds (default: none)")
+    p_connect.set_defaults(fn=cmd_connect)
 
     args = parser.parse_args(argv)
     try:

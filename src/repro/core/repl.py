@@ -46,6 +46,8 @@ Commands:
   .strategy NAME       pipelined | materialized
   .stats               cost counters since the last .stats
   .save FILE / .load FILE   EDB persistence
+  .begin / .commit / .rollback   transaction boundaries
+  .checkpoint          compact the durable store's WAL (with --db)
   .quit                leave
 """
 
@@ -216,6 +218,10 @@ class Repl:
             ".stats": self._cmd_stats,
             ".save": self._cmd_save,
             ".load": self._cmd_load,
+            ".begin": self._cmd_begin,
+            ".commit": self._cmd_commit,
+            ".rollback": self._cmd_rollback,
+            ".checkpoint": self._cmd_checkpoint,
         }
         handler = handlers.get(command)
         if handler is None:
@@ -330,6 +336,22 @@ class Repl:
             return
         self.system.load_edb(arg)
         self._print("loaded")
+
+    def _cmd_begin(self, _arg: str) -> None:
+        self.system.begin()
+        self._print("transaction open")
+
+    def _cmd_commit(self, _arg: str) -> None:
+        self.system.commit()
+        self._print("transaction committed")
+
+    def _cmd_rollback(self, _arg: str) -> None:
+        self.system.rollback()
+        self._print("transaction rolled back")
+
+    def _cmd_checkpoint(self, _arg: str) -> None:
+        count = self.system.checkpoint()
+        self._print(f"checkpointed {count} fact(s)")
 
 
 def main() -> int:  # pragma: no cover - interactive entry point

@@ -82,9 +82,33 @@ class GlueNailSystem:
         self._engine: Optional[NailEngine] = None
 
         self._collector: Optional[CollectingSink] = None
+        self._collector_local = False
         self.last_result: Optional[QueryResult] = None
+        # Durable store / transaction manager (see repro.txn); attached by
+        # GlueNailSystem.open() or enable_transactions().
+        self.store = None
+        self._txn = None
         if trace:
             self.enable_tracing(trace if isinstance(trace, TraceSink) else None)
+
+    @classmethod
+    def open(cls, directory: str, sync: bool = True, **kwargs) -> "GlueNailSystem":
+        """Open (or create) a durable database directory, with recovery.
+
+        The directory holds a checkpoint dump plus a write-ahead log (see
+        :mod:`repro.txn`); opening replays the committed WAL suffix over
+        the last checkpoint, so the system always starts from exactly the
+        committed state.  EDB mutations made through the returned system
+        are autocommitted to the WAL; :meth:`begin`/:meth:`commit`/
+        :meth:`rollback` group them, and :meth:`checkpoint` compacts.
+        """
+        from repro.txn.store import DurableStore
+
+        db = kwargs.pop("db", None)
+        store = DurableStore(directory, db=db, sync=sync)
+        system = cls(db=store.db, **kwargs)
+        system.store = store
+        return system
 
     # ------------------------------------------------------------------ #
     # loading and compilation
@@ -195,6 +219,66 @@ class GlueNailSystem:
         self.db.counters.reset()
 
     # ------------------------------------------------------------------ #
+    # transactions and durability (see repro.txn)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def txn(self):
+        """The transaction manager, or None until transactions are enabled."""
+        if self.store is not None:
+            return self.store.txn
+        return self._txn
+
+    def enable_transactions(self):
+        """Attach an (in-memory) transaction manager to the database.
+
+        Systems created by :meth:`open` already have a durable one; this
+        gives the embedded, non-durable case begin/commit/rollback too.
+        """
+        if self.store is not None:
+            return self.store.txn
+        if self._txn is None:
+            from repro.txn.manager import TransactionManager
+
+            self._txn = TransactionManager(self.db)
+            self.db.attach_journal(self._txn)
+        return self._txn
+
+    def begin(self) -> None:
+        """Start a transaction (enabling the subsystem on first use)."""
+        self.enable_transactions().begin()
+
+    def commit(self) -> None:
+        manager = self.txn
+        if manager is None:
+            raise GlueRuntimeError("no transaction is active")
+        manager.commit()
+
+    def rollback(self) -> None:
+        manager = self.txn
+        if manager is None:
+            raise GlueRuntimeError("no transaction is active")
+        manager.rollback()
+
+    def transaction(self):
+        """``with system.transaction():`` -- commit on success, else roll back."""
+        return self.enable_transactions().transaction()
+
+    def checkpoint(self) -> int:
+        """Compact the durable store's WAL into its checkpoint dump."""
+        if self.store is None:
+            raise GlueRuntimeError(
+                "no durable store attached; open one with GlueNailSystem.open(directory)"
+            )
+        return self.store.checkpoint()
+
+    def close(self) -> None:
+        """Release the durable store (if any); safe to call twice."""
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    # ------------------------------------------------------------------ #
     # tracing
     # ------------------------------------------------------------------ #
 
@@ -203,16 +287,27 @@ class GlueNailSystem:
         """The database's tracing hub (shared by VM, engine and storage)."""
         return self.db.tracer
 
-    def enable_tracing(self, sink: Optional[TraceSink] = None) -> CollectingSink:
+    def enable_tracing(
+        self, sink: Optional[TraceSink] = None, local: bool = False
+    ) -> CollectingSink:
         """Turn on tracing; every subsequent entry point carries ``.trace``.
 
         A persistent :class:`CollectingSink` backs the per-query trace
         slices; an extra ``sink`` (e.g. :class:`JsonLinesSink`) is fanned
         out alongside it.  Returns the collector.
+
+        ``local=True`` installs the collector as a *thread-local* sink: it
+        sees only events produced by the calling thread.  The query server
+        uses this so each session's ``.trace`` stays its own even though
+        every session shares the database's tracer hub.
         """
         if self._collector is None:
             self._collector = CollectingSink()
-            self.tracer.add_sink(self._collector)
+            self._collector_local = local
+            if local:
+                self.tracer.add_local_sink(self._collector)
+            else:
+                self.tracer.add_sink(self._collector)
         if sink is not None:
             self.tracer.add_sink(sink)
         return self._collector
@@ -223,8 +318,12 @@ class GlueNailSystem:
         Sinks added explicitly (``tracer.add_sink``) stay installed.
         """
         if self._collector is not None:
-            self.tracer.remove_sink(self._collector)
+            if self._collector_local:
+                self.tracer.remove_local_sink(self._collector)
+            else:
+                self.tracer.remove_sink(self._collector)
             self._collector = None
+            self._collector_local = False
 
     def _instrumented_entry(self, kind: str, label: str, runner) -> QueryResult:
         """Run one entry point, diffing counters and slicing the trace.

@@ -37,6 +37,7 @@ consumers rebuild the tree by sorting on ``seq`` and indenting by
 from __future__ import annotations
 
 import json
+import threading
 from time import perf_counter
 from typing import Dict, List, Optional
 
@@ -135,10 +136,9 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         tracer = self._tracer
-        tracer._seq += 1
-        self._seq = tracer._seq
+        self._seq = tracer._next_seq()
         self._depth = tracer._depth
-        tracer._depth += 1
+        tracer._depth = self._depth + 1
         counters = tracer.counters
         self._c0 = counters.as_tuple() if counters is not None else None
         self._t0 = perf_counter()
@@ -182,6 +182,16 @@ class Tracer:
 
     ``enabled`` is a plain attribute kept in sync with the sink list so
     hot paths pay one attribute read when tracing is off.
+
+    The hub is shared by every session of the concurrent query server, so
+    its mutable pieces are partitioned by thread: nesting depth and the
+    session label live in thread-local storage, sequence numbers come from
+    one lock-guarded counter (still globally monotonic), and *local sinks*
+    (:meth:`add_local_sink`) receive only the calling thread's events --
+    that is how each server session collects its own ``.trace`` without
+    seeing its neighbours'.  Events produced while a session label is set
+    (:meth:`set_session`) carry it as a ``session`` attribute, so globally
+    installed sinks (``--trace-json``) can still demultiplex.
     """
 
     def __init__(self, counters=None):
@@ -189,7 +199,35 @@ class Tracer:
         self.sinks: List[TraceSink] = []
         self.enabled = False
         self._seq = 0
-        self._depth = 0
+        self._seq_lock = threading.Lock()
+        self._tls = threading.local()
+        self._local_sink_count = 0
+
+    # -------------------------------------------------------------- #
+    # thread-partitioned state
+    # -------------------------------------------------------------- #
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    @property
+    def _depth(self) -> int:
+        return getattr(self._tls, "depth", 0)
+
+    @_depth.setter
+    def _depth(self, value: int) -> None:
+        self._tls.depth = value
+
+    @property
+    def session(self) -> Optional[str]:
+        """The calling thread's session label, or None."""
+        return getattr(self._tls, "session", None)
+
+    def set_session(self, label: Optional[str]) -> None:
+        """Tag this thread's subsequent events with ``session=label``."""
+        self._tls.session = label
 
     # -------------------------------------------------------------- #
     # sink management
@@ -204,7 +242,30 @@ class Tracer:
     def remove_sink(self, sink: TraceSink) -> None:
         if sink in self.sinks:
             self.sinks.remove(sink)
-        self.enabled = bool(self.sinks)
+        self._refresh_enabled()
+
+    def add_local_sink(self, sink: TraceSink) -> TraceSink:
+        """Install a sink that receives only this thread's events."""
+        sinks = getattr(self._tls, "sinks", None)
+        if sinks is None:
+            sinks = self._tls.sinks = []
+        if sink not in sinks:
+            sinks.append(sink)
+            with self._seq_lock:
+                self._local_sink_count += 1
+        self.enabled = True
+        return sink
+
+    def remove_local_sink(self, sink: TraceSink) -> None:
+        sinks = getattr(self._tls, "sinks", None)
+        if sinks and sink in sinks:
+            sinks.remove(sink)
+            with self._seq_lock:
+                self._local_sink_count -= 1
+        self._refresh_enabled()
+
+    def _refresh_enabled(self) -> None:
+        self.enabled = bool(self.sinks) or self._local_sink_count > 0
 
     # -------------------------------------------------------------- #
     # emission
@@ -228,14 +289,18 @@ class Tracer:
         """An instant (zero-duration) event."""
         if not self.enabled:
             return
-        self._seq += 1
         self._dispatch(
-            TraceEvent(kind, name, self._seq, self._depth, dur_s, rows,
+            TraceEvent(kind, name, self._next_seq(), self._depth, dur_s, rows,
                        counters, attrs)
         )
 
     def _dispatch(self, event: TraceEvent) -> None:
+        label = self.session
+        if label is not None and "session" not in event.attrs:
+            event.attrs["session"] = label
         for sink in self.sinks:
+            sink.emit(event)
+        for sink in getattr(self._tls, "sinks", ()):
             sink.emit(event)
 
 

@@ -1,0 +1,28 @@
+"""The concurrent Glue-Nail query service.
+
+Turns the embedded, single-user engine of the paper into a multi-client
+server: a threaded JSON-lines TCP front end (:mod:`repro.server.server`),
+a readers-writer lock that runs read-only queries concurrently while EDB
+updates serialize (:mod:`repro.server.rwlock`), the wire protocol
+(:mod:`repro.server.protocol`), and a small blocking client
+(:mod:`repro.server.client`).  ``gluenail serve`` / ``gluenail connect``
+are the CLI entry points.
+"""
+
+from repro.server.client import Client, RemoteError, RemoteResult
+from repro.server.protocol import ProtocolError, decode, encode
+from repro.server.rwlock import RWLock
+from repro.server.server import DEFAULT_PORT, GlueNailServer, Session
+
+__all__ = [
+    "Client",
+    "DEFAULT_PORT",
+    "GlueNailServer",
+    "ProtocolError",
+    "RWLock",
+    "RemoteError",
+    "RemoteResult",
+    "Session",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,164 @@
+"""A small blocking client for the Glue-Nail query server.
+
+::
+
+    from repro.server.client import Client
+
+    with Client(port=server.port) as client:
+        client.facts("edge", [(1, 2), (2, 3)])
+        client.load("path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y) & edge(Y, Z).")
+        result = client.query("path(1, X)?")
+        result.values        # [(1, 2), (1, 3)]
+        result.stats         # per-session QueryStats payload (dict)
+
+One request / one response per call, JSON lines over a TCP socket; errors
+come back as :class:`RemoteError` carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence
+
+from repro.server.protocol import decode, encode
+
+DEFAULT_PORT = 7411
+
+
+class RemoteError(Exception):
+    """The server answered ``ok: false``."""
+
+    def __init__(self, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class RemoteResult(list):
+    """Rows from the server: a list of pretty-printed tuples, plus
+    ``values`` (JSON-lowered rows as tuples), ``stats`` and ``resolution``
+    mirroring :class:`~repro.core.result.QueryResult`."""
+
+    def __init__(self, payload: dict):
+        super().__init__(payload.get("rows", []))
+        self.values: List[tuple] = [
+            tuple(_listed_to_tuple(v) for v in row)
+            for row in payload.get("values", [])
+        ]
+        self.stats: Optional[dict] = payload.get("stats")
+        self.resolution: Optional[str] = payload.get("resolution")
+        self.trace: List[dict] = payload.get("trace", [])
+
+
+def _listed_to_tuple(value):
+    """JSON arrays (compound terms) back to nested tuples."""
+    if isinstance(value, list):
+        return tuple(_listed_to_tuple(v) for v in value)
+    return value
+
+
+class Client:
+    """A blocking JSON-lines connection to one server session."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: Optional[float] = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = self._sock.makefile("w", encoding="utf-8", newline="\n")
+        self._next_id = 0
+
+    # -------------------------------------------------------------- #
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one op and return the server's ``ok`` payload."""
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id}
+        payload.update(fields)
+        self._writer.write(encode(payload) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode(line.strip())
+        if not response.get("ok"):
+            raise RemoteError(response.get("error", "unknown server error"),
+                              kind=response.get("kind", "error"))
+        return response
+
+    # -------------------------------------------------------------- #
+    # queries
+    # -------------------------------------------------------------- #
+
+    def ping(self) -> str:
+        return self.request("ping")["session"]
+
+    def query(self, text: str, magic: bool = False) -> RemoteResult:
+        return RemoteResult(self.request("query", q=text, magic=magic))
+
+    def rows(self, name: str, arity: int) -> RemoteResult:
+        return RemoteResult(self.request("rows", name=name, arity=arity))
+
+    def call(self, name: str, inputs: Sequence[Sequence] = ((),),
+             module: Optional[str] = None, arity: Optional[int] = None) -> RemoteResult:
+        return RemoteResult(self.request(
+            "call", name=name, inputs=[list(row) for row in inputs],
+            module=module, arity=arity,
+        ))
+
+    def rels(self) -> List[dict]:
+        return self.request("rels")["relations"]
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def trace(self, on: bool = True) -> bool:
+        return self.request("trace", on=on)["tracing"]
+
+    # -------------------------------------------------------------- #
+    # updates and transactions
+    # -------------------------------------------------------------- #
+
+    def facts(self, name: str, rows: Sequence[Sequence]) -> int:
+        return self.request("facts", name=name,
+                            rows=[list(row) for row in rows])["inserted"]
+
+    def fact(self, name: str, *values) -> int:
+        return self.facts(name, [values])
+
+    def load(self, source: str) -> None:
+        self.request("load", source=source)
+
+    def begin(self) -> None:
+        self.request("begin")
+
+    def commit(self) -> None:
+        self.request("commit")
+
+    def rollback(self) -> None:
+        self.request("rollback")
+
+    def checkpoint(self) -> int:
+        return self.request("checkpoint")["checkpointed"]
+
+    def repl(self, line: str) -> str:
+        """Feed one raw REPL line; returns the REPL's printed output."""
+        return self.request("repl", line=line)["out"]
+
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        try:
+            try:
+                self.request("close")
+            except (RemoteError, ConnectionError, OSError):
+                pass
+        finally:
+            self._reader.close()
+            self._writer.close()
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,100 @@
+"""The JSON-lines wire protocol of the Glue-Nail query server.
+
+One request per line, one response per line, UTF-8 JSON either way.
+
+Request::
+
+    {"op": "query", "q": "path(1, X)?", "id": 7}
+
+``id`` is optional and echoed back verbatim.  Response::
+
+    {"ok": true, "id": 7, "rows": [...], "values": [...],
+     "stats": {...}, "resolution": "nail"}
+
+or on failure ``{"ok": false, "id": 7, "error": "...", "kind": "..."}``.
+
+Rows travel in two renderings: ``rows`` is the human-readable fact syntax
+(one string per tuple), ``values`` is the JSON lowering of
+:func:`repro.core.query.rows_to_python` (atoms as strings, numbers as
+numbers, compound terms as nested arrays).  ``stats`` carries the
+per-session :class:`~repro.obs.query_stats.QueryStats` -- sessions count
+on thread-local counters, so concurrent queries never corrupt each
+other's deltas.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.core.query import rows_to_python
+from repro.obs.query_stats import QueryStats
+from repro.terms.printer import tuple_to_str
+
+MAX_LINE = 16 * 1024 * 1024  # defensive bound on one request/response line
+
+
+class ProtocolError(ValueError):
+    """A malformed request line."""
+
+
+def encode(payload: dict) -> str:
+    """One response (or request) as a single JSON line."""
+    return json.dumps(payload, separators=(", ", ": "), default=str)
+
+
+def decode(line: str) -> dict:
+    if len(line) > MAX_LINE:
+        raise ProtocolError(f"request line exceeds {MAX_LINE} bytes")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("a request must be a JSON object")
+    return payload
+
+
+def ok_response(request_id: Optional[Any] = None, **fields) -> dict:
+    payload = {"ok": True}
+    if request_id is not None:
+        payload["id"] = request_id
+    payload.update(fields)
+    return payload
+
+
+def error_response(
+    message: str, request_id: Optional[Any] = None, kind: str = "error"
+) -> dict:
+    payload = {"ok": False, "error": message, "kind": kind}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def stats_payload(stats: Optional[QueryStats]) -> Optional[dict]:
+    """A QueryStats as wire-safe JSON (full counter delta included)."""
+    if stats is None:
+        return None
+    return {
+        "query": stats.query,
+        "resolution": stats.resolution,
+        "rows": stats.rows,
+        "elapsed_ms": round(stats.elapsed_s * 1000.0, 3),
+        "counters": dict(stats.counters),
+    }
+
+
+def rows_payload(result) -> dict:
+    """Rows + metadata of a QueryResult (or plain row list)."""
+    payload = {
+        "rows": [tuple_to_str(row) for row in result],
+        "values": rows_to_python(result),
+    }
+    stats = getattr(result, "stats", None)
+    if stats is not None:
+        payload["stats"] = stats_payload(stats)
+    resolution = getattr(result, "resolution", None)
+    if resolution is not None:
+        payload["resolution"] = resolution
+    return payload

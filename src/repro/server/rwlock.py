@@ -1,0 +1,82 @@
+"""A readers-writer lock for the query server.
+
+Read-only queries run concurrently; Glue procedures and fact loads that
+update the EDB serialize behind the write side.  Writers are preferred:
+once a writer is waiting, new readers queue behind it, so a steady stream
+of cheap reads cannot starve an update.
+
+The lock is not reentrant and read/write acquisitions do not upgrade; the
+server tracks "this session already holds the write lock" itself (a
+session holding a transaction keeps the write lock across requests).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Writer-preferring readers-writer lock built on one condition var."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    @property
+    def stats(self) -> dict:
+        """A racy snapshot for observability (not for synchronization)."""
+        return {
+            "readers": self._readers,
+            "writer_active": self._writer_active,
+            "writers_waiting": self._writers_waiting,
+        }

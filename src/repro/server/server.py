@@ -1,0 +1,439 @@
+"""A threaded JSON-lines TCP query server over one shared EDB.
+
+The paper's back end is explicitly single-user; this server turns the
+embedded engine into a multi-client service:
+
+* one thread per connection (``socketserver.ThreadingTCPServer``), one
+  :class:`Session` per connection;
+* each session owns its *own* :class:`~repro.core.system.GlueNailSystem`
+  (program, compiler, NAIL! engine) over the *shared*
+  :class:`~repro.storage.database.Database`, so loaded rules are private
+  while the EDB is common;
+* a readers-writer lock lets read-only queries run concurrently while
+  mutations (fact loads, procedure calls, transactions) serialize;
+* per-session stats ride on thread-local cost counters
+  (:class:`~repro.storage.stats.ThreadLocalCounters`) and session-tagged
+  trace events, so concurrent queries never corrupt each other's deltas;
+* with a durable store attached (``gluenail serve --db DIR``), committed
+  mutations reach the write-ahead log and survive crashes.
+
+A session that issues ``begin`` holds the write lock until its ``commit``
+or ``rollback`` (or its disconnect, which rolls back) -- transactions are
+globally serialized, the natural reading of the era's flat model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socketserver
+import threading
+from io import StringIO
+from typing import Optional
+
+from repro.analysis.scope import pred_skeleton
+from repro.core.system import GlueNailSystem
+from repro.errors import GlueNailError
+from repro.lang.parser import parse_query
+from repro.server.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    rows_payload,
+)
+from repro.server.rwlock import RWLock
+from repro.storage.database import Database
+from repro.storage.stats import ThreadLocalCounters
+from repro.txn.manager import TransactionManager
+
+DEFAULT_PORT = 7411
+
+# REPL dot-commands that never mutate the shared EDB.
+_READONLY_DOT = {
+    ".help", ".rels", ".dump", ".explain", ".analyze",
+    ".profile", ".last", ".stats", ".quit", ".exit",
+}
+
+
+class _NullLock:
+    """Stands in for the RWLock when the session already holds the write side."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_LOCK = _NullLock()
+
+
+class Session:
+    """One connection's state: a private system over the shared EDB."""
+
+    def __init__(self, server: "GlueNailServer", session_id: int):
+        self.server = server
+        self.id = session_id
+        self.name = f"session-{session_id}"
+        self.closed = False
+        self._holds_write = False
+        self.system = GlueNailSystem(db=server.db)
+        self.system.store = server.store
+        self.system._txn = server.txn
+        if server.base_program:
+            self.system.load(server.base_program)
+        self._repl = None
+        self._repl_out: Optional[StringIO] = None
+        # Tag this connection thread's trace events with the session name.
+        server.db.tracer.set_session(self.name)
+
+    # -------------------------------------------------------------- #
+    # locking
+    # -------------------------------------------------------------- #
+
+    def _locked(self, write: bool):
+        if self._holds_write:
+            return _NULL_LOCK
+        lock = self.server.lock
+        return lock.write_locked() if write else lock.read_locked()
+
+    def _query_is_readonly(self, text: str) -> bool:
+        """True unless the query could fall back to a (mutating) procedure."""
+        try:
+            subgoal = parse_query(text)
+            self.system.compile()
+            skeleton = pred_skeleton(subgoal.pred, len(subgoal.args))
+            if self.system._engine.defines(skeleton):
+                return True
+            return self.system.db.get(subgoal.pred, len(subgoal.args)) is not None
+        except Exception:
+            return True  # let the entry point raise the real error
+
+    def _repl_is_write(self, line: str) -> bool:
+        stripped = line.strip()
+        if not stripped:
+            return False
+        if self._repl is not None and self._repl._pending:
+            return True  # mid-definition: resolves to a load
+        if stripped.startswith("."):
+            command = stripped.split(None, 1)[0]
+            if command == ".magic":
+                arg = stripped.split(None, 1)[1] if " " in stripped else ""
+                return not self._query_is_readonly(arg) if arg else False
+            return command not in _READONLY_DOT
+        if stripped.endswith("?"):
+            return not self._query_is_readonly(stripped)
+        return True
+
+    # -------------------------------------------------------------- #
+    # dispatch
+    # -------------------------------------------------------------- #
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        request_id = request.get("id")
+        handler = getattr(self, f"op_{op}", None) if isinstance(op, str) else None
+        if handler is None:
+            return error_response(f"unknown op {op!r}", request_id, kind="protocol")
+        try:
+            fields = handler(request)
+        except GlueNailError as exc:
+            return error_response(str(exc), request_id, kind=type(exc).__name__)
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            return error_response(f"{type(exc).__name__}: {exc}", request_id,
+                                  kind="internal")
+        return ok_response(request_id, **fields)
+
+    # -------------------------------------------------------------- #
+    # read ops
+    # -------------------------------------------------------------- #
+
+    def op_ping(self, request: dict) -> dict:
+        return {"pong": True, "session": self.name}
+
+    def op_query(self, request: dict) -> dict:
+        text = request.get("q", "")
+        magic = bool(request.get("magic"))
+        write = not self._query_is_readonly(text)
+        with self._locked(write):
+            result = (
+                self.system.query_magic(text) if magic else self.system.query(text)
+            )
+        payload = rows_payload(result)
+        if result.trace:
+            payload["trace"] = [event.to_dict() for event in result.trace]
+        return payload
+
+    def op_rows(self, request: dict) -> dict:
+        name = request.get("name", "")
+        arity = int(request.get("arity", 0))
+        with self._locked(False):
+            result = self.system.rows(name, arity)
+        return rows_payload(result)
+
+    def op_rels(self, request: dict) -> dict:
+        with self._locked(False):
+            catalog = [
+                {"name": str(name), "arity": arity,
+                 "rows": len(self.server.db.get(name, arity))}
+                for name, arity in self.server.db.sorted_keys()
+            ]
+        return {"relations": catalog}
+
+    def op_stats(self, request: dict) -> dict:
+        counters = self.system.counters
+        session_counters = counters.snapshot()
+        payload = {
+            "session": self.name,
+            "counters": {k: v for k, v in session_counters.items() if v},
+            "lock": self.server.lock.stats,
+            "sessions_started": self.server.sessions_started,
+        }
+        aggregate = getattr(counters, "aggregate", None)
+        if aggregate is not None:
+            payload["server_counters"] = {
+                k: v for k, v in aggregate().snapshot().items() if v
+            }
+        if self.server.store is not None:
+            payload["wal_commits"] = self.server.store.wal.commits
+        return payload
+
+    def op_trace(self, request: dict) -> dict:
+        if request.get("on", True):
+            self.system.enable_tracing(local=True)
+            return {"tracing": True}
+        self.system.disable_tracing()
+        return {"tracing": False}
+
+    def op_close(self, request: dict) -> dict:
+        self.closed = True
+        return {"closed": True}
+
+    # -------------------------------------------------------------- #
+    # write ops
+    # -------------------------------------------------------------- #
+
+    def op_facts(self, request: dict) -> dict:
+        name = request.get("name", "")
+        rows = request.get("rows", [])
+        with self._locked(True):
+            inserted = self.system.facts(name, [tuple(row) for row in rows])
+        return {"inserted": inserted}
+
+    def op_load(self, request: dict) -> dict:
+        source = request.get("source", "")
+        with self._locked(True):
+            self.system.load(source)
+            self.system.compile()
+        return {"loaded": True}
+
+    def op_call(self, request: dict) -> dict:
+        name = request.get("name", "")
+        inputs = [tuple(row) for row in request.get("inputs", [[]])]
+        module = request.get("module")
+        arity = request.get("arity")
+        with self._locked(True):
+            result = self.system.call(name, inputs, module=module, arity=arity)
+        return rows_payload(result)
+
+    def op_checkpoint(self, request: dict) -> dict:
+        with self._locked(True):
+            count = self.system.checkpoint()
+        return {"checkpointed": count}
+
+    # -------------------------------------------------------------- #
+    # transactions: the session keeps the write lock for their duration
+    # -------------------------------------------------------------- #
+
+    def op_begin(self, request: dict) -> dict:
+        if self._holds_write:
+            raise GlueNailError("this session already holds a transaction")
+        self.server.lock.acquire_write()
+        try:
+            self.system.begin()
+        except BaseException:
+            self.server.lock.release_write()
+            raise
+        self._holds_write = True
+        return {"transaction": "open"}
+
+    def op_commit(self, request: dict) -> dict:
+        if not self._holds_write:
+            raise GlueNailError("no transaction is active in this session")
+        try:
+            self.system.commit()
+        finally:
+            self._holds_write = False
+            self.server.lock.release_write()
+        return {"transaction": "committed"}
+
+    def op_rollback(self, request: dict) -> dict:
+        if not self._holds_write:
+            raise GlueNailError("no transaction is active in this session")
+        try:
+            self.system.rollback()
+        finally:
+            self._holds_write = False
+            self.server.lock.release_write()
+        return {"transaction": "rolled back"}
+
+    # -------------------------------------------------------------- #
+    # the REPL proxy: `gluenail connect` feeds raw REPL lines here
+    # -------------------------------------------------------------- #
+
+    def _ensure_repl(self):
+        if self._repl is None:
+            from repro.core.repl import Repl
+
+            self._repl_out = StringIO()
+            self.system.out = self._repl_out
+            self._repl = Repl(system=self.system, out=self._repl_out)
+        return self._repl
+
+    def op_repl(self, request: dict) -> dict:
+        line = request.get("line", "")
+        stripped = line.strip()
+        repl = self._ensure_repl()
+        # Transaction boundaries must go through the session's lock
+        # handover, not straight into the system.
+        if stripped in (".begin", ".commit", ".rollback"):
+            fields = getattr(self, f"op_{stripped[1:]}")(request)
+            return {"out": f"transaction {fields['transaction']}\n", "done": False}
+        write = self._repl_is_write(line)
+        with self._locked(write):
+            repl.feed(line if line.endswith("\n") else line + "\n")
+        out = self._repl_out.getvalue()
+        self._repl_out.seek(0)
+        self._repl_out.truncate(0)
+        if repl.done:
+            self.closed = True
+        return {"out": out, "done": repl.done}
+
+    # -------------------------------------------------------------- #
+
+    def release(self) -> None:
+        """Connection teardown: abort any open transaction, free the lock."""
+        if self._holds_write:
+            try:
+                if self.system.txn is not None and self.system.txn.in_transaction:
+                    self.system.rollback()
+            finally:
+                self._holds_write = False
+                self.server.lock.release_write()
+        self.system.disable_tracing()
+        self.server.db.tracer.set_session(None)
+        self.closed = True
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):  # pragma: no cover - exercised via live-server tests
+        server: GlueNailServer = self.server.core
+        session = server._new_session()
+        try:
+            while not session.closed:
+                raw = self.rfile.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                try:
+                    request = decode(line)
+                except ProtocolError as exc:
+                    response = error_response(str(exc), kind="protocol")
+                else:
+                    response = session.dispatch(request)
+                self.wfile.write((encode(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+        finally:
+            session.release()
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    core: "GlueNailServer"
+
+
+class GlueNailServer:
+    """The multi-client query service over one (optionally durable) EDB.
+
+    ``db_dir`` opens a :class:`~repro.txn.store.DurableStore` under that
+    directory (with crash recovery); without it the EDB is in-memory but
+    still transactional.  ``program`` is Glue-Nail source preloaded into
+    every session.  ``port=0`` binds an ephemeral port (see ``.port``).
+    """
+
+    def __init__(
+        self,
+        db_dir: Optional[str] = None,
+        program: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sync: bool = True,
+        db: Optional[Database] = None,
+    ):
+        if db is None:
+            db = Database(counters=ThreadLocalCounters())
+        self.db = db
+        if db_dir is not None:
+            from repro.txn.store import DurableStore
+
+            self.store = DurableStore(db_dir, db=self.db, sync=sync)
+            self.txn = self.store.txn
+        else:
+            self.store = None
+            self.txn = TransactionManager(self.db)
+            self.db.attach_journal(self.txn)
+        self.lock = RWLock()
+        self.base_program = program or ""
+        self.sessions_started = 0
+        self._session_ids = itertools.count(1)
+        self._thread: Optional[threading.Thread] = None
+        self._tcp = _ThreadingServer((host, port), _Handler)
+        self._tcp.core = self
+        self.host, self.port = self._tcp.server_address[:2]
+
+    def _new_session(self) -> Session:
+        session = Session(self, next(self._session_ids))
+        self.sessions_started += 1
+        return session
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    def serve_forever(self) -> None:
+        """Block serving requests (the CLI entry point)."""
+        self._tcp.serve_forever()
+
+    def start(self) -> "GlueNailServer":
+        """Serve on a background thread; returns once the socket is live."""
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="gluenail-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving, close the socket, and release the durable store."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+
+    def __enter__(self) -> "GlueNailServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

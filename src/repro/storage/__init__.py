@@ -9,7 +9,7 @@ selection by scanning the relation reaches the cost of creating the
 index").
 """
 
-from repro.storage.stats import CostCounters
+from repro.storage.stats import CostCounters, ThreadLocalCounters
 from repro.storage.index import HashIndex
 from repro.storage.adaptive import AdaptiveIndexPolicy, AlwaysIndexPolicy, NeverIndexPolicy
 from repro.storage.relation import Relation
@@ -27,6 +27,7 @@ __all__ = [
     "NeverIndexPolicy",
     "PredKey",
     "Relation",
+    "ThreadLocalCounters",
     "load_database",
     "load_tsv_dir",
     "pred_key",

@@ -8,6 +8,7 @@ IDB caches can be invalidated when any EDB relation changes.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Optional, Tuple
 
 from repro.obs.tracer import Tracer
@@ -45,6 +46,11 @@ class Database:
         self.tracer = tracer if tracer is not None else Tracer(self.counters)
         self._relations: dict = {}  # PredKey -> Relation
         self._version = 0
+        self._journal = None
+        # Guards catalog mutation (declare/drop): the server lets read-only
+        # queries run concurrently, and their compile step declares EDB
+        # relations on first reference.
+        self._catalog_lock = threading.RLock()
 
     @property
     def version(self) -> int:
@@ -55,6 +61,28 @@ class Database:
         self._version += 1
 
     # ------------------------------------------------------------------ #
+    # journal (transactions / write-ahead logging)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def journal(self):
+        """The attached mutation journal, or None (plain in-memory EDB)."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Install (or with None, remove) a mutation journal.
+
+        The journal observes every EDB mutation: tuple inserts/deletes on
+        each relation plus catalog declares and drops.  The transaction
+        subsystem (``repro.txn``) uses this to undo-log open transactions
+        and to redo-log committed ones into the write-ahead log.
+        """
+        with self._catalog_lock:
+            self._journal = journal
+            for relation in self._relations.values():
+                relation.journal = journal
+
+    # ------------------------------------------------------------------ #
     # catalog
     # ------------------------------------------------------------------ #
 
@@ -63,17 +91,23 @@ class Database:
         key = pred_key(name, arity)
         relation = self._relations.get(key)
         if relation is None:
-            relation = Relation(
-                key[0],
-                arity,
-                counters=self.counters,
-                index_policy=self.index_policy,
-                listener=self._bump,
-                tracer=self.tracer,
-            )
-            self._relations[key] = relation
-            self._version += 1
-        elif relation.arity != arity:
+            with self._catalog_lock:
+                relation = self._relations.get(key)
+                if relation is None:
+                    relation = Relation(
+                        key[0],
+                        arity,
+                        counters=self.counters,
+                        index_policy=self.index_policy,
+                        listener=self._bump,
+                        tracer=self.tracer,
+                    )
+                    relation.journal = self._journal
+                    self._relations[key] = relation
+                    self._version += 1
+                    if self._journal is not None:
+                        self._journal.record_declare(key[0], arity)
+        if relation.arity != arity:
             raise ValueError(f"relation {key[0]} exists with arity {relation.arity}")
         return relation
 
@@ -93,11 +127,15 @@ class Database:
 
     def drop(self, name, arity: int) -> bool:
         key = pred_key(name, arity)
-        if key in self._relations:
+        with self._catalog_lock:
+            relation = self._relations.get(key)
+            if relation is None:
+                return False
+            if self._journal is not None:
+                self._journal.record_drop(key[0], arity, relation.copy_rows())
             del self._relations[key]
             self._version += 1
             return True
-        return False
 
     def keys(self) -> Iterator[PredKey]:
         return iter(self._relations)

@@ -20,7 +20,8 @@ from repro.terms.term import Term
 _HEADER = "% Glue-Nail EDB dump (format 1)"
 
 
-def _fact_to_line(name: Term, row: tuple) -> str:
+def fact_to_line(name: Term, row: tuple) -> str:
+    """One fact in dump syntax: ``name(arg, ...).`` (``name().`` at arity 0)."""
     head = term_to_str(name)
     if not row:
         return f"{head}()."
@@ -28,20 +29,57 @@ def _fact_to_line(name: Term, row: tuple) -> str:
     return f"{head}({args})."
 
 
+_fact_to_line = fact_to_line  # backward-compatible alias
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table; best-effort on non-POSIX systems."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_database(db: Database, path: str) -> int:
-    """Write every relation of ``db`` to ``path``; returns the fact count."""
+    """Write every relation of ``db`` to ``path``; returns the fact count.
+
+    The dump is written atomically: contents go to a temporary file in the
+    same directory, which is fsynced and then renamed over the target, so a
+    crash mid-dump can never leave a torn file behind -- readers see either
+    the old complete dump or the new complete dump.
+    """
     count = 0
-    directory = os.path.dirname(os.path.abspath(path))
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(_HEADER + "\n")
-        for key in db.sorted_keys():
-            name, arity = key
-            relation = db.get(name, arity)
-            handle.write(f"% rel {term_to_str(name)} / {arity}\n")
-            for row in relation.sorted_rows():
-                handle.write(_fact_to_line(name, row) + "\n")
-                count += 1
+    tmp_path = path + ".tmp"
+    handle = open(tmp_path, "w", encoding="utf-8")
+    try:
+        with handle:
+            handle.write(_HEADER + "\n")
+            for key in db.sorted_keys():
+                name, arity = key
+                relation = db.get(name, arity)
+                handle.write(f"% rel {term_to_str(name)} / {arity}\n")
+                for row in relation.sorted_rows():
+                    handle.write(fact_to_line(name, row) + "\n")
+                    count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        fsync_directory(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return count
 
 

@@ -47,6 +47,10 @@ class Relation:
         self.counters = counters if counters is not None else CostCounters()
         self.index_policy = index_policy
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Optional mutation journal (transactions / write-ahead logging).
+        # Relations outside a durable Database never pay more than one
+        # attribute read per mutation for it.
+        self.journal = None
         self.stats = RelationStats()
         self._rows: dict = {}  # Row -> None; dict preserves insertion order
         self._indexes: dict = {}  # tuple[int, ...] -> HashIndex
@@ -91,6 +95,8 @@ class Relation:
         for index in self._indexes.values():
             index.add(row)
         self._changed()
+        if self.journal is not None:
+            self.journal.record_insert(self, row)
         return True
 
     def insert_many(self, rows: Iterable[Row]) -> int:
@@ -105,6 +111,8 @@ class Relation:
         for index in self._indexes.values():
             index.remove(row)
         self._changed()
+        if self.journal is not None:
+            self.journal.record_delete(self, row)
         return True
 
     def delete_many(self, rows: Iterable[Row]) -> int:
@@ -114,11 +122,15 @@ class Relation:
     def clear(self) -> None:
         if not self._rows:
             return
+        dropped = list(self._rows) if self.journal is not None else None
         self.counters.deletes += len(self._rows)
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
         self._changed()
+        if dropped is not None:
+            for row in dropped:
+                self.journal.record_delete(self, row)
 
     def replace(self, rows: Iterable[Row]) -> None:
         """Clearing assignment ``:=``: overwrite the contents.

@@ -9,6 +9,7 @@ paper's qualitative tables.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 
 
@@ -66,6 +67,63 @@ class CostCounters:
 
 
 COUNTER_FIELDS: tuple = tuple(f.name for f in fields(CostCounters))
+
+
+class ThreadLocalCounters:
+    """A :class:`CostCounters` facade that isolates counting per thread.
+
+    The query server shares one :class:`~repro.storage.database.Database`
+    between concurrent sessions; with a single counter block, two
+    overlapping queries corrupt each other's before/after deltas (and lose
+    increments outright on the read-modify-write).  Installing this object
+    as ``Database(counters=...)`` gives every thread -- hence every server
+    session, which is pinned to its connection thread -- a private
+    :class:`CostCounters`, while :meth:`aggregate` still answers
+    whole-server questions.
+
+    The facade is attribute-compatible with :class:`CostCounters`:
+    ``counters.inserts += 1``, ``as_tuple()``, ``snapshot()``, ``reset()``
+    and ``total_tuple_touches`` all resolve against the calling thread's
+    block, so instrumentation sites need no changes.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_tls", threading.local())
+        object.__setattr__(self, "_blocks", [])
+        object.__setattr__(self, "_lock", threading.Lock())
+
+    def _mine(self) -> CostCounters:
+        block = getattr(self._tls, "block", None)
+        if block is None:
+            block = CostCounters()
+            self._tls.block = block
+            with self._lock:
+                self._blocks.append(block)
+        return block
+
+    def __getattr__(self, name):
+        # Only reached for names not defined on the class: counter fields,
+        # CostCounters methods and properties.
+        return getattr(self._mine(), name)
+
+    def __setattr__(self, name, value):
+        setattr(self._mine(), name, value)
+
+    def aggregate(self) -> CostCounters:
+        """The sum over every thread's block (a snapshot copy)."""
+        total = CostCounters()
+        with self._lock:
+            blocks = list(self._blocks)
+        for block in blocks:
+            total = total + block
+        return total
+
+    def reset_all(self) -> None:
+        """Reset every thread's block (``reset()`` is per-thread)."""
+        with self._lock:
+            blocks = list(self._blocks)
+        for block in blocks:
+            block.reset()
 
 
 def counter_delta(before: tuple, after: tuple) -> dict:

@@ -1,0 +1,34 @@
+"""Transactions and durability for the Glue-Nail EDB.
+
+The paper's storage manager (Section 10) is single-user and persists the
+EDB only as a full dump between runs.  This package upgrades it to a
+durable, transactional store:
+
+* :mod:`repro.txn.manager` -- :class:`TransactionManager`:
+  begin/commit/rollback with an in-memory undo log, hooked into every
+  :class:`~repro.storage.relation.Relation` mutation path through the
+  database's journal interface.
+* :mod:`repro.txn.wal` -- :class:`WriteAheadLog`: an append-only,
+  human-readable redo log of committed mutations (fact syntax, one line
+  per op) plus :func:`replay_wal` for crash recovery.
+* :mod:`repro.txn.store` -- :class:`DurableStore`: a database directory
+  (checkpoint dump + WAL) with open-time recovery and checkpoint
+  compaction.
+"""
+
+from repro.txn.manager import TransactionError, TransactionManager
+from repro.txn.store import CHECKPOINT_FILE, WAL_FILE, DurableStore
+from repro.txn.wal import WAL_HEADER, WriteAheadLog, apply_op, format_op, replay_wal
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "DurableStore",
+    "TransactionError",
+    "TransactionManager",
+    "WAL_FILE",
+    "WAL_HEADER",
+    "WriteAheadLog",
+    "apply_op",
+    "format_op",
+    "replay_wal",
+]

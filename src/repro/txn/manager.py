@@ -1,0 +1,164 @@
+"""Transactions over the EDB: begin/commit/rollback with undo logging.
+
+The paper's Glue update semantics interleave EDB mutation with evaluation;
+this module adds the transactional boundaries LDL++ grew into and
+U-Datalog formalizes -- updates take effect immediately (so a transaction
+reads its own writes) but become *permanent* only at commit, and roll back
+exactly on abort.
+
+The :class:`TransactionManager` is the mutation journal a
+:class:`~repro.storage.database.Database` dispatches to
+(``db.attach_journal(manager)``):
+
+* outside a transaction, every mutation is **autocommitted**: forwarded
+  straight to the write-ahead log as a single-op batch;
+* inside a transaction, mutations accumulate an in-memory **undo log**
+  (applied in reverse on rollback) and a **redo batch** that reaches the
+  WAL -- in one durable append -- only on commit.
+
+The manager is single-writer by design: the query server serializes
+writers behind a write lock, and the embedded single-user case has no
+concurrency at all.  ``begin`` while a transaction is open is an error
+(no nesting), matching the flat transaction model of the era.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.errors import GlueRuntimeError
+from repro.storage.database import Database
+from repro.txn.wal import Op, WriteAheadLog
+
+
+class TransactionError(GlueRuntimeError):
+    """Misuse of transaction boundaries (nested begin, commit w/o begin)."""
+
+
+class TransactionManager:
+    """Undo/redo journaling for one :class:`Database`.
+
+    ``wal`` is optional: without it the manager still provides atomic
+    in-memory transactions (begin/commit/rollback); with it, committed
+    batches are durably appended.
+    """
+
+    def __init__(self, db: Database, wal: Optional[WriteAheadLog] = None):
+        self.db = db
+        self.wal = wal
+        self._active = False
+        self._undo: List[Op] = []
+        self._redo: List[Op] = []
+        self._suspended = False
+        self.commits = 0
+        self.rollbacks = 0
+
+    # ------------------------------------------------------------------ #
+    # journal interface (called from Relation/Database mutation paths)
+    # ------------------------------------------------------------------ #
+
+    def record_insert(self, relation, row) -> None:
+        if self._suspended:
+            return
+        self._record(("insert", relation.name, row))
+
+    def record_delete(self, relation, row) -> None:
+        if self._suspended:
+            return
+        self._record(("delete", relation.name, row))
+
+    def record_declare(self, name, arity: int) -> None:
+        if self._suspended:
+            return
+        self._record(("declare", name, arity))
+
+    def record_drop(self, name, arity: int, rows) -> None:
+        if self._suspended:
+            return
+        if self._active:
+            self._undo.append(("drop", name, arity, list(rows)))
+        self._emit(("drop", name, arity))
+
+    def _record(self, op: Op) -> None:
+        if self._active:
+            self._undo.append(op)
+        self._emit(op)
+
+    def _emit(self, op: Op) -> None:
+        if self._active:
+            self._redo.append(op)
+        elif self.wal is not None:
+            # Autocommit: each standalone mutation is its own batch.
+            self.wal.append_commit([op])
+
+    # ------------------------------------------------------------------ #
+    # transaction boundaries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._active
+
+    def begin(self) -> None:
+        if self._active:
+            raise TransactionError("a transaction is already active")
+        self._active = True
+        self._undo = []
+        self._redo = []
+
+    def commit(self) -> None:
+        """Make the open transaction permanent (durable, with a WAL)."""
+        if not self._active:
+            raise TransactionError("no transaction is active")
+        if self.wal is not None and self._redo:
+            self.wal.append_commit(self._redo)
+        self._active = False
+        self._undo = []
+        self._redo = []
+        self.commits += 1
+
+    def rollback(self) -> None:
+        """Undo the open transaction's mutations, newest first."""
+        if not self._active:
+            raise TransactionError("no transaction is active")
+        self._suspended = True
+        try:
+            for op in reversed(self._undo):
+                self._apply_undo(op)
+        finally:
+            self._suspended = False
+            self._active = False
+            self._undo = []
+            self._redo = []
+            self.rollbacks += 1
+
+    def _apply_undo(self, op) -> None:
+        kind = op[0]
+        if kind == "insert":
+            relation = self.db.get(op[1], len(op[2]))
+            if relation is not None:
+                relation.delete(op[2])
+        elif kind == "delete":
+            self.db.relation(op[1], len(op[2])).insert(op[2])
+        elif kind == "declare":
+            self.db.drop(op[1], op[2])
+        elif kind == "drop":
+            restored = self.db.declare(op[1], op[2])
+            for row in op[3]:
+                restored.insert(row)
+        else:  # pragma: no cover - vocabulary is closed
+            raise ValueError(f"unknown undo op {kind!r}")
+
+    @contextmanager
+    def transaction(self):
+        """``with manager.transaction():`` -- commit on success, roll back
+        on any exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()

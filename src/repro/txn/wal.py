@@ -1,0 +1,227 @@
+"""The write-ahead log: committed EDB mutations, one line per operation.
+
+The paper's back end persists the EDB as a full dump between runs; the WAL
+upgrades that to incremental durability.  Only *committed* work reaches the
+log (a redo log -- rollbacks never touch disk), and the line syntax reuses
+the dump format's fact syntax, so a WAL is human-readable and greppable:
+
+.. code-block:: text
+
+    % Glue-Nail WAL (format 1)
+    % txn 1
+    + edge(1, 2).
+    + edge(2, 3).
+    % commit 1
+    % txn 2
+    - edge(1, 2).
+    % rel marker / 0
+    % drop scratch / 2
+    % commit 2
+
+Operation lines: ``+ fact.`` insert, ``- fact.`` delete, ``% rel name /
+arity`` catalog declare, ``% drop name / arity`` catalog drop.  A commit is
+the batch between a ``% txn N`` and its matching ``% commit N`` marker;
+:func:`replay_wal` applies only complete batches, so a crash mid-append
+(torn tail, missing commit marker) loses at most the transaction that was
+still committing -- exactly the atomicity contract.
+
+Replay is idempotent (re-inserting an existing tuple, re-deleting an absent
+one, re-declaring and re-dropping are all no-ops), which lets recovery
+tolerate a crash between the checkpoint dump and the WAL truncation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Optional, Tuple
+
+from repro.storage.database import Database
+from repro.storage.persist import fact_to_line, fsync_directory
+from repro.terms.printer import term_to_str
+
+WAL_HEADER = "% Glue-Nail WAL (format 1)"
+
+# Op tuples: ("insert", name, row) | ("delete", name, row)
+#          | ("declare", name, arity) | ("drop", name, arity)
+Op = tuple
+
+_TXN_RE = re.compile(r"%\s*txn\s+(\d+)\s*\Z")
+_COMMIT_RE = re.compile(r"%\s*commit\s+(\d+)\s*\Z")
+_DROP_RE = re.compile(r"%\s*drop\s+(.+?)\s*/\s*(\d+)\s*\Z")
+
+
+def format_op(op: Op) -> str:
+    """Render one journal op as its WAL line."""
+    kind = op[0]
+    if kind == "insert":
+        return "+ " + fact_to_line(op[1], op[2])
+    if kind == "delete":
+        return "- " + fact_to_line(op[1], op[2])
+    if kind == "declare":
+        return f"% rel {term_to_str(op[1])} / {op[2]}"
+    if kind == "drop":
+        return f"% drop {term_to_str(op[1])} / {op[2]}"
+    raise ValueError(f"unknown journal op {kind!r}")
+
+
+class WriteAheadLog:
+    """An append-only log of committed transactions.
+
+    ``sync=True`` (the default) fsyncs after every commit batch -- the
+    durability point; ``sync=False`` trades that for speed (data still
+    survives a process crash, but not an OS crash).
+    """
+
+    def __init__(self, path: str, sync: bool = True):
+        self.path = os.path.abspath(path)
+        self.sync = sync
+        directory = os.path.dirname(self.path)
+        os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._next_tid = 1
+        self.commits = 0
+        if fresh:
+            self._handle.write(WAL_HEADER + "\n")
+            self._flush()
+
+    def _flush(self) -> None:
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def append_commit(self, ops: List[Op]) -> Optional[int]:
+        """Durably append one committed batch; returns its txn id."""
+        if not ops:
+            return None
+        if self._handle is None:
+            raise ValueError("write-ahead log is closed")
+        tid = self._next_tid
+        self._next_tid += 1
+        lines = [f"% txn {tid}"]
+        lines.extend(format_op(op) for op in ops)
+        lines.append(f"% commit {tid}")
+        self._handle.write("\n".join(lines) + "\n")
+        self._flush()
+        self.commits += 1
+        return tid
+
+    def reset(self) -> None:
+        """Truncate to an empty log (after a checkpoint), atomically."""
+        self.close()
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(WAL_HEADER + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        fsync_directory(os.path.dirname(self.path))
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._next_tid = 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def _parse_op(line: str) -> Optional[Op]:
+    """Parse one WAL op line; None for unrecognized/comment lines.
+
+    Raises on a syntactically broken ``+``/``-`` line (a torn tail), which
+    the replay loop treats as "abandon this batch".
+    """
+    from repro.lang.parser import parse_directive_rel, parse_ground_fact
+
+    if line.startswith("+ ") or line.startswith("- "):
+        name, row = parse_ground_fact(line[2:].strip())
+        return ("insert" if line[0] == "+" else "delete", name, row)
+    if line.startswith("%"):
+        dropped = _DROP_RE.match(line.strip())
+        if dropped:
+            from repro.lang.parser import parse_term
+
+            return ("drop", parse_term(dropped.group(1)), int(dropped.group(2)))
+        declared = parse_directive_rel(line)
+        if declared is not None:
+            return ("declare", declared[0], declared[1])
+    return None
+
+
+def apply_op(db: Database, op: Op) -> None:
+    """Apply one redo op to ``db``; every case is idempotent."""
+    kind = op[0]
+    if kind == "insert":
+        db.relation(op[1], len(op[2])).insert(op[2])
+    elif kind == "delete":
+        relation = db.get(op[1], len(op[2]))
+        if relation is not None:
+            relation.delete(op[2])
+    elif kind == "declare":
+        db.declare(op[1], op[2])
+    elif kind == "drop":
+        db.drop(op[1], op[2])
+    else:  # pragma: no cover - format_op and _parse_op share the vocabulary
+        raise ValueError(f"unknown journal op {kind!r}")
+
+
+def replay_wal(path: str, db: Database) -> Tuple[int, int]:
+    """Replay every *complete* committed batch of ``path`` into ``db``.
+
+    Returns ``(transactions_applied, ops_applied)``.  Incomplete batches --
+    a ``% txn`` with no matching ``% commit``, or a torn final line -- are
+    skipped silently: they are precisely the uncommitted work a crash is
+    allowed to lose.  Any journal attached to ``db`` is suspended for the
+    duration so recovery does not re-log itself.
+    """
+    journal = db.journal
+    if journal is not None:
+        db.attach_journal(None)
+    txns = ops_applied = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            pending_tid: Optional[int] = None
+            pending_ops: List[Op] = []
+            for raw in handle:
+                line = raw.strip()
+                if not line or line == WAL_HEADER:
+                    continue
+                started = _TXN_RE.match(line)
+                if started:
+                    pending_tid = int(started.group(1))
+                    pending_ops = []
+                    continue
+                committed = _COMMIT_RE.match(line)
+                if committed:
+                    if pending_tid is not None and int(committed.group(1)) == pending_tid:
+                        for op in pending_ops:
+                            apply_op(db, op)
+                        txns += 1
+                        ops_applied += len(pending_ops)
+                    pending_tid = None
+                    pending_ops = []
+                    continue
+                if pending_tid is None:
+                    continue  # op outside any batch: stale tail, skip
+                try:
+                    op = _parse_op(line)
+                except Exception:
+                    # A torn line can only be the crash-interrupted tail;
+                    # its batch has no commit marker, so drop it.
+                    pending_tid = None
+                    pending_ops = []
+                    continue
+                if op is not None:
+                    pending_ops.append(op)
+    finally:
+        if journal is not None:
+            db.attach_journal(journal)
+    return txns, ops_applied

@@ -1,0 +1,68 @@
+"""Wire protocol: JSON-lines encode/decode and payload shaping."""
+
+import pytest
+
+from repro.server.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+    rows_payload,
+    stats_payload,
+)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        payload = {"op": "query", "q": "p(1, X)?", "id": 3}
+        assert decode(encode(payload)) == payload
+
+    def test_one_line(self):
+        assert "\n" not in encode({"op": "load", "source": "a(1).\nb(2)."})
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError):
+            decode("{not json")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            decode("[1, 2, 3]")
+
+    def test_responses(self):
+        ok = ok_response(7, rows=[])
+        assert ok["ok"] is True and ok["id"] == 7
+        err = error_response("nope", 7, kind="protocol")
+        assert err["ok"] is False and err["kind"] == "protocol"
+
+
+class TestPayloads:
+    def test_rows_payload_carries_stats_and_resolution(self):
+        from repro.core.system import GlueNailSystem
+
+        system = GlueNailSystem()
+        system.facts("edge", [(1, 2), (2, 3)])
+        result = system.query("edge(1, X)?")
+        payload = rows_payload(result)
+        assert payload["rows"] == ["(1, 2)"]
+        assert payload["values"] == [(1, 2)]
+        assert payload["resolution"] == "edb"
+        assert payload["stats"]["rows"] == 1
+        assert "counters" in payload["stats"]
+
+    def test_stats_payload_none(self):
+        assert stats_payload(None) is None
+
+    def test_payload_is_json_serializable(self):
+        import json
+
+        from repro.core.system import GlueNailSystem
+        from repro.terms.term import Atom, Compound, Num
+
+        system = GlueNailSystem()
+        system.db.relation("point", 1).insert(
+            (Compound(Atom("p"), (Num(3), Num(4))),)
+        )
+        payload = rows_payload(system.query("point(X)?"))
+        text = json.dumps(payload)
+        assert "p" in text

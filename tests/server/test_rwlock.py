@@ -1,0 +1,89 @@
+"""The readers-writer lock: concurrency for readers, exclusion for writers."""
+
+import threading
+import time
+
+from repro.server.rwlock import RWLock
+
+
+class TestRWLock:
+    def test_two_readers_overlap(self):
+        lock = RWLock()
+        inside = []
+        barrier = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.append(1)
+                barrier.wait()  # both readers must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 2
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        log = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                log.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        assert log == []  # reader blocked behind the writer
+        log.append("write done")
+        lock.release_write()
+        thread.join(timeout=5)
+        assert log == ["write done", "read"]
+
+    def test_writer_excludes_writer(self):
+        lock = RWLock()
+        order = []
+        lock.acquire_write()
+
+        def writer():
+            with lock.write_locked():
+                order.append("second")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        order.append("first")
+        lock.release_write()
+        thread.join(timeout=5)
+        assert order == ["first", "second"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+        got_read = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            got_write.set()
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            got_read.set()
+            lock.release_read()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)
+        r = threading.Thread(target=late_reader)
+        r.start()
+        time.sleep(0.05)
+        # Writer preference: the late reader must queue behind the writer.
+        assert not got_write.is_set() and not got_read.is_set()
+        lock.release_read()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert got_write.is_set() and got_read.is_set()

@@ -1,0 +1,232 @@
+"""End-to-end tests for the concurrent query server: a live server on an
+ephemeral port, real sockets, real threads.
+
+The ``stress`` marker selects the multi-threaded smoke test (its own CI
+job); everything else here is fast enough for tier 1.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.server.client import Client, RemoteError
+from repro.server.server import GlueNailServer
+
+PATH_RULES = "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y) & edge(Y, Z)."
+
+
+@pytest.fixture
+def server():
+    with GlueNailServer(port=0).start() as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with Client(port=server.port) as c:
+        yield c
+
+
+class TestBasicOps:
+    def test_ping_names_the_session(self, client):
+        assert client.ping().startswith("session-")
+
+    def test_facts_query_round_trip(self, client):
+        assert client.facts("edge", [(1, 2), (2, 3)]) == 2
+        client.load(PATH_RULES)
+        result = client.query("path(1, X)?")
+        assert sorted(result.values) == [(1, 2), (1, 3)]
+        assert result.resolution == "nail"
+        assert result.stats["rows"] == 2
+
+    def test_rows_and_rels(self, client):
+        client.facts("edge", [(1, 2)])
+        assert client.rows("edge", 2).values == [(1, 2)]
+        assert {"name": "edge", "arity": 2, "rows": 1} in client.rels()
+
+    def test_error_comes_back_as_remote_error(self, client):
+        with pytest.raises(RemoteError):
+            client.query("edge(")  # parse error crosses the wire intact
+
+    def test_unknown_op_is_protocol_error(self, client):
+        with pytest.raises(RemoteError) as info:
+            client.request("frobnicate")
+        assert info.value.kind == "protocol"
+
+    def test_base_program_preloaded(self):
+        with GlueNailServer(port=0, program=PATH_RULES).start() as srv:
+            with Client(port=srv.port) as c:
+                c.facts("edge", [(1, 2), (2, 3)])
+                assert len(c.query("path(1, X)?")) == 2
+
+    def test_trace_round_trip(self, client):
+        client.facts("edge", [(1, 2)])
+        client.trace(True)
+        result = client.query("edge(1, X)?")
+        assert result.trace, "tracing on: events should ride along"
+        client.trace(False)
+        assert client.query("edge(1, X)?").trace == []
+
+
+class TestSessionIsolation:
+    def test_rules_are_private_edb_is_shared(self, server):
+        with Client(port=server.port) as writer, Client(port=server.port) as reader:
+            writer.facts("edge", [(1, 2), (2, 3)])
+            writer.load(PATH_RULES)
+            # The reader sees the shared facts...
+            assert reader.rows("edge", 2).values == [(1, 2), (2, 3)]
+            # ...but not the writer's private rules: for the reader the
+            # predicate simply does not resolve.
+            unresolved = reader.query("path(1, X)?")
+            assert unresolved.values == [] and unresolved.resolution == "none"
+            assert sorted(writer.query("path(1, X)?").values) == [(1, 2), (1, 3)]
+
+    def test_per_session_stats_are_isolated(self, server):
+        with Client(port=server.port) as a, Client(port=server.port) as b:
+            a.facts("edge", [(i, i + 1) for i in range(50)])
+            a.query("edge(1, X)?")
+            idle = b.stats()["counters"]
+            busy = a.stats()["counters"]
+            assert busy.get("inserts", 0) == 50
+            assert idle.get("inserts", 0) == 0
+            # The server-wide aggregate still sees everything.
+            assert a.stats()["server_counters"].get("inserts", 0) == 50
+
+
+class TestTransactionsOverTheWire:
+    def test_commit_publishes_rollback_discards(self, server):
+        with Client(port=server.port) as a, Client(port=server.port) as b:
+            a.begin()
+            a.facts("edge", [(1, 2)])
+            a.commit()
+            assert b.rows("edge", 2).values == [(1, 2)]
+            a.begin()
+            a.facts("edge", [(9, 9)])
+            a.rollback()
+            assert b.rows("edge", 2).values == [(1, 2)]
+
+    def test_writer_transaction_blocks_readers(self, server):
+        with Client(port=server.port) as writer:
+            writer.facts("edge", [(1, 2)])
+            writer.begin()
+            writer.facts("edge", [(2, 3)])
+            seen = []
+            done = threading.Event()
+
+            def read():
+                with Client(port=server.port) as reader:
+                    seen.extend(reader.rows("edge", 2).values)
+                done.set()
+
+            thread = threading.Thread(target=read)
+            thread.start()
+            assert not done.wait(0.2), "reader should block behind the transaction"
+            writer.commit()
+            thread.join(timeout=5)
+            assert sorted(seen) == [(1, 2), (2, 3)]
+
+    def test_disconnect_rolls_back(self, server):
+        abandoned = Client(port=server.port)
+        abandoned.facts("edge", [(1, 2)])
+        abandoned.begin()
+        abandoned.facts("edge", [(9, 9)])
+        # Drop the connection mid-transaction.  shutdown() sends the FIN
+        # immediately (close() alone defers it while makefile refs live).
+        abandoned._sock.shutdown(socket.SHUT_RDWR)
+        abandoned._sock.close()
+        with Client(port=server.port) as fresh:
+            assert fresh.rows("edge", 2).values == [(1, 2)]
+
+    def test_double_begin_is_an_error(self, client):
+        client.begin()
+        with pytest.raises(RemoteError):
+            client.begin()
+        client.rollback()
+
+    def test_commit_without_begin_is_an_error(self, client):
+        with pytest.raises(RemoteError):
+            client.commit()
+
+
+class TestReplProxy:
+    def test_repl_lines_round_trip(self, client):
+        assert client.repl("edge(1, 2).") == "ok\n"
+        out = client.repl("edge(1, X)?")
+        assert "(1, 2)" in out
+        assert "edge/2" in client.repl(".rels")
+
+    def test_repl_transactions(self, client):
+        client.repl("edge(1, 2).")
+        assert "transaction open" in client.repl(".begin")
+        client.repl("edge(9, 9).")
+        assert "transaction rolled back" in client.repl(".rollback")
+        assert "(9, 9)" not in client.repl(".dump edge/2")
+
+    def test_repl_rule_definition(self, client):
+        client.repl("edge(1, 2).")
+        client.repl("edge(2, 3).")
+        client.repl("path(X, Y) :- edge(X, Y).")
+        client.repl("path(X, Z) :- path(X, Y) & edge(Y, Z).")
+        out = client.repl("path(1, X)?")
+        assert "(1, 2)" in out and "(1, 3)" in out
+
+
+class TestDurableServer:
+    def test_commits_survive_server_restart(self, tmp_path):
+        with GlueNailServer(db_dir=str(tmp_path), port=0).start() as srv:
+            with Client(port=srv.port) as c:
+                c.facts("edge", [(1, 2), (2, 3)])
+                assert c.stats()["wal_commits"] >= 1
+                assert c.checkpoint() == 2
+                c.facts("edge", [(3, 4)])
+        with GlueNailServer(db_dir=str(tmp_path), port=0).start() as srv:
+            with Client(port=srv.port) as c:
+                assert len(c.rows("edge", 2)) == 3
+
+
+@pytest.mark.stress
+class TestStress:
+    def test_concurrent_readers_see_no_torn_writes(self, server):
+        """One writer commits pairs ("pair", i, 0)/("pair", i, 1) per write
+        op; N readers poll.  Every snapshot must hold an even row count
+        (both halves of each pair) and per-session stats must stay intact."""
+        rounds = 40
+        readers = 4
+        stop = threading.Event()
+        failures = []
+
+        def read_loop():
+            try:
+                with Client(port=server.port, timeout=30) as c:
+                    snapshots = 0
+                    while not stop.is_set():
+                        rows = c.rows("pair", 2).values
+                        if len(rows) % 2 != 0:
+                            failures.append(f"torn read: {len(rows)} rows")
+                            return
+                        snapshots += 1
+                    # This session only ever read: its write counters are 0.
+                    counters = c.stats()["counters"]
+                    if counters.get("inserts", 0) != 0:
+                        failures.append("reader session counted inserts")
+                    if snapshots == 0:
+                        failures.append("reader made no progress")
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                failures.append(f"reader died: {exc!r}")
+
+        with Client(port=server.port) as writer:
+            writer.facts("pair", [(0, 0), (0, 1)])
+            threads = [threading.Thread(target=read_loop) for _ in range(readers)]
+            for t in threads:
+                t.start()
+            try:
+                for i in range(1, rounds):
+                    writer.facts("pair", [(i, 0), (i, 1)])
+            finally:
+                stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert not failures, failures
+            assert len(writer.rows("pair", 2)) == 2 * rounds
+            assert writer.stats()["counters"]["inserts"] == 2 * rounds

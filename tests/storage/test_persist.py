@@ -88,3 +88,34 @@ class TestRoundTrip:
         path = str(tmp_path / "deep" / "nested" / "edb.gnd")
         save_database(db, path)
         assert os.path.exists(path)
+
+
+class TestAtomicSave:
+    def test_success_leaves_no_temp_file(self, tmp_path, db):
+        db.fact("edge", 1, 2)
+        path = str(tmp_path / "edb.gnd")
+        save_database(db, path)
+        assert os.listdir(str(tmp_path)) == ["edb.gnd"]
+
+    def test_failed_dump_keeps_the_old_file(self, tmp_path, db, monkeypatch):
+        """A crash mid-write must not tear the previous dump: the write goes
+        to a temp file, which is cleaned up, and the target stays intact."""
+        import pytest
+
+        db.fact("edge", 1, 2)
+        path = str(tmp_path / "edb.gnd")
+        save_database(db, path)
+        with open(path) as handle:
+            before = handle.read()
+
+        db.fact("edge", 2, 3)
+        monkeypatch.setattr(os, "replace", _boom)
+        with pytest.raises(RuntimeError):
+            save_database(db, path)
+        with open(path) as handle:
+            assert handle.read() == before  # old dump untouched
+        assert not os.path.exists(path + ".tmp")  # temp cleaned up
+
+
+def _boom(*args, **kwargs):
+    raise RuntimeError("simulated crash during rename")

@@ -1,0 +1,141 @@
+"""WAL format and replay: committed batches in, exactly those back out."""
+
+import os
+
+import pytest
+
+from repro.storage.database import Database
+from repro.terms.term import Atom, Num
+from repro.txn.wal import WAL_HEADER, WriteAheadLog, format_op, replay_wal
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+class TestFormat:
+    def test_op_lines_are_fact_syntax(self):
+        assert format_op(("insert", Atom("edge"), (Num(1), Num(2)))) == "+ edge(1, 2)."
+        assert format_op(("delete", Atom("edge"), (Num(1), Num(2)))) == "- edge(1, 2)."
+        assert format_op(("declare", Atom("marker"), 0)) == "% rel marker / 0"
+        assert format_op(("drop", Atom("scratch"), 2)) == "% drop scratch / 2"
+
+    def test_log_is_human_readable(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.close()
+        with open(wal_path) as handle:
+            text = handle.read()
+        assert text.splitlines()[0] == WAL_HEADER
+        assert "+ edge(1, 2)." in text
+        assert "% commit 1" in text
+
+
+class TestReplay:
+    def test_round_trip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([
+            ("declare", Atom("empty_rel"), 3),
+            ("insert", Atom("edge"), (Num(1), Num(2))),
+            ("insert", Atom("edge"), (Num(2), Num(3))),
+        ])
+        wal.append_commit([("delete", Atom("edge"), (Num(1), Num(2)))])
+        wal.close()
+        db = Database()
+        txns, ops = replay_wal(wal_path, db)
+        assert (txns, ops) == (2, 4)
+        assert db.get("edge", 2).sorted_rows() == [(Num(2), Num(3))]
+        assert db.exists("empty_rel", 3)
+
+    def test_drop_replays(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("scratch"), (Num(1),))])
+        wal.append_commit([("drop", Atom("scratch"), 1)])
+        wal.close()
+        db = Database()
+        replay_wal(wal_path, db)
+        assert not db.exists("scratch", 1)
+
+    def test_batch_without_commit_marker_is_skipped(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.close()
+        # Simulate a crash mid-commit: ops appended, no commit marker.
+        with open(wal_path, "a") as handle:
+            handle.write("% txn 2\n+ edge(8, 8).\n+ edge(9, 9).\n")
+        db = Database()
+        txns, _ = replay_wal(wal_path, db)
+        assert txns == 1
+        assert len(db.get("edge", 2)) == 1
+
+    def test_torn_final_line_is_skipped(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.close()
+        with open(wal_path, "a") as handle:
+            handle.write("% txn 2\n+ edge(9")  # torn mid-write, no newline
+        db = Database()
+        txns, _ = replay_wal(wal_path, db)
+        assert txns == 1
+        assert len(db.get("edge", 2)) == 1
+
+    def test_replay_is_idempotent(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.close()
+        db = Database()
+        replay_wal(wal_path, db)
+        replay_wal(wal_path, db)  # e.g. crash between checkpoint and truncate
+        assert len(db.get("edge", 2)) == 1
+
+    def test_replay_does_not_relog_into_attached_journal(self, wal_path):
+        from repro.txn.manager import TransactionManager
+
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.close()
+        db = Database()
+        sink = WriteAheadLog(str(wal_path) + ".second")
+        manager = TransactionManager(db, sink)
+        db.attach_journal(manager)
+        replay_wal(wal_path, db)
+        assert sink.commits == 0
+        assert db.journal is manager  # restored after replay
+        sink.close()
+
+    def test_reset_truncates(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.reset()
+        db = Database()
+        assert replay_wal(wal_path, db) == (0, 0)
+        # The log is still appendable after a reset.
+        wal.append_commit([("insert", Atom("edge"), (Num(5), Num(6)))])
+        wal.close()
+        db2 = Database()
+        replay_wal(wal_path, db2)
+        assert db2.get("edge", 2).sorted_rows() == [(Num(5), Num(6))]
+
+    def test_quoted_atoms_round_trip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        row = (Atom("hello world"), Atom("it's"))
+        wal.append_commit([("insert", Atom("msg"), row)])
+        wal.close()
+        db = Database()
+        replay_wal(wal_path, db)
+        assert row in db.get("msg", 2)
+
+    def test_arity_zero_round_trip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("flag"), ())])
+        wal.close()
+        db = Database()
+        replay_wal(wal_path, db)
+        assert () in db.get("flag", 0)
+
+    def test_empty_batch_writes_nothing(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        assert wal.append_commit([]) is None
+        wal.close()
+        assert os.path.getsize(wal_path) == len(WAL_HEADER) + 1
