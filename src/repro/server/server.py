@@ -98,6 +98,29 @@ class Session:
         lock = self.server.lock
         return lock.write_locked() if write else lock.read_locked()
 
+    def _run_classified(self, classify_write, run):
+        """Classify a request under the read lock, then run it under the
+        side the classification picked.
+
+        Classification may compile, and compiling declares EDB relations on
+        the shared catalog -- a mutation that must never overlap another
+        session's write-lock window (it would otherwise be journaled into
+        that session's open transaction).  So the classifier itself runs
+        inside the read lock; a write verdict upgrades by releasing the
+        read side and taking the write side.
+        """
+        if self._holds_write:
+            return run()
+        lock = self.server.lock
+        lock.acquire_read()
+        try:
+            if not classify_write():
+                return run()
+        finally:
+            lock.release_read()
+        with lock.write_locked():
+            return run()
+
     def _query_is_readonly(self, text: str) -> bool:
         """True unless the query could fall back to a (mutating) procedure."""
         try:
@@ -155,11 +178,10 @@ class Session:
     def op_query(self, request: dict) -> dict:
         text = request.get("q", "")
         magic = bool(request.get("magic"))
-        write = not self._query_is_readonly(text)
-        with self._locked(write):
-            result = (
-                self.system.query_magic(text) if magic else self.system.query(text)
-            )
+        result = self._run_classified(
+            lambda: not self._query_is_readonly(text),
+            lambda: self.system.query_magic(text) if magic else self.system.query(text),
+        )
         payload = rows_payload(result)
         if result.trace:
             payload["trace"] = [event.to_dict() for event in result.trace]
@@ -300,9 +322,10 @@ class Session:
         if stripped in (".begin", ".commit", ".rollback"):
             fields = getattr(self, f"op_{stripped[1:]}")(request)
             return {"out": f"transaction {fields['transaction']}\n", "done": False}
-        write = self._repl_is_write(line)
-        with self._locked(write):
-            repl.feed(line if line.endswith("\n") else line + "\n")
+        self._run_classified(
+            lambda: self._repl_is_write(line),
+            lambda: repl.feed(line if line.endswith("\n") else line + "\n"),
+        )
         out = self._repl_out.getvalue()
         self._repl_out.seek(0)
         self._repl_out.truncate(0)
@@ -391,6 +414,7 @@ class GlueNailServer:
         self.lock = RWLock()
         self.base_program = program or ""
         self.sessions_started = 0
+        self._session_lock = threading.Lock()
         self._session_ids = itertools.count(1)
         self._thread: Optional[threading.Thread] = None
         self._tcp = _ThreadingServer((host, port), _Handler)
@@ -398,9 +422,10 @@ class GlueNailServer:
         self.host, self.port = self._tcp.server_address[:2]
 
     def _new_session(self) -> Session:
-        session = Session(self, next(self._session_ids))
-        self.sessions_started += 1
-        return session
+        with self._session_lock:
+            session_id = next(self._session_ids)
+            self.sessions_started += 1
+        return Session(self, session_id)
 
     # -------------------------------------------------------------- #
 

@@ -9,6 +9,7 @@ representation guarantees by construction.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -54,6 +55,10 @@ class Relation:
         self.stats = RelationStats()
         self._rows: dict = {}  # Row -> None; dict preserves insertion order
         self._indexes: dict = {}  # tuple[int, ...] -> HashIndex
+        # Guards index creation/lookup and the scan-cost ledgers: adaptive
+        # index builds fire from *read* paths, which the query server runs
+        # concurrently under its read lock.
+        self._index_lock = threading.RLock()
         self._version = 0
         self._listener = listener
 
@@ -175,12 +180,13 @@ class Relation:
         for c in columns:
             if not 0 <= c < self.arity:
                 raise ValueError(f"index column {c} out of range for arity {self.arity}")
-        existing = self._indexes.get(columns)
-        if existing is not None:
-            return existing
-        index = HashIndex(columns)
-        loaded = index.bulk_load(self._rows)
-        self._indexes[columns] = index
+        with self._index_lock:
+            existing = self._indexes.get(columns)
+            if existing is not None:
+                return existing
+            index = HashIndex(columns)
+            loaded = index.bulk_load(self._rows)
+            self._indexes[columns] = index
         self.counters.index_builds += 1
         self.counters.index_build_tuples += loaded
         if self.tracer.enabled:
@@ -192,11 +198,13 @@ class Relation:
         return index
 
     def has_index(self, columns: Tuple[int, ...]) -> bool:
-        return tuple(sorted(set(columns))) in self._indexes
+        with self._index_lock:
+            return tuple(sorted(set(columns))) in self._indexes
 
     @property
     def index_columns(self) -> list:
-        return sorted(self._indexes)
+        with self._index_lock:
+            return sorted(self._indexes)
 
     def _bound_positions(self, patterns: Row) -> Tuple[int, ...]:
         return tuple(i for i, pat in enumerate(patterns) if is_ground(pat))
@@ -263,11 +271,15 @@ class Relation:
             self.counters.tuples_scanned += len(self._rows)
             yield from list(self._rows)
             return
-        index = self._usable_index(bound)
-        if index is None and self.index_policy is not None:
-            ledger = self.stats.ledger(bound)
-            if self.index_policy.should_build(ledger, len(self._rows)):
-                index = self.build_index(bound)
+        with self._index_lock:
+            index = self._usable_index(bound)
+            if index is None and self.index_policy is not None:
+                ledger = self.stats.ledger(bound)
+                if self.index_policy.should_build(ledger, len(self._rows)):
+                    index = self.build_index(bound)
+            if index is None:
+                # Fall back to a scan; charge it to the adaptive ledger.
+                self.stats.ledger(bound).record_scan(len(self._rows))
         if index is not None:
             key = tuple(patterns[c] for c in index.columns)
             self.counters.index_lookups += 1
@@ -275,8 +287,6 @@ class Relation:
             self.counters.index_probe_tuples += len(hits)
             yield from hits
             return
-        # Fall back to a scan and charge it to the adaptive ledger.
-        self.stats.ledger(bound).record_scan(len(self._rows))
         self.counters.tuples_scanned += len(self._rows)
         yield from list(self._rows)
 
@@ -284,14 +294,16 @@ class Relation:
         """An index is usable when its columns are a subset of the bound ones.
 
         The exact-match index is preferred; otherwise the widest subset wins
-        (it is the most selective).
+        (it is the most selective).  Callers hold ``_index_lock``; the
+        snapshot below keeps even an unlocked call safe from a concurrent
+        build resizing the dict mid-iteration.
         """
         exact = self._indexes.get(bound)
         if exact is not None:
             return exact
         bound_set = set(bound)
         best = None
-        for columns, index in self._indexes.items():
+        for columns, index in list(self._indexes.items()):
             if set(columns) <= bound_set:
                 if best is None or len(columns) > len(best.columns):
                     best = index

@@ -20,10 +20,17 @@ The manager is single-writer by design: the query server serializes
 writers behind a write lock, and the embedded single-user case has no
 concurrency at all.  ``begin`` while a transaction is open is an error
 (no nesting), matching the flat transaction model of the era.
+
+A transaction belongs to the thread that began it.  Mutations arriving
+from any *other* thread (a reader session's compile declaring a relation
+on the shared catalog, say) are autocommitted instead of joining the open
+transaction -- otherwise a foreign rollback would silently undo them, and
+the undo/redo lists would be mutated across threads without a lock.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import List, Optional
 
@@ -48,11 +55,16 @@ class TransactionManager:
         self.db = db
         self.wal = wal
         self._active = False
+        self._owner: Optional[int] = None  # thread ident of the begin() caller
         self._undo: List[Op] = []
         self._redo: List[Op] = []
         self._suspended = False
         self.commits = 0
         self.rollbacks = 0
+
+    def _owns_open_txn(self) -> bool:
+        """True when the calling thread's mutations belong to the open txn."""
+        return self._active and threading.get_ident() == self._owner
 
     # ------------------------------------------------------------------ #
     # journal interface (called from Relation/Database mutation paths)
@@ -76,17 +88,17 @@ class TransactionManager:
     def record_drop(self, name, arity: int, rows) -> None:
         if self._suspended:
             return
-        if self._active:
+        if self._owns_open_txn():
             self._undo.append(("drop", name, arity, list(rows)))
         self._emit(("drop", name, arity))
 
     def _record(self, op: Op) -> None:
-        if self._active:
+        if self._owns_open_txn():
             self._undo.append(op)
         self._emit(op)
 
     def _emit(self, op: Op) -> None:
-        if self._active:
+        if self._owns_open_txn():
             self._redo.append(op)
         elif self.wal is not None:
             # Autocommit: each standalone mutation is its own batch.
@@ -103,6 +115,7 @@ class TransactionManager:
     def begin(self) -> None:
         if self._active:
             raise TransactionError("a transaction is already active")
+        self._owner = threading.get_ident()
         self._active = True
         self._undo = []
         self._redo = []
@@ -114,6 +127,7 @@ class TransactionManager:
         if self.wal is not None and self._redo:
             self.wal.append_commit(self._redo)
         self._active = False
+        self._owner = None
         self._undo = []
         self._redo = []
         self.commits += 1
@@ -129,6 +143,7 @@ class TransactionManager:
         finally:
             self._suspended = False
             self._active = False
+            self._owner = None
             self._undo = []
             self._redo = []
             self.rollbacks += 1

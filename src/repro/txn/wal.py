@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 from typing import List, Optional, Tuple
 
 from repro.storage.database import Database
@@ -71,6 +72,15 @@ class WriteAheadLog:
     ``sync=True`` (the default) fsyncs after every commit batch -- the
     durability point; ``sync=False`` trades that for speed (data still
     survives a process crash, but not an OS crash).
+
+    Appends are internally serialized by a mutex, so the log stays
+    consistent (no interleaved batches, no racing tids) regardless of the
+    caller's own locking -- e.g. a write-lock holder's commit overlapping
+    an autocommitted catalog declare from a reader thread.
+
+    Transaction ids are monotone: reopening an existing log continues past
+    the highest tid already on disk instead of restarting at 1, so a tid
+    stays a unique identifier for tooling across restarts.
     """
 
     def __init__(self, path: str, sync: bool = True):
@@ -79,8 +89,9 @@ class WriteAheadLog:
         directory = os.path.dirname(self.path)
         os.makedirs(directory, exist_ok=True)
         fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._next_tid = 1 if fresh else _last_tid(self.path) + 1
+        self._lock = threading.Lock()
         self._handle = open(self.path, "a", encoding="utf-8")
-        self._next_tid = 1
         self.commits = 0
         if fresh:
             self._handle.write(WAL_HEADER + "\n")
@@ -95,35 +106,43 @@ class WriteAheadLog:
         """Durably append one committed batch; returns its txn id."""
         if not ops:
             return None
-        if self._handle is None:
-            raise ValueError("write-ahead log is closed")
-        tid = self._next_tid
-        self._next_tid += 1
-        lines = [f"% txn {tid}"]
-        lines.extend(format_op(op) for op in ops)
-        lines.append(f"% commit {tid}")
-        self._handle.write("\n".join(lines) + "\n")
-        self._flush()
-        self.commits += 1
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("write-ahead log is closed")
+            tid = self._next_tid
+            self._next_tid += 1
+            lines = [f"% txn {tid}"]
+            lines.extend(format_op(op) for op in ops)
+            lines.append(f"% commit {tid}")
+            self._handle.write("\n".join(lines) + "\n")
+            self._flush()
+            self.commits += 1
         return tid
 
     def reset(self) -> None:
-        """Truncate to an empty log (after a checkpoint), atomically."""
-        self.close()
-        tmp = self.path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(WAL_HEADER + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
-        fsync_directory(os.path.dirname(self.path))
-        self._handle = open(self.path, "a", encoding="utf-8")
-        self._next_tid = 1
+        """Truncate to an empty log (after a checkpoint), atomically.
+
+        Tids keep counting up -- a post-checkpoint batch never reuses an
+        id from the compacted-away prefix.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(WAL_HEADER + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            fsync_directory(os.path.dirname(self.path))
+            self._handle = open(self.path, "a", encoding="utf-8")
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -131,6 +150,20 @@ class WriteAheadLog:
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.close()
         return False
+
+
+def _last_tid(path: str) -> int:
+    """The highest transaction id recorded in an existing log (0 if none)."""
+    last = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                marker = _TXN_RE.match(raw.strip()) or _COMMIT_RE.match(raw.strip())
+                if marker:
+                    last = max(last, int(marker.group(1)))
+    except OSError:
+        return 0
+    return last
 
 
 def _parse_op(line: str) -> Optional[Op]:

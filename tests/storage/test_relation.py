@@ -232,3 +232,39 @@ class TestIndexes:
             left = sorted(str(b) for b in plain.select(pattern))
             right = sorted(str(b) for b in indexed.select(pattern))
             assert left == right
+
+
+class TestConcurrentAdaptiveIndexing:
+    """Adaptive builds fire from read paths, which the query server runs
+    concurrently; index creation/lookup must tolerate that (REVIEW)."""
+
+    def test_parallel_selects_trigger_builds_without_errors(self):
+        import threading
+
+        from repro.storage.adaptive import AlwaysIndexPolicy
+
+        rel = Relation(Atom("edge"), 2, index_policy=AlwaysIndexPolicy())
+        for i in range(200):
+            rel.insert((Num(i), Num(i + 1)))
+
+        errors = []
+
+        def reader(column):
+            try:
+                for i in range(200):
+                    patterns = (
+                        (Num(i), Var("Y")) if column == 0 else (Var("X"), Num(i))
+                    )
+                    list(rel.select(patterns))
+            except Exception as exc:  # noqa: BLE001 - the race under test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i % 2,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Both single-column indexes exist exactly once each.
+        assert rel.index_columns == [(0,), (1,)]
+        assert rel.counters.index_builds == 2

@@ -139,3 +139,26 @@ class TestReplay:
         assert wal.append_commit([]) is None
         wal.close()
         assert os.path.getsize(wal_path) == len(WAL_HEADER) + 1
+
+
+class TestTidContinuity:
+    def test_tids_continue_across_reopen(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.append_commit([("insert", Atom("edge"), (Num(2), Num(3)))])
+        wal.close()
+        reopened = WriteAheadLog(wal_path)
+        tid = reopened.append_commit([("insert", Atom("edge"), (Num(3), Num(4)))])
+        reopened.close()
+        assert tid == 3
+        with open(wal_path) as handle:
+            text = handle.read()
+        assert text.count("% txn 1") == 1  # never reused
+
+    def test_tids_continue_past_reset(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_commit([("insert", Atom("edge"), (Num(1), Num(2)))])
+        wal.reset()
+        tid = wal.append_commit([("insert", Atom("edge"), (Num(2), Num(3)))])
+        wal.close()
+        assert tid == 2
