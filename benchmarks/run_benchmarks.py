@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Join-engine benchmark harness: measures the NAIL! evaluator and records
+the trajectory across PRs.
+
+Each workload materializes a recursive program bottom-up and reports rows,
+wall-clock time, ``tuples_scanned`` (full-scan touches), index probe
+counts, and fixpoint rounds.  Results are written to ``BENCH_joins.json``;
+existing history entries in that file are preserved and the new run is
+appended, so the file accumulates the before/after trajectory of evaluator
+changes (see docs/PERFORMANCE.md).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick --check
+
+``--quick`` shrinks the workloads for CI smoke runs.  ``--check``
+cross-validates every workload three ways -- hash-join seminaive (the
+engine under test) against naive evaluation and against the nested-loop
+baseline -- and exits nonzero on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks._workloads import (  # noqa: E402
+    PATH_RULES,
+    binary_tree_edges,
+    chain_edges,
+    db_with,
+    random_graph,
+)
+from repro.lang.parser import parse_program  # noqa: E402
+from repro.nail.engine import NailEngine, magic_query  # noqa: E402
+from repro.storage.database import Database  # noqa: E402
+from repro.terms.term import Atom, Compound, Num, Var  # noqa: E402
+
+NEGATION_RULES = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y) & edge(Y, Z).
+node(X) :- edge(X, _).
+node(Y) :- edge(_, Y).
+unreachable(X, Y) :- node(X) & node(Y) & !path(X, Y).
+"""
+
+HILOG_RULES = """
+tc(G)(X, Y) :- e(G, X, Y).
+tc(G)(X, Z) :- tc(G)(X, Y) & e(G, Y, Z).
+"""
+
+
+def rules_of(text):
+    return list(parse_program(text).items)
+
+
+def _materialize(db, rules, pred, arity, strategy="seminaive", join_mode="hash"):
+    """Materialize ``pred`` and capture cost deltas for exactly that run."""
+    engine = NailEngine(db, rules, strategy=strategy, join_mode=join_mode)
+    counters = db.counters
+    counters.reset()
+    t0 = time.perf_counter()
+    relation = engine.materialize(pred, arity)
+    wall = time.perf_counter() - t0
+    return {
+        "rows": len(relation),
+        "wall_s": round(wall, 4),
+        "tuples_scanned": counters.tuples_scanned,
+        "index_lookups": counters.index_lookups,
+        "index_probe_tuples": counters.index_probe_tuples,
+        "rounds": engine.rounds_run,
+    }, set(relation.rows())
+
+
+def _tc_workload(edges, pred=None, arity=2, rules=None):
+    rules = rules_of(rules or PATH_RULES)
+    pred = pred or Atom("path")
+
+    def run(strategy="seminaive", join_mode="hash"):
+        db = db_with({"edge": edges})
+        return _materialize(db, rules, pred, arity, strategy, join_mode)
+
+    return run
+
+
+def _hilog_workload(families=3, chain=30):
+    facts = [
+        (f"g{f}", f * 1000 + i, f * 1000 + i + 1)
+        for f in range(families)
+        for i in range(chain)
+    ]
+    rules = rules_of(HILOG_RULES)
+    pred = Compound(Atom("tc"), (Atom("g0"),))
+
+    def run(strategy="seminaive", join_mode="hash"):
+        db = Database()
+        db.facts("e", facts)
+        return _materialize(db, rules, pred, 2, strategy, join_mode)
+
+    return run
+
+
+def _negation_workload(nodes, edges):
+    graph = random_graph(nodes, edges)
+    rules = rules_of(NEGATION_RULES)
+
+    def run(strategy="seminaive", join_mode="hash"):
+        db = db_with({"edge": graph})
+        return _materialize(db, rules, Atom("unreachable"), 2, strategy, join_mode)
+
+    return run
+
+
+def _magic_workload(chain, source):
+    edges = chain_edges(chain)
+    rules = rules_of(PATH_RULES)
+
+    def run(strategy="seminaive", join_mode="hash"):
+        db = db_with({"edge": edges})
+        counters = db.counters
+        counters.reset()
+        t0 = time.perf_counter()
+        answers, engine = magic_query(
+            db, rules, Atom("path"), (Num(source), Var("Y")),
+            strategy=strategy, join_mode=join_mode,
+        )
+        wall = time.perf_counter() - t0
+        return {
+            "rows": len(answers),
+            "wall_s": round(wall, 4),
+            "tuples_scanned": counters.tuples_scanned,
+            "index_lookups": counters.index_lookups,
+            "index_probe_tuples": counters.index_probe_tuples,
+            "rounds": engine.rounds_run,
+        }, set(answers)
+
+    return run
+
+
+def workloads(quick: bool):
+    if quick:
+        return {
+            "chain-60": _tc_workload(chain_edges(60)),
+            "tree-d6": _tc_workload(binary_tree_edges(6)),
+            "random-40n-80e": _tc_workload(random_graph(40, 80)),
+            "negation-20n-50e": _negation_workload(20, 50),
+            "hilog-3x20": _hilog_workload(3, 20),
+            "magic-chain-100": _magic_workload(100, 49),
+            "chain-60-naive-baseline": _tc_workload(chain_edges(60)),
+        }
+    return {
+        "chain-60": _tc_workload(chain_edges(60)),
+        "chain-120": _tc_workload(chain_edges(120)),
+        "tree-d7": _tc_workload(binary_tree_edges(7)),
+        "random-40n-80e": _tc_workload(random_graph(40, 80)),
+        "random-60n-180e": _tc_workload(random_graph(60, 180)),
+        "negation-30n-90e": _negation_workload(30, 90),
+        "hilog-3x30": _hilog_workload(3, 30),
+        "magic-chain-200": _magic_workload(200, 99),
+        "chain-60-naive-baseline": _tc_workload(chain_edges(60)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI-sized workloads")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="cross-validate hash-join vs naive vs nested-loop results; "
+        "exit nonzero on divergence",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_joins.json"),
+        help="output JSON path (history in an existing file is preserved)",
+    )
+    parser.add_argument(
+        "--label", default=None, help="history label for this run (default: none, "
+        "run is not appended to history)"
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    divergences = []
+    for name, run in workloads(args.quick).items():
+        if name.endswith("-naive-baseline"):
+            stats, rows = run(strategy="naive")
+        else:
+            stats, rows = run()
+        results[name] = stats
+        line = (
+            f"{name:28s} rows={stats['rows']:<7d} wall={stats['wall_s']:<8.4f} "
+            f"scanned={stats['tuples_scanned']:<9d} probes={stats['index_lookups']:<7d} "
+            f"rounds={stats['rounds']}"
+        )
+        if args.check and not name.endswith("-naive-baseline"):
+            _, naive_rows = run(strategy="naive")
+            _, nested_rows = run(join_mode="nested")
+            ok = rows == naive_rows == nested_rows
+            line += "  check=" + ("OK" if ok else "DIVERGED")
+            if not ok:
+                divergences.append(name)
+        print(line)
+
+    out_path = Path(args.out)
+    doc = {"workloads": {}, "history": []}
+    if out_path.exists():
+        try:
+            doc = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["quick"] = args.quick
+    doc["workloads"] = results
+    if args.label:
+        doc.setdefault("history", []).append(
+            {"label": args.label, "quick": args.quick, "workloads": results}
+        )
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    if divergences:
+        print(f"DIVERGENCE between evaluators on: {', '.join(divergences)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

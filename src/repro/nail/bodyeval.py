@@ -5,11 +5,25 @@ than compiled positional plans: seminaive evaluation substitutes a *delta*
 relation for one literal occurrence per pass, which is simplest with an
 interpretive evaluator.  (The compiled path is the NAIL!-to-Glue pipeline,
 which reuses the Glue VM.)
+
+Joins are hash joins.  For each body literal the rule's
+:class:`~repro.nail.rules.JoinPlanner` precomputes the shared-variable
+join key, the constant positions and a flat extraction template, so
+round-time work is key build + hash probe instead of rescanning the whole
+relation once per accumulated binding (``O(|B|+|R|)`` instead of
+``O(|B| x |R|)``).  Sources are *indexed*: ``rows_fn`` may hand back a
+:class:`~repro.storage.relation.Relation` (probed through its persistent,
+incrementally-maintained hash indexes), a seminaive
+:class:`~repro.nail.seminaive.DeltaRelation` (per-key hash maps built once
+per round), or any plain iterable (hashed on first probe).  Negation runs
+as a hash anti-join, and a fully-ground negated literal is a single
+membership test.  The pre-hash-join nested-loop evaluator is retained
+under ``join_mode="nested"`` as a differential/costing baseline.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.bindings import expr_has_agg
 from repro.errors import GlueRuntimeError
@@ -25,7 +39,8 @@ from repro.lang.ast import (
     RuleDecl,
     UnaryOp,
 )
-from repro.terms.matching import instantiate, match_tuple, substitute
+from repro.nail.rules import JoinPlanner, LiteralPlan, RuleInfo
+from repro.terms.matching import instantiate, match, match_tuple, substitute
 from repro.terms.term import Atom, Num, Term, Var, is_ground
 
 Bindings = Dict[str, Term]
@@ -34,8 +49,9 @@ Row = Tuple[Term, ...]
 _TRUE = Atom("true")
 _FALSE = Atom("false")
 
-# rows(name, arity) -> iterable of ground rows for that predicate instance.
-RowsFn = Callable[[Term, int], Iterable[Row]]
+# rows(name, arity) -> the stored rows for that predicate instance: a
+# Relation, a DeltaRelation, any iterable of ground rows, or None.
+RowsFn = Callable[[Term, int], object]
 
 
 def eval_expr_bindings(expr, bindings: Bindings) -> Term:
@@ -63,6 +79,330 @@ def eval_expr_bindings(expr, bindings: Bindings) -> Term:
     raise GlueRuntimeError(f"cannot evaluate expression {expr!r}")
 
 
+# ---------------------------------------------------------------------- #
+# join sources
+# ---------------------------------------------------------------------- #
+
+
+class _EmptySource:
+    """The source for an absent relation."""
+
+    def __len__(self) -> int:
+        return 0
+
+    def scan(self):
+        return ()
+
+    def probe(self, cols, key):
+        return ()
+
+    def contains(self, row) -> bool:
+        return False
+
+
+_EMPTY_SOURCE = _EmptySource()
+
+
+class _RelationSource:
+    """A Relation as a join source: probes go through its persistent hash
+    indexes (built on first use, maintained incrementally on insert, so a
+    seminaive IDB relation is indexed once and stays indexed as it grows)."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation):
+        self.relation = relation
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def scan(self):
+        relation = self.relation
+        relation.counters.tuples_scanned += len(relation)
+        return relation.rows()
+
+    def probe(self, cols: Tuple[int, ...], key: Row):
+        relation = self.relation
+        hits = relation.build_index(cols).bucket(key)
+        relation.counters.index_lookups += 1
+        relation.counters.index_probe_tuples += len(hits)
+        return hits
+
+    def contains(self, row: Row) -> bool:
+        if tuple(row) in self.relation:
+            self.relation.counters.index_probe_tuples += 1
+            return True
+        return False
+
+
+class _IterSource:
+    """A plain iterable of rows as a join source (tests, ad-hoc callers)."""
+
+    __slots__ = ("rows", "_tables", "_set")
+
+    def __init__(self, rows):
+        self.rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        self._tables: dict = {}
+        self._set = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scan(self):
+        return self.rows
+
+    def probe(self, cols: Tuple[int, ...], key: Row):
+        table = self._tables.get(cols)
+        if table is None:
+            table = {}
+            for row in self.rows:
+                table.setdefault(tuple(row[c] for c in cols), []).append(row)
+            self._tables[cols] = table
+        return table.get(key, ())
+
+    def contains(self, row: Row) -> bool:
+        if self._set is None:
+            self._set = set(self.rows)
+        return tuple(row) in self._set
+
+
+def _as_source(obj):
+    """Adapt whatever ``rows_fn`` returned to the join-source protocol."""
+    if obj is None:
+        return _EMPTY_SOURCE
+    if isinstance(obj, (list, tuple)):
+        return _IterSource(obj) if obj else _EMPTY_SOURCE
+    if hasattr(obj, "probe") and hasattr(obj, "scan"):
+        return obj  # already a join source (e.g. seminaive DeltaRelation)
+    if hasattr(obj, "build_index") and hasattr(obj, "match_rows"):
+        return _RelationSource(obj)
+    return _IterSource(obj)
+
+
+# ---------------------------------------------------------------------- #
+# hash joins
+# ---------------------------------------------------------------------- #
+
+
+def _probe_key(key_cols, b: Bindings) -> Row:
+    return tuple(
+        value if kind == "const" else b[value] for _, kind, value in key_cols
+    )
+
+
+def _join_group(
+    group: List[Bindings], source, plan: LiteralPlan, out: List[Bindings]
+) -> str:
+    """Join one homogeneously-bound group of bindings against a source.
+
+    Returns the strategy label used (for the tracer).
+    """
+    key_cols = plan.key_cols
+    probe_cols = plan.probe_cols
+    if plan.complex_cols and (plan.complex_has_bound or plan.has_var_keys):
+        # Residual path: some argument is a compound containing variables,
+        # so candidates (narrowed by the hash probe when a key exists)
+        # still go through general matching.
+        for b in group:
+            patterns = tuple(substitute(arg, b) for arg in plan.patterns)
+            if probe_cols:
+                candidates = source.probe(probe_cols, _probe_key(key_cols, b))
+            else:
+                candidates = source.scan()
+            for row in candidates:
+                extended = match_tuple(patterns, row, b)
+                if extended is not None:
+                    out.append(extended)
+        return "probe+match" if probe_cols else "scan+match"
+    if plan.has_var_keys:
+        # The hot path: hash probe on the shared-variable key, then flat
+        # extraction of the new variables straight off each matching row.
+        extract = plan.extract
+        eq_checks = plan.eq_checks
+        complex_cols = plan.complex_cols
+        for b in group:
+            key = _probe_key(key_cols, b)
+            for row in source.probe(probe_cols, key):
+                if eq_checks and any(row[c] != row[c0] for c, c0 in eq_checks):
+                    continue
+                extended = dict(b)
+                for col, name in extract:
+                    extended[name] = row[col]
+                if complex_cols:
+                    ok = True
+                    for col, pat in complex_cols:
+                        matched = match(pat, row[col], extended)
+                        if matched is None:
+                            ok = False
+                            break
+                        extended = matched
+                    if not ok:
+                        continue
+                out.append(extended)
+        return "probe"
+    # No shared variables: every binding matches the same candidate rows,
+    # so compute the extension fragments once and broadcast them.
+    if probe_cols:
+        candidates = source.probe(probe_cols, _probe_key(key_cols, {}))
+    else:
+        candidates = source.scan()
+    fragments: List[Bindings] = []
+    for row in candidates:
+        if plan.eq_checks and any(row[c] != row[c0] for c, c0 in plan.eq_checks):
+            continue
+        fragment: Bindings = {}
+        for col, name in plan.extract:
+            fragment[name] = row[col]
+        ok = True
+        for col, pat in plan.complex_cols:
+            matched = match(pat, row[col], fragment)
+            if matched is None:
+                ok = False
+                break
+            fragment = matched
+        if ok:
+            fragments.append(fragment)
+    if fragments:
+        for b in group:
+            for fragment in fragments:
+                if fragment:
+                    extended = dict(b)
+                    extended.update(fragment)
+                    out.append(extended)
+                else:
+                    out.append(b)
+    return "broadcast"
+
+
+def _row_survives(row: Row, plan: LiteralPlan) -> bool:
+    """Does a probed candidate satisfy the literal's residual constraints?
+    (Negation treats new variables as existential wildcards.)"""
+    if plan.eq_checks and any(row[c] != row[c0] for c, c0 in plan.eq_checks):
+        return False
+    if plan.complex_cols:
+        fragment: Bindings = {}
+        for col, name in plan.extract:
+            fragment[name] = row[col]
+        for col, pat in plan.complex_cols:
+            matched = match(pat, row[col], fragment)
+            if matched is None:
+                return False
+            fragment = matched
+    return True
+
+
+def _antijoin_group(
+    group: List[Bindings], source, plan: LiteralPlan, out: List[Bindings]
+) -> str:
+    """Keep the bindings with *no* matching row: a hash anti-join."""
+    key_cols = plan.key_cols
+    probe_cols = plan.probe_cols
+    if plan.complex_cols and (plan.complex_has_bound or plan.has_var_keys):
+        for b in group:
+            patterns = tuple(substitute(arg, b) for arg in plan.patterns)
+            if probe_cols:
+                candidates = source.probe(probe_cols, _probe_key(key_cols, b))
+            else:
+                candidates = source.scan()
+            if not any(match_tuple(patterns, row, b) is not None for row in candidates):
+                out.append(b)
+        return "anti-match"
+    if plan.has_var_keys:
+        if plan.covers_all_columns:
+            # Fully ground after substitution: one membership test each.
+            for b in group:
+                if not source.contains(_probe_key(key_cols, b)):
+                    out.append(b)
+            return "member"
+        for b in group:
+            hits = source.probe(probe_cols, _probe_key(key_cols, b))
+            if not any(_row_survives(row, plan) for row in hits):
+                out.append(b)
+        return "anti-probe"
+    # No bound variables at all: the test has one answer for the whole group.
+    if probe_cols:
+        candidates = source.probe(probe_cols, _probe_key(key_cols, {}))
+    else:
+        candidates = source.scan()
+    if not any(_row_survives(row, plan) for row in candidates):
+        out.extend(group)
+    return "anti-static"
+
+
+def _grouped_literal(
+    bindings_list: List[Bindings],
+    index: int,
+    subgoal: PredSubgoal,
+    rows_fn: RowsFn,
+    planner: JoinPlanner,
+    tracer,
+    runner,
+) -> List[Bindings]:
+    """Run ``runner`` (join or anti-join) per homogeneous binding group.
+
+    Bindings are grouped by their bound-variable signature (plans depend on
+    it; lists are almost always one group) and, for HiLog literals, by the
+    value of the predicate-name variables -- so a predicate-variable
+    literal costs one source resolution per distinct name, not one per
+    binding.
+    """
+    out: List[Bindings] = []
+    groups: Dict[frozenset, List[Bindings]] = {}
+    for b in bindings_list:
+        groups.setdefault(frozenset(b), []).append(b)
+    for sig, group in groups.items():
+        plan = planner.plan_for(index, sig)
+        if plan.pred_vars:
+            by_name: Dict[tuple, List[Bindings]] = {}
+            for b in group:
+                by_name.setdefault(
+                    tuple(b.get(v) for v in plan.pred_vars), []
+                ).append(b)
+            for values, sub in by_name.items():
+                if any(v is None for v in values):
+                    raise GlueRuntimeError(
+                        f"predicate variable in {subgoal.pred} not bound at "
+                        "evaluation time"
+                    )
+                name = substitute(subgoal.pred, dict(zip(plan.pred_vars, values)))
+                if not is_ground(name):
+                    raise GlueRuntimeError(
+                        f"predicate variable in {subgoal.pred} not bound at "
+                        "evaluation time"
+                    )
+                source = _as_source(rows_fn(name, plan.arity))
+                before = len(out)
+                strategy = runner(sub, source, plan, out)
+                if tracer is not None and tracer.enabled:
+                    tracer.event(
+                        "join",
+                        f"{name}/{plan.arity}",
+                        rows=len(out) - before,
+                        strategy=strategy,
+                        bindings=len(sub),
+                        source=len(source),
+                    )
+        else:
+            source = _as_source(rows_fn(subgoal.pred, plan.arity))
+            before = len(out)
+            strategy = runner(group, source, plan, out)
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "join",
+                    f"{subgoal.pred}/{plan.arity}",
+                    rows=len(out) - before,
+                    strategy=strategy,
+                    bindings=len(group),
+                    source=len(source),
+                )
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# the nested-loop baseline (pre-hash-join semantics, for differentials)
+# ---------------------------------------------------------------------- #
+
+
 def _join_literal(
     bindings_list: List[Bindings],
     subgoal: PredSubgoal,
@@ -77,7 +417,7 @@ def _join_literal(
                 f"predicate variable in {subgoal.pred} not bound at evaluation time"
             )
         patterns = tuple(substitute(arg, b) for arg in subgoal.args)
-        for row in rows_fn(name, arity):
+        for row in _as_source(rows_fn(name, arity)).scan():
             extended = match_tuple(patterns, row, b)
             if extended is not None:
                 out.append(extended)
@@ -93,7 +433,7 @@ def _filter_negation(
         name = substitute(subgoal.pred, b)
         patterns = tuple(substitute(arg, b) for arg in subgoal.args)
         matched = False
-        for row in rows_fn(name, arity):
+        for row in _as_source(rows_fn(name, arity)).scan():
             if match_tuple(patterns, row, b) is not None:
                 matched = True
                 break
@@ -102,10 +442,16 @@ def _filter_negation(
     return out
 
 
+# ---------------------------------------------------------------------- #
+# comparisons, aggregation, the body walk
+# ---------------------------------------------------------------------- #
+
+
 def _apply_compare(
     bindings_list: List[Bindings],
     subgoal: CompareSubgoal,
     group_vars: List[str],
+    var_order: Tuple[str, ...] = (),
 ) -> List[Bindings]:
     left, right, op = subgoal.left, subgoal.right, subgoal.op
     left_agg = expr_has_agg(left)
@@ -118,7 +464,9 @@ def _apply_compare(
             op = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}[op]
         if not isinstance(right, AggCall):
             raise GlueRuntimeError("an aggregate must be the whole comparison side")
-        return _apply_aggregate_compare(bindings_list, left, op, right, group_vars)
+        return _apply_aggregate_compare(
+            bindings_list, left, op, right, group_vars, var_order
+        )
     out: List[Bindings] = []
     binds_left = op == "=" and isinstance(left, Var) and not left.is_anonymous
     binds_right = op == "=" and isinstance(right, Var) and not right.is_anonymous
@@ -140,11 +488,27 @@ def _apply_compare(
     return out
 
 
-def _dedup_bindings(bindings_list: List[Bindings]) -> List[Bindings]:
+def _dedup_bindings(
+    bindings_list: List[Bindings], var_order: Tuple[str, ...] = ()
+) -> List[Bindings]:
+    """Deduplicate bindings using a precomputed variable order.
+
+    The rule's :class:`~repro.nail.rules.JoinPlanner` supplies the order
+    (first appearance in the body), so each binding's key is a flat O(k)
+    projection -- no per-binding sort.  Variables outside the precomputed
+    order (seed-only bindings) extend it by first appearance.
+    """
+    order = list(var_order)
+    known = set(order)
+    for b in bindings_list:
+        for name in b:
+            if name not in known:
+                known.add(name)
+                order.append(name)
     seen = set()
     out = []
     for b in bindings_list:
-        key = tuple(sorted(b.items(), key=lambda kv: kv[0]))
+        key = tuple(b.get(name) for name in order)
         if key not in seen:
             seen.add(key)
             out.append(b)
@@ -157,10 +521,11 @@ def _apply_aggregate_compare(
     op: str,
     agg: AggCall,
     group_vars: List[str],
+    var_order: Tuple[str, ...] = (),
 ) -> List[Bindings]:
     if not bindings_list:
         return []
-    bindings_list = _dedup_bindings(bindings_list)
+    bindings_list = _dedup_bindings(bindings_list, var_order)
     groups: Dict[Tuple, List[Bindings]] = {}
     for b in bindings_list:
         key = tuple(b.get(v) for v in group_vars)
@@ -183,20 +548,41 @@ def _apply_aggregate_compare(
 
 
 def eval_rule_body(
-    rule: RuleDecl,
+    rule: Union[RuleDecl, RuleInfo],
     rows_fn: RowsFn,
     delta_index: Optional[int] = None,
     delta_rows_fn: Optional[RowsFn] = None,
     seeds: Optional[List[Bindings]] = None,
+    tracer=None,
+    join_mode: str = "hash",
 ) -> List[Bindings]:
     """Evaluate a rule body left to right; returns the final binding set.
 
-    ``delta_index`` (an index into ``rule.body``) redirects that single
-    positive literal to ``delta_rows_fn`` -- the seminaive trick.
+    ``rule`` may be a bare :class:`RuleDecl` or a prepared
+    :class:`~repro.nail.rules.RuleInfo` (whose cached join planner is then
+    reused across calls).  ``delta_index`` (an index into the body)
+    redirects that single positive literal to ``delta_rows_fn`` -- the
+    seminaive trick.  ``join_mode`` selects ``"hash"`` (the planned
+    hash-join engine) or ``"nested"`` (the pre-hash-join nested-loop
+    baseline, kept for differential testing and cost comparisons).
+    ``tracer``, when given and enabled, receives one ``join`` event per
+    (literal, binding group) with the strategy the engine chose.
     """
+    if isinstance(rule, RuleInfo):
+        decl = rule.rule
+        planner = rule.planner if rule.planner is not None else JoinPlanner(decl)
+    else:
+        decl = rule
+        planner = JoinPlanner(decl)
+    if join_mode == "nested":
+        planner = None
+    elif join_mode != "hash":
+        raise ValueError(f"unknown join mode {join_mode!r}")
+    var_order = planner.var_order if planner is not None else ()
+
     bindings_list: List[Bindings] = seeds if seeds is not None else [{}]
     group_vars: List[str] = []
-    for index, subgoal in enumerate(rule.body):
+    for index, subgoal in enumerate(decl.body):
         if not bindings_list:
             return []
         if isinstance(subgoal, PredSubgoal):
@@ -207,12 +593,24 @@ def eval_rule_body(
                 if not holds:
                     return []
             elif subgoal.negated:
-                bindings_list = _filter_negation(bindings_list, subgoal, rows_fn)
+                if planner is not None:
+                    bindings_list = _grouped_literal(
+                        bindings_list, index, subgoal, rows_fn, planner, tracer,
+                        _antijoin_group,
+                    )
+                else:
+                    bindings_list = _filter_negation(bindings_list, subgoal, rows_fn)
             else:
                 fn = delta_rows_fn if index == delta_index else rows_fn
-                bindings_list = _join_literal(bindings_list, subgoal, fn)
+                if planner is not None:
+                    bindings_list = _grouped_literal(
+                        bindings_list, index, subgoal, fn, planner, tracer,
+                        _join_group,
+                    )
+                else:
+                    bindings_list = _join_literal(bindings_list, subgoal, fn)
         elif isinstance(subgoal, CompareSubgoal):
-            bindings_list = _apply_compare(bindings_list, subgoal, group_vars)
+            bindings_list = _apply_compare(bindings_list, subgoal, group_vars, var_order)
         elif isinstance(subgoal, GroupBySubgoal):
             for term in subgoal.terms:
                 if not isinstance(term, Var):
@@ -226,11 +624,14 @@ def eval_rule_body(
     return bindings_list
 
 
-def derive_heads(rule: RuleDecl, bindings_list: List[Bindings]) -> List[Tuple[Term, Row]]:
+def derive_heads(
+    rule: Union[RuleDecl, RuleInfo], bindings_list: List[Bindings]
+) -> List[Tuple[Term, Row]]:
     """Instantiate the rule head for each binding: (relation name, row)."""
+    decl = rule.rule if isinstance(rule, RuleInfo) else rule
     out: List[Tuple[Term, Row]] = []
     for b in bindings_list:
-        name = instantiate(rule.head_pred, b)
-        row = tuple(instantiate(arg, b) for arg in rule.head_args)
+        name = instantiate(decl.head_pred, b)
+        row = tuple(instantiate(arg, b) for arg in decl.head_args)
         out.append((name, row))
     return out

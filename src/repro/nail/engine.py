@@ -21,9 +21,23 @@ from repro.nail.rules import RuleInfo, prepare_rules
 from repro.nail.seminaive import seminaive_eval
 from repro.storage.database import Database
 from repro.storage.relation import Relation
-from repro.terms.term import Term
+from repro.terms.term import Term, Var, is_ground
 
 Row = Tuple[Term, ...]
+
+
+def _is_flat_query(args: Sequence[Term]) -> bool:
+    """Flat pattern: every position is ground or a plain variable and the
+    named variables are distinct -- the precondition of
+    :meth:`~repro.storage.relation.Relation.match_rows`."""
+    named = []
+    for arg in args:
+        if isinstance(arg, Var):
+            if not arg.is_anonymous:
+                named.append(arg.name)
+        elif not is_ground(arg):
+            return False
+    return len(named) == len(set(named))
 
 
 class NailEngine:
@@ -31,6 +45,9 @@ class NailEngine:
 
     ``strategy`` selects the fixpoint algorithm: ``"seminaive"`` (the
     paper's uniondiff-based design) or ``"naive"`` (the baseline).
+    ``join_mode`` selects how rule bodies are joined: ``"hash"`` (planned
+    hash joins over indexed sources) or ``"nested"`` (the nested-loop
+    baseline, kept for differential testing and cost comparisons).
     """
 
     def __init__(
@@ -40,12 +57,16 @@ class NailEngine:
         strategy: str = "seminaive",
         check_safety: bool = True,
         extra_edb: Optional[Database] = None,
+        join_mode: str = "hash",
     ):
         if strategy not in ("seminaive", "naive"):
             raise ValueError(f"unknown NAIL! strategy {strategy!r}")
+        if join_mode not in ("hash", "nested"):
+            raise ValueError(f"unknown NAIL! join mode {join_mode!r}")
         self.db = db
         self.extra_edb = extra_edb
         self.strategy = strategy
+        self.join_mode = join_mode
         self.rule_infos: List[RuleInfo] = prepare_rules(rules, check_safety=check_safety)
         self.dep = build_dependency_graph([info.rule for info in self.rule_infos])
         self.strata: List[Stratum] = stratify(self.dep)
@@ -101,12 +122,17 @@ class NailEngine:
         from repro.terms.matching import match_tuple
 
         arity = arity if arity is not None else len(args)
+        args = tuple(args)
         if not self.can_materialize(pred, arity):
-            return self.demand(pred, arity, tuple(args))
+            return self.demand(pred, arity, args)
         relation = self.materialize(pred, arity)
+        if _is_flat_query(args):
+            # Bound positions route through the relation's hash indexes
+            # (match_rows -> _candidate_rows) instead of a full scan.
+            return list(relation.match_rows(args))
         out = []
         for row in relation.rows():
-            bindings = match_tuple(tuple(args), row)
+            bindings = match_tuple(args, row)
             if bindings is not None:
                 out.append(row)
         return out
@@ -158,6 +184,7 @@ class NailEngine:
                         name,
                         query_args,
                         strategy=self.strategy,
+                        join_mode=self.join_mode,
                     )
                     cached = answers
                 except MagicTransformError as exc:
@@ -203,24 +230,19 @@ class NailEngine:
         db = self.db
         extra = self.extra_edb
         defines = self.dep.rules_by_head
-        counters = self.db.counters
 
-        def rows(name: Term, arity: int) -> Iterable[Row]:
+        def rows(name: Term, arity: int) -> Optional[Relation]:
+            # Hand the evaluator the Relation itself (or None): joins then
+            # probe its hash indexes, and only genuine full scans charge
+            # ``tuples_scanned`` -- the same cost currency as the Glue VM.
             skeleton = pred_skeleton(name, arity)
             if skeleton in defines:
-                relation = idb.get(name, arity)
-            else:
-                relation = extra.get(name, arity) if extra is not None else None
-                if relation is None:
-                    relation = db.get(name, arity)
-            if relation is None:
-                return
-            # Every tuple handed to a rule body counts as a scan touch so
-            # naive-vs-seminaive and full-vs-magic comparisons are in the
-            # same cost currency as the Glue VM.
-            for row in relation.rows():
-                counters.tuples_scanned += 1
-                yield row
+                return idb.get(name, arity)
+            if extra is not None:
+                relation = extra.get(name, arity)
+                if relation is not None:
+                    return relation
+            return db.get(name, arity)
 
         return rows
 
@@ -281,10 +303,17 @@ class NailEngine:
         self._declare_heads(relevant)
         self._seed_from_edb(stratum.skeletons)
         if self.strategy == "naive":
-            self.rounds_run = naive_eval(relevant, rows_fn, self.idb, tracer=tracer)
+            self.rounds_run = naive_eval(
+                relevant, rows_fn, self.idb, tracer=tracer, join_mode=self.join_mode
+            )
         else:
             self.rounds_run = seminaive_eval(
-                relevant, set(stratum.skeletons), rows_fn, self.idb, tracer=tracer
+                relevant,
+                set(stratum.skeletons),
+                rows_fn,
+                self.idb,
+                tracer=tracer,
+                join_mode=self.join_mode,
             )
 
     def _seed_from_edb(self, skeletons) -> None:
@@ -295,10 +324,10 @@ class NailEngine:
         for source_db in sources:
             for name, arity in list(source_db.keys()):
                 if pred_skeleton(name, arity) in skeletons:
-                    target = self.idb.relation(name, arity)
-                    source = source_db.get(name, arity)
-                    for row in source.rows():
-                        target.insert(row)
+                    # Bulk load: one version bump per relation, not per row.
+                    self.idb.relation(name, arity).insert_new(
+                        source_db.get(name, arity).rows()
+                    )
 
     def _declare_heads(self, infos: Sequence[RuleInfo]) -> None:
         """Pre-create relations for ground-named heads so empty results
@@ -358,6 +387,7 @@ def magic_query(
     pred: Term,
     args: Sequence[Term],
     strategy: str = "seminaive",
+    join_mode: str = "hash",
 ) -> Tuple[List[Row], "NailEngine"]:
     """Answer ``pred(args)`` demand-driven via the magic-sets rewrite.
 
@@ -371,7 +401,9 @@ def magic_query(
     from repro.terms.matching import match_tuple
 
     program = magic_transform(rules, pred, args)
-    seed_db = Database()
+    # Share the caller's counters so magic-vs-full cost comparisons also
+    # see the (tiny) work done against the seed relation.
+    seed_db = Database(counters=db.counters)
     seed_db.relation(program.seed_pred, program.seed_arity).insert(program.seed_row)
     engine = NailEngine(
         db,
@@ -379,6 +411,7 @@ def magic_query(
         strategy=strategy,
         check_safety=True,
         extra_edb=seed_db,
+        join_mode=join_mode,
     )
     tracer = db.tracer
     if not tracer.enabled:
@@ -389,7 +422,11 @@ def magic_query(
         ) as span:
             relation = engine.materialize(program.answer_pred, len(args))
             span.rows = len(relation)
-    answers = [
-        row for row in relation.rows() if match_tuple(tuple(args), row) is not None
-    ]
+    args = tuple(args)
+    if _is_flat_query(args):
+        answers = list(relation.match_rows(args))
+    else:
+        answers = [
+            row for row in relation.rows() if match_tuple(args, row) is not None
+        ]
     return answers, engine

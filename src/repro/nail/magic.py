@@ -11,6 +11,12 @@ lookups (their name must be bound by the time they are reached), and a
 parameterized predicate such as ``tc(E, X, Y)`` becomes evaluable even when
 its plain bottom-up reading is unsafe -- the magic seed supplies the
 bindings, exactly the reading the paper's Section 5.2 example needs.
+
+Hash-join interplay: rewritten rule bodies place the magic literal first,
+so the hash-join evaluator (:mod:`repro.nail.bodyeval`) broadcasts the
+(small) magic relation once and then *probes* every subsequent literal on
+the demand-bound columns -- the magic bindings become hash keys, and the
+per-round cost tracks the demanded subgraph rather than the full EDB.
 """
 
 from __future__ import annotations

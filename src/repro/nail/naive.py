@@ -23,6 +23,7 @@ def naive_eval(
     idb: Database,
     max_passes: int = 1_000_000,
     tracer=None,
+    join_mode: str = "hash",
 ) -> int:
     """Run all rules to fixpoint, full re-derivation each pass.
 
@@ -30,6 +31,7 @@ def naive_eval(
     (which ``rows_fn`` must consult for IDB names).  Returns the number of
     passes run.  ``tracer``, when given, receives one ``pass`` span per
     pass whose ``rows`` is the number of genuinely new tuples.
+    ``join_mode`` is forwarded to :func:`eval_rule_body`.
     """
     passes = 0
     while True:
@@ -37,20 +39,26 @@ def naive_eval(
         if passes > max_passes:
             raise RuntimeError("naive evaluation did not converge")
         if tracer is None:
-            added = _run_pass(rule_infos, rows_fn, idb)
+            added = _run_pass(rule_infos, rows_fn, idb, join_mode)
         else:
             with tracer.span("pass", f"pass {passes}") as span:
-                added = _run_pass(rule_infos, rows_fn, idb)
+                added = _run_pass(rule_infos, rows_fn, idb, join_mode, tracer)
                 span.rows = added
         if added == 0:
             return passes
 
 
-def _run_pass(rule_infos: Sequence[RuleInfo], rows_fn: RowsFn, idb: Database) -> int:
+def _run_pass(
+    rule_infos: Sequence[RuleInfo],
+    rows_fn: RowsFn,
+    idb: Database,
+    join_mode: str = "hash",
+    tracer=None,
+) -> int:
     added = 0
     for info in rule_infos:
-        bindings_list = eval_rule_body(info.rule, rows_fn)
-        for name, row in derive_heads(info.rule, bindings_list):
+        bindings_list = eval_rule_body(info, rows_fn, tracer=tracer, join_mode=join_mode)
+        for name, row in derive_heads(info, bindings_list):
             if idb.relation(name, len(row)).insert(row):
                 added += 1
     return added

@@ -1,15 +1,186 @@
-"""Rule preparation: safety (range restriction) and structural checks."""
+"""Rule preparation: safety (range restriction), structural checks, and
+per-rule join precompilation.
+
+The :class:`JoinPlanner` computes, once per (body literal, bound-variable
+set), everything the hash-join evaluator needs at run time: which argument
+positions are constants, which carry the shared-variable join key, which
+extract new bindings, and which need general term matching.  Round-time
+work in the evaluator is then key build + hash probe instead of a
+``substitute``/``match_tuple`` pair per accumulated binding per tuple.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.bindings import expr_has_agg, expr_vars, term_vars
 from repro.analysis.scope import Skeleton, pred_skeleton
 from repro.errors import UnsafeRuleError
-from repro.lang.ast import CompareSubgoal, GroupBySubgoal, PredSubgoal, RuleDecl
-from repro.terms.term import Var
+from repro.lang.ast import (
+    AggCall,
+    BinOp,
+    CompareSubgoal,
+    FunCall,
+    GroupBySubgoal,
+    PredSubgoal,
+    RuleDecl,
+    UnaryOp,
+)
+from repro.terms.term import Term, Var, is_ground, variables
+
+
+@dataclass(frozen=True)
+class LiteralPlan:
+    """The compiled join shape of one body literal for one bound-var set.
+
+    ``key_cols`` are the probe-key positions, sorted by column: each entry
+    is ``(col, kind, value)`` with kind ``"const"`` (value is the ground
+    term to equal) or ``"var"`` (value is the bound variable supplying the
+    key).  ``probe_cols`` is the matching sorted column tuple, directly
+    usable as a :class:`~repro.storage.index.HashIndex` column set.
+
+    ``extract`` positions bind new variables straight off the row (a flat
+    extraction template -- no bindings-dict matching); ``eq_checks`` pins a
+    repeated new variable to its first occurrence; ``complex_cols`` holds
+    argument patterns (compounds containing variables) that still need
+    general matching per candidate row.
+    """
+
+    pred: Term
+    pred_vars: Tuple[str, ...]  # vars in the predicate name, first-appearance
+    arity: int
+    key_cols: Tuple[Tuple[int, str, object], ...]
+    extract: Tuple[Tuple[int, str], ...]
+    eq_checks: Tuple[Tuple[int, int], ...]
+    complex_cols: Tuple[Tuple[int, Term], ...]
+    complex_has_bound: bool  # some complex pattern mentions a bound var
+    patterns: Tuple[Term, ...]  # the literal's original argument terms
+
+    @property
+    def probe_cols(self) -> Tuple[int, ...]:
+        return tuple(col for col, _, _ in self.key_cols)
+
+    @property
+    def has_var_keys(self) -> bool:
+        return any(kind == "var" for _, kind, _ in self.key_cols)
+
+    @property
+    def covers_all_columns(self) -> bool:
+        """True when the probe key determines the entire row (a membership
+        test -- the fully-ground negation fast path)."""
+        return (
+            len(self.key_cols) == self.arity
+            and not self.complex_cols
+        )
+
+
+def compile_literal_plan(subgoal: PredSubgoal, bound: FrozenSet[str]) -> LiteralPlan:
+    """Classify each argument position of ``subgoal`` given that the
+    variables in ``bound`` are ground at evaluation time."""
+    pred_vars: List[str] = []
+    for v in variables(subgoal.pred):
+        if not v.is_anonymous and v.name not in pred_vars:
+            pred_vars.append(v.name)
+    key_cols: List[Tuple[int, str, object]] = []
+    extract: List[Tuple[int, str]] = []
+    eq_checks: List[Tuple[int, int]] = []
+    complex_cols: List[Tuple[int, Term]] = []
+    first_new: Dict[str, int] = {}
+    for col, arg in enumerate(subgoal.args):
+        if isinstance(arg, Var):
+            if arg.is_anonymous:
+                continue  # matches anything, binds nothing
+            if arg.name in bound:
+                key_cols.append((col, "var", arg.name))
+            elif arg.name in first_new:
+                eq_checks.append((col, first_new[arg.name]))
+            else:
+                first_new[arg.name] = col
+                extract.append((col, arg.name))
+        elif is_ground(arg):
+            key_cols.append((col, "const", arg))
+        else:
+            complex_cols.append((col, arg))
+    complex_has_bound = any(term_vars(pat) & bound for _, pat in complex_cols)
+    return LiteralPlan(
+        pred=subgoal.pred,
+        pred_vars=tuple(pred_vars),
+        arity=len(subgoal.args),
+        key_cols=tuple(key_cols),
+        extract=tuple(extract),
+        eq_checks=tuple(eq_checks),
+        complex_cols=tuple(complex_cols),
+        complex_has_bound=complex_has_bound,
+        patterns=tuple(subgoal.args),
+    )
+
+
+def _expr_var_occurrences(expr) -> List[str]:
+    """Named variables in an expression, first-appearance order."""
+    if isinstance(expr, Term):
+        return [v.name for v in variables(expr) if not v.is_anonymous]
+    if isinstance(expr, BinOp):
+        return _expr_var_occurrences(expr.left) + _expr_var_occurrences(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _expr_var_occurrences(expr.operand)
+    if isinstance(expr, (FunCall, AggCall)):
+        out: List[str] = []
+        args = expr.args if isinstance(expr, FunCall) else (expr.arg,)
+        for arg in args:
+            out.extend(_expr_var_occurrences(arg))
+        return out
+    return []
+
+
+class JoinPlanner:
+    """Per-rule cache of literal join plans, keyed by bound-variable set.
+
+    Plans depend on which variables are bound *before* a literal, which the
+    evaluator only knows at run time (seeds and binding comparisons can
+    change it), so plans are compiled lazily and memoized per
+    ``(literal index, bound-set)``.  One planner lives on each
+    :class:`RuleInfo` and is shared by every evaluation of that rule.
+    """
+
+    __slots__ = ("rule", "var_order", "_plans")
+
+    def __init__(self, rule: RuleDecl):
+        self.rule = rule
+        order: List[str] = []
+        seen: Set[str] = set()
+        for subgoal in rule.body:
+            if isinstance(subgoal, PredSubgoal):
+                names = [
+                    v.name
+                    for t in (subgoal.pred, *subgoal.args)
+                    for v in variables(t)
+                    if not v.is_anonymous
+                ]
+            elif isinstance(subgoal, CompareSubgoal):
+                names = _expr_var_occurrences(subgoal.left) + _expr_var_occurrences(
+                    subgoal.right
+                )
+            elif isinstance(subgoal, GroupBySubgoal):
+                names = [t.name for t in subgoal.terms if isinstance(t, Var)]
+            else:
+                names = []
+            for name in names:
+                if name not in seen:
+                    seen.add(name)
+                    order.append(name)
+        # A precomputed dedup key order for the whole rule (satellite: no
+        # per-binding sort in _dedup_bindings).
+        self.var_order: Tuple[str, ...] = tuple(order)
+        self._plans: Dict[Tuple[int, FrozenSet[str]], LiteralPlan] = {}
+
+    def plan_for(self, index: int, bound: FrozenSet[str]) -> LiteralPlan:
+        key = (index, bound)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_literal_plan(self.rule.body[index], bound)
+            self._plans[key] = plan
+        return plan
 
 
 @dataclass(frozen=True)
@@ -21,6 +192,7 @@ class RuleInfo:
     body_skeletons: Tuple[Skeleton, ...]  # positive literals only, in order
     has_negation: bool
     has_aggregate: bool
+    planner: Optional[JoinPlanner] = field(default=None, compare=False, repr=False)
 
     @property
     def head_vars(self) -> Set[str]:
@@ -149,6 +321,7 @@ def prepare_rules(
                 body_skeletons=tuple(body_skeletons),
                 has_negation=has_neg,
                 has_aggregate=has_agg,
+                planner=JoinPlanner(rule),
             )
         )
     return infos

@@ -5,22 +5,88 @@ order to support compiled recursive NAIL! queries".  Each iteration joins
 one *delta* occurrence per recursive literal against the accumulated
 relations; ``uniondiff`` inserts the round's derivations and hands back
 exactly the genuinely new tuples, which become the next delta.
+
+Deltas are stored as :class:`DeltaRelation` objects -- join sources in the
+sense of :mod:`repro.nail.bodyeval` -- so the hash-join evaluator probes a
+per-key hash map built once per round instead of rescanning the delta list
+once per accumulated binding.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.scope import Skeleton, pred_skeleton
 from repro.lang.ast import PredSubgoal
 from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body
 from repro.nail.rules import RuleInfo
 from repro.storage.database import Database
+from repro.storage.stats import CostCounters
 from repro.storage.uniondiff import uniondiff
 from repro.terms.term import Term
 
 Row = Tuple[Term, ...]
-DeltaStore = Dict[Tuple[Term, int], List[Row]]
+
+
+class DeltaRelation:
+    """One round's delta for one predicate, as an indexed join source.
+
+    The row list is append-only within a round; hash tables (one per probed
+    column set) and the membership set are built lazily on first probe and
+    invalidated when the delta grows.  Costs are charged to the owning
+    database's counters: full scans to ``tuples_scanned`` (deltas count the
+    same as relation scans), hash builds and probes to the index ledgers.
+    """
+
+    __slots__ = ("rows", "counters", "_tables", "_set")
+
+    def __init__(self, counters: Optional[CostCounters] = None):
+        self.rows: List[Row] = []
+        self.counters = counters
+        self._tables: Dict[Tuple[int, ...], dict] = {}
+        self._set = None
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        self.rows.extend(rows)
+        if self._tables:
+            self._tables = {}
+        self._set = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scan(self):
+        if self.counters is not None:
+            self.counters.tuples_scanned += len(self.rows)
+        return self.rows
+
+    def probe(self, cols: Tuple[int, ...], key: Row):
+        table = self._tables.get(cols)
+        if table is None:
+            table = {}
+            for row in self.rows:
+                table.setdefault(tuple(row[c] for c in cols), []).append(row)
+            self._tables[cols] = table
+            if self.counters is not None:
+                self.counters.index_builds += 1
+                self.counters.index_build_tuples += len(self.rows)
+        hits = table.get(key, ())
+        if self.counters is not None:
+            self.counters.index_lookups += 1
+            self.counters.index_probe_tuples += len(hits)
+        return hits
+
+    def contains(self, row: Row) -> bool:
+        if self._set is None:
+            self._set = set(self.rows)
+        if tuple(row) in self._set:
+            if self.counters is not None:
+                self.counters.index_probe_tuples += 1
+            return True
+        return False
+
+
+DeltaStore = Dict[Tuple[Term, int], DeltaRelation]
 
 
 def _recursive_positions(info: RuleInfo, stratum: Set[Skeleton]) -> List[int]:
@@ -35,8 +101,8 @@ def _recursive_positions(info: RuleInfo, stratum: Set[Skeleton]) -> List[int]:
 
 
 def _delta_rows_fn(delta: DeltaStore) -> RowsFn:
-    def rows(name: Term, arity: int) -> Iterable[Row]:
-        return delta.get((name, arity), ())
+    def rows(name: Term, arity: int):
+        return delta.get((name, arity))  # None -> the empty source
 
     return rows
 
@@ -51,11 +117,14 @@ def _merge_derivations(
     for (name, arity), rows in grouped.items():
         new_rows = uniondiff(idb.relation(name, arity), rows)
         if new_rows:
-            delta.setdefault((name, arity), []).extend(new_rows)
+            store = delta.get((name, arity))
+            if store is None:
+                store = delta[(name, arity)] = DeltaRelation(idb.counters)
+            store.extend(new_rows)
 
 
 def _delta_size(delta: DeltaStore) -> int:
-    return sum(len(rows) for rows in delta.values())
+    return sum(len(store) for store in delta.values())
 
 
 def seminaive_eval(
@@ -65,6 +134,7 @@ def seminaive_eval(
     idb: Database,
     max_rounds: int = 1_000_000,
     tracer=None,
+    join_mode: str = "hash",
 ) -> int:
     """Evaluate one stratum to fixpoint with seminaive iteration.
 
@@ -73,6 +143,7 @@ def seminaive_eval(
     and the current stratum's accumulating relations in ``idb``).  Returns
     the number of rounds.  ``tracer``, when given, receives one ``round``
     span per fixpoint round with per-rule ``rule`` events inside it.
+    ``join_mode`` is forwarded to :func:`eval_rule_body`.
     """
     relevant = [info for info in rule_infos if info.head_skeleton in stratum]
     delta: DeltaStore = {}
@@ -81,16 +152,16 @@ def seminaive_eval(
     # lower strata already provide).
     if tracer is None:
         for info in relevant:
-            bindings_list = eval_rule_body(info.rule, rows_fn)
-            _merge_derivations(derive_heads(info.rule, bindings_list), idb, delta)
+            bindings_list = eval_rule_body(info, rows_fn, join_mode=join_mode)
+            _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
         with tracer.span("round", "round 0", rules=len(relevant)) as span:
             for i, info in enumerate(relevant):
                 with tracer.span("rule", _rule_label(i, info)) as rule_span:
-                    bindings_list = eval_rule_body(info.rule, rows_fn)
-                    _merge_derivations(
-                        derive_heads(info.rule, bindings_list), idb, delta
+                    bindings_list = eval_rule_body(
+                        info, rows_fn, tracer=tracer, join_mode=join_mode
                     )
+                    _merge_derivations(derive_heads(info, bindings_list), idb, delta)
                     rule_span.rows = len(bindings_list)
             span.rows = _delta_size(delta)
 
@@ -113,10 +184,14 @@ def seminaive_eval(
             for info, positions in recursive:
                 for position in positions:
                     bindings_list = eval_rule_body(
-                        info.rule, rows_fn, delta_index=position, delta_rows_fn=delta_fn
+                        info,
+                        rows_fn,
+                        delta_index=position,
+                        delta_rows_fn=delta_fn,
+                        join_mode=join_mode,
                     )
                     _merge_derivations(
-                        derive_heads(info.rule, bindings_list), idb, new_delta
+                        derive_heads(info, bindings_list), idb, new_delta
                     )
         else:
             with tracer.span(
@@ -128,13 +203,15 @@ def seminaive_eval(
                             "rule", _rule_label(i, info), delta_pos=position
                         ) as rule_span:
                             bindings_list = eval_rule_body(
-                                info.rule,
+                                info,
                                 rows_fn,
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
+                                tracer=tracer,
+                                join_mode=join_mode,
                             )
                             _merge_derivations(
-                                derive_heads(info.rule, bindings_list), idb, new_delta
+                                derive_heads(info, bindings_list), idb, new_delta
                             )
                             rule_span.rows = len(bindings_list)
                 span.rows = _delta_size(new_delta)

@@ -7,7 +7,7 @@ and may be created lazily at run time by the adaptive policy.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, Sequence, Tuple
 
 from repro.terms.term import Term
 
@@ -51,6 +51,14 @@ class HashIndex:
     def probe(self, key: Row) -> Iterator[Row]:
         """Yield rows whose projection equals ``key``."""
         return iter(self._buckets.get(key, ()))
+
+    def bucket(self, key: Row) -> Sequence[Row]:
+        """The rows whose projection equals ``key``, as a sized sequence.
+
+        The hash-join evaluator needs ``len()`` of a probe result to charge
+        cost counters without a second lookup.
+        """
+        return self._buckets.get(key, ())
 
     def probe_count(self, key: Row) -> int:
         return len(self._buckets.get(key, ()))

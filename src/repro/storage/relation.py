@@ -107,6 +107,32 @@ class Relation:
     def insert_many(self, rows: Iterable[Row]) -> int:
         return sum(1 for row in rows if self.insert(row))
 
+    def insert_new(self, rows: Iterable[Row]) -> list:
+        """Bulk-load: insert many rows, returning the genuinely new ones.
+
+        Equivalent to calling :meth:`insert` per row (duplicates skipped,
+        indexes maintained, journal notified per row) but with one version
+        bump and one listener notification per batch -- the hot path behind
+        ``uniondiff`` and IDB seeding, where the seminaive evaluator loads
+        whole deltas at once.
+        """
+        new: list = []
+        for row in rows:
+            row = self._check_row(row)
+            if row in self._rows:
+                self.counters.duplicate_inserts += 1
+                continue
+            self._rows[row] = None
+            new.append(row)
+            for index in self._indexes.values():
+                index.add(row)
+            if self.journal is not None:
+                self.journal.record_insert(self, row)
+        if new:
+            self.counters.inserts += len(new)
+            self._changed()
+        return new
+
     def delete(self, row: Row) -> bool:
         row = tuple(row)
         if row not in self._rows:

@@ -23,6 +23,10 @@ def uniondiff(target: Relation, delta: Iterable[Row]) -> List[Row]:
     The returned list preserves the first-occurrence order of new rows and
     contains no duplicates, even when ``delta`` itself repeats rows.
     """
+    insert_new = getattr(target, "insert_new", None)
+    if insert_new is not None:
+        # The relation's bulk-load path: one version bump per batch.
+        return insert_new(delta)
     new_rows: List[Row] = []
     for row in delta:
         if target.insert(row):
