@@ -218,6 +218,32 @@ class GlueNailSystem:
     def reset_counters(self) -> None:
         self.db.counters.reset()
 
+    def idb_cache_info(self) -> dict:
+        """The engine's incremental-maintenance state, for observability.
+
+        ``strata`` lists, per stratum, whether a cached extension is
+        currently held (``computed``), its invalidation ``epoch`` (bumped
+        whenever a supporting relation changed), and the size of its
+        transitive EDB ``support`` set; ``demand_entries`` counts live
+        demand-cache answers.  The ``idb_*`` fields of
+        :class:`~repro.storage.stats.CostCounters` say how those caches
+        have been doing (hits, delta repairs, rounds, invalidations).
+        """
+        engine = self.engine
+        return {
+            "strata": [
+                {
+                    "index": stratum.index,
+                    "computed": engine._stratum_computed[stratum.index],
+                    "epoch": engine._stratum_epoch[stratum.index],
+                    "support": len(engine.supports[stratum.index].transitive),
+                    "universal": engine.supports[stratum.index].universal,
+                }
+                for stratum in engine.strata
+            ],
+            "demand_entries": len(engine._demand_cache),
+        }
+
     # ------------------------------------------------------------------ #
     # transactions and durability (see repro.txn)
     # ------------------------------------------------------------------ #

@@ -580,9 +580,28 @@ def eval_rule_body(
         raise ValueError(f"unknown join mode {join_mode!r}")
     var_order = planner.var_order if planner is not None else ()
 
+    order = list(range(len(decl.body)))
+    if (
+        delta_index is not None
+        and delta_index != 0
+        and isinstance(rule, RuleInfo)
+        and not rule.has_aggregate
+        and is_ground(decl.body[delta_index].pred)
+    ):
+        # Seminaive delta-first rotation: the delta is (almost always) the
+        # smallest source, so it should drive the join rather than be
+        # probed once per row of the full accumulated relations.  Moving a
+        # positive literal earlier only *adds* bindings at every later
+        # subgoal, so negations and comparisons keep their semantics;
+        # aggregate rules are excluded (group_by scope is positional), as
+        # are HiLog deltas whose predicate variables need earlier binders.
+        order.remove(delta_index)
+        order.insert(0, delta_index)
+
     bindings_list: List[Bindings] = seeds if seeds is not None else [{}]
     group_vars: List[str] = []
-    for index, subgoal in enumerate(decl.body):
+    for index in order:
+        subgoal = decl.body[index]
         if not bindings_list:
             return []
         if isinstance(subgoal, PredSubgoal):

@@ -1,9 +1,21 @@
-"""The NAIL! engine: on-demand, stratified, cached IDB evaluation.
+"""The NAIL! engine: on-demand, stratified, incrementally maintained IDB.
 
 A NAIL! predicate referenced from Glue (or queried directly) is computed
 "on demand using the current value of the EDB" (paper Section 2).  The
-engine caches derived relations and invalidates the cache whenever the EDB
-version changes, so repeated references inside one EDB state cost nothing.
+engine caches derived relations per stratum and keeps them consistent with
+*per-relation* version vectors instead of one global EDB counter:
+
+* each stratum knows its transitive EDB support set (which relations its
+  extension actually depends on, via :func:`~repro.nail.rules.compute_stratum_supports`),
+  so a write to an unrelated relation leaves every cached stratum -- and
+  every demand-cache entry -- untouched;
+* pure *inserts* into a supporting relation are read back from the
+  relation's change journal and propagated as a seminaive delta seeded
+  from just the new tuples (:func:`~repro.nail.seminaive.incremental_eval`),
+  repairing the cached fixpoint in place;
+* deletions, overflowed journals, and growth under negation or aggregation
+  conservatively invalidate -- but only the affected strata and the strata
+  depending on them, which are recomputed from scratch on next demand.
 """
 
 from __future__ import annotations
@@ -17,10 +29,11 @@ from repro.errors import GlueRuntimeError
 from repro.lang.ast import PredSubgoal, RuleDecl
 from repro.nail.bodyeval import RowsFn
 from repro.nail.naive import naive_eval
-from repro.nail.rules import RuleInfo, prepare_rules
-from repro.nail.seminaive import seminaive_eval
+from repro.nail.rules import RuleInfo, compute_stratum_supports, prepare_rules
+from repro.nail.seminaive import DeltaRelation, incremental_eval, seminaive_eval
 from repro.storage.database import Database
 from repro.storage.relation import Relation
+from repro.storage.uniondiff import uniondiff
 from repro.terms.term import Term, Var, is_ground
 
 Row = Tuple[Term, ...]
@@ -76,11 +89,29 @@ class NailEngine:
                 self._stratum_of[skeleton] = stratum.index
         self.tracer = db.tracer
         self.idb = Database(counters=db.counters, tracer=db.tracer)
-        self._computed_through = -1
-        self._edb_version_seen: Optional[int] = None
         self._stratum_safe: Dict[int, Optional[str]] = {}  # index -> error or None
-        self._demand_cache: Dict[tuple, List[Row]] = {}
         self.rounds_run = 0  # fixpoint rounds in the last full evaluation
+        # --- incremental maintenance state ----------------------------- #
+        self.supports = compute_stratum_supports(self.rule_infos, self.strata)
+        self._relevant_skels: Set[Skeleton] = set()
+        for support in self.supports:
+            self._relevant_skels |= support.transitive
+        self._any_universal = any(s.universal for s in self.supports)
+        # Which strata hold a valid cached extension right now.  The set is
+        # not necessarily a prefix: invalidation clears exactly the strata
+        # whose support changed plus their dependents.
+        self._stratum_computed: List[bool] = [False] * len(self.strata)
+        # Monotonic per-stratum change counter; demand-cache entries are
+        # valid while the epoch of their predicate's stratum is unchanged.
+        self._stratum_epoch: List[int] = [0] * len(self.strata)
+        # (source tag, pred key) -> Relation.fingerprint at last scan; None
+        # until the first scan establishes the baseline.
+        self._edb_seen: Optional[Dict[tuple, Tuple[int, int]]] = None
+        # Cheap no-change fast path: the global version pair only moves
+        # when *some* relation changed, so equal pairs skip the full scan.
+        self._global_seen: Optional[Tuple[int, int]] = None
+        # (name, arity, signature) -> (answer Relation, stratum epoch)
+        self._demand_cache: Dict[tuple, Tuple[Relation, int]] = {}
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -97,10 +128,19 @@ class NailEngine:
         if stratum_index is None:
             raise GlueRuntimeError(f"{name}/{arity} is not a NAIL! predicate")
         self._refresh()
-        if stratum_index <= self._computed_through and self.tracer.enabled:
+        if all(self._stratum_computed[: stratum_index + 1]):
             # Repeated references inside one EDB state cost nothing, and
-            # the trace should say so rather than show a silent gap.
-            self.tracer.event("idb_cache_hit", f"{name}/{arity}")
+            # the trace and stats should say so rather than show a gap.
+            self.db.counters.idb_cache_hits += 1
+            if self.tracer.enabled:
+                relation = self.idb.get(name, arity)
+                self.tracer.event(
+                    "idb_cache_hit",
+                    f"{name}/{arity}",
+                    stratum=stratum_index,
+                    epoch=self._stratum_epoch[stratum_index],
+                    version=0 if relation is None else relation.version,
+                )
         self._compute_through(stratum_index)
         return self.idb.relation(name, arity)
 
@@ -164,15 +204,26 @@ class NailEngine:
         skeleton = pred_skeleton(name, arity)
         if skeleton not in self.dep.rules_by_head:
             raise GlueRuntimeError(f"{name}/{arity} is not a NAIL! predicate")
+        # Demand answers stay valid until the predicate's stratum sees a
+        # relevant change -- tracked by the stratum's epoch, so writes to
+        # relations outside the support set leave every entry alive.
+        epoch = self._stratum_epoch[self._stratum_of[skeleton]]
         signature = tuple(p if is_ground(p) else None for p in patterns)
         key = (name, arity, signature)
-        cached = self._demand_cache.get(key)
-        if cached is None:
+        entry = self._demand_cache.get(key)
+        cache_rel: Optional[Relation] = None
+        if entry is not None:
+            if entry[1] == epoch:
+                cache_rel = entry[0]
+                self.db.counters.idb_cache_hits += 1
+            else:
+                del self._demand_cache[key]
+        if cache_rel is None:
             if skeleton[1] or not isinstance(name, Atom):
                 # Compound-named family: magic cannot adorn it; fall back
                 # to full materialization (raises if genuinely unsafe).
                 relation = self.materialize(name, arity)
-                cached = list(relation.rows())
+                answers = list(relation.rows())
             else:
                 query_args = tuple(
                     p if is_ground(p) else fresh_var("Demand") for p in patterns
@@ -186,26 +237,31 @@ class NailEngine:
                         strategy=self.strategy,
                         join_mode=self.join_mode,
                     )
-                    cached = answers
                 except MagicTransformError as exc:
                     if self.can_materialize(name, arity):
-                        cached = list(self.materialize(name, arity).rows())
+                        answers = list(self.materialize(name, arity).rows())
                     else:
                         raise UnsafeRuleError(
                             f"{name}/{arity} needs demand bindings but is outside "
                             f"the magic fragment: {exc}"
                         ) from exc
-            self._demand_cache[key] = cached
+            # Answers live in a private Relation so residual filters can
+            # route through its hash indexes instead of rescanning the
+            # list; its counters are private too (cache-serving work is
+            # not new evaluation cost).
+            cache_rel = Relation(name, arity, index_policy=self.db.index_policy)
+            cache_rel.insert_new(answers)
+            self._demand_cache[key] = (cache_rel, epoch)
             if self.tracer.enabled:
                 bound = sum(1 for p in signature if p is not None)
                 self.tracer.event(
-                    "demand", f"{name}/{arity}", rows=len(cached), bound_positions=bound
+                    "demand", f"{name}/{arity}", rows=len(answers), bound_positions=bound
                 )
-        out = []
-        for row in cached:
-            if match_tuple(patterns, row) is not None:
-                out.append(row)
-        return out
+        if _is_flat_query(patterns):
+            return list(cache_rel.match_rows(patterns))
+        return [
+            row for row in cache_rel.rows() if match_tuple(patterns, row) is not None
+        ]
 
     def view(self, name: Term, arity: int) -> "NailView":
         """A relation-like view for the Glue VM: selects materialize fully
@@ -217,13 +273,191 @@ class NailEngine:
     # ------------------------------------------------------------------ #
 
     def _refresh(self) -> None:
-        version = self.db.version
-        if self._edb_version_seen != version:
-            # The EDB changed: every derived relation is stale.
-            self.idb = Database(counters=self.db.counters, tracer=self.tracer)
-            self._computed_through = -1
-            self._demand_cache.clear()
-            self._edb_version_seen = version
+        """Reconcile every cached stratum with the current EDB state.
+
+        Scans the fingerprints of the relations in the engine's support
+        sets (skipped entirely while the databases' global versions are
+        unmoved), classifies each changed relation as net-insert-only or
+        not via its change journal, and then repairs or invalidates
+        exactly the strata whose support actually changed.
+        """
+        global_now = (
+            self.db.version,
+            -1 if self.extra_edb is None else self.extra_edb.version,
+        )
+        if global_now == self._global_seen and self._edb_seen is not None:
+            return
+        sources = [self.db] if self.extra_edb is None else [self.db, self.extra_edb]
+        first_scan = self._edb_seen is None
+        old_seen = self._edb_seen if self._edb_seen is not None else {}
+        new_seen: Dict[tuple, Tuple[int, int]] = {}
+        inserts: Dict[Tuple[Term, int], List[Row]] = {}
+        rebuild_skels: Set[Skeleton] = set()
+        grow_skels: Set[Skeleton] = set()
+        changed_versions: Dict[str, int] = {}
+        for tag, source in enumerate(sources):
+            for key, relation in source.snapshot_relations():
+                skeleton = pred_skeleton(key[0], key[1])
+                if not self._any_universal and skeleton not in self._relevant_skels:
+                    continue
+                relation.track_changes()
+                seen_key = (tag, key)
+                fp = relation.fingerprint
+                new_seen[seen_key] = fp
+                if first_scan:
+                    continue
+                old = old_seen.get(seen_key)
+                if old == fp:
+                    continue
+                changed_versions[f"{key[0]}/{key[1]}"] = fp[1]
+                if tag == 0 and self.extra_edb is not None and (
+                    self.extra_edb.get(key[0], key[1]) is not None
+                ):
+                    # The extra EDB shadows this relation for rule bodies;
+                    # a mixed view is not delta-repairable.
+                    rebuild_skels.add(skeleton)
+                    continue
+                if old is None or old[0] != fp[0]:
+                    # Newly visible relation (or dropped-and-redeclared,
+                    # which gets a fresh uid).  An empty new relation is
+                    # indistinguishable from an absent one -- a reader
+                    # session's compile declares EDB relations on the
+                    # shared catalog -- so it is no change at all.  A
+                    # non-empty new one nets to inserting its extension.
+                    rows = relation.copy_rows()
+                    if old is None and not rows:
+                        continue
+                    net = (rows, []) if old is None else None
+                else:
+                    net = relation.changes_since(old[1])
+                if net is None:
+                    rebuild_skels.add(skeleton)
+                    continue
+                inserted, deleted = net
+                if deleted:
+                    rebuild_skels.add(skeleton)
+                elif inserted:
+                    grow_skels.add(skeleton)
+                    inserts.setdefault(key, []).extend(inserted)
+                # net == ([], []): the version moved but the content is
+                # back where it was (a rolled-back transaction) -- caches
+                # stay valid, nothing to do.
+        if not first_scan:
+            for seen_key, _old_fp in old_seen.items():
+                if seen_key not in new_seen:
+                    _tag, key = seen_key
+                    rebuild_skels.add(pred_skeleton(key[0], key[1]))
+                    changed_versions[f"{key[0]}/{key[1]}"] = -1
+        self._edb_seen = new_seen
+        self._global_seen = global_now
+        if first_scan or not (rebuild_skels or grow_skels):
+            return
+        changed = rebuild_skels | grow_skels
+        for index, support in enumerate(self.supports):
+            if support.touches(changed):
+                self._stratum_epoch[index] += 1
+        self._propagate(inserts, rebuild_skels, changed_versions)
+
+    def _propagate(
+        self,
+        inserts: Dict[Tuple[Term, int], List[Row]],
+        rebuild_skels: Set[Skeleton],
+        changed_versions: Dict[str, int],
+    ) -> None:
+        """Push EDB changes through the computed strata, bottom-up.
+
+        Each computed stratum whose direct support intersects the changes
+        is either repaired in place (monotone growth under the seminaive
+        strategy: seed a delta from just the new tuples) or cleared for
+        recomputation on next demand.  Both outcomes cascade: repair turns
+        the stratum's own new tuples into the seed for the strata above,
+        invalidation marks its skeletons as rebuilt so dependents are
+        invalidated too.
+        """
+        counters = self.db.counters
+        tracer = self.tracer if self.tracer.enabled else None
+        rows_fn = self._rows_fn()
+        for stratum in self.strata:
+            index = stratum.index
+            if not self._stratum_computed[index]:
+                continue
+            support = self.supports[index]
+            grow_skels = {
+                pred_skeleton(key[0], key[1]) for key, rows in inserts.items() if rows
+            }
+            if support.universal:
+                touched_rebuild = set(rebuild_skels)
+                touched_grow = set(grow_skels)
+            else:
+                touched_rebuild = rebuild_skels & support.direct
+                touched_grow = grow_skels & support.direct
+            if not touched_rebuild and not touched_grow:
+                continue
+            repair = (
+                not touched_rebuild
+                and self.strategy == "seminaive"
+                and support.repairable(touched_grow)
+            )
+            if tracer is not None:
+                tracer.event(
+                    "idb_stale",
+                    f"stratum {index}",
+                    action="repair" if repair else "rebuild",
+                    epoch=self._stratum_epoch[index],
+                    changed=dict(changed_versions),
+                )
+            if not repair:
+                counters.idb_invalidations += 1
+                self._invalidate_stratum(stratum)
+                rebuild_skels = rebuild_skels | stratum.skeletons
+                continue
+            # EDB facts inserted under this stratum's own predicates merge
+            # into the derived relations first; only the genuinely new rows
+            # seed the delta (they are this stratum's own growth).
+            own_new: Dict[Tuple[Term, int], List[Row]] = {}
+            for key in [k for k in inserts if pred_skeleton(k[0], k[1]) in stratum.skeletons]:
+                fresh = uniondiff(self.idb.relation(key[0], key[1]), inserts.pop(key))
+                if fresh:
+                    own_new[key] = fresh
+            seed: Dict[Tuple[Term, int], DeltaRelation] = {}
+            for key, rows in list(inserts.items()) + list(own_new.items()):
+                if rows:
+                    store = seed[key] = DeltaRelation(self.idb.counters)
+                    store.extend(rows)
+            relevant = [
+                info for info in self.rule_infos if info.head_skeleton in stratum.skeletons
+            ]
+            if tracer is None:
+                rounds, new_rows = incremental_eval(
+                    relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
+                    join_mode=self.join_mode,
+                )
+            else:
+                with tracer.span(
+                    "stratum", f"stratum {index}", mode="repair", rules=len(relevant)
+                ) as span:
+                    rounds, new_rows = incremental_eval(
+                        relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
+                        tracer=tracer, join_mode=self.join_mode,
+                    )
+                    span.attrs["rounds"] = rounds
+            counters.idb_delta_repairs += 1
+            counters.idb_delta_rounds += rounds
+            # The stratum's growth -- seeded EDB facts plus repaired
+            # derivations -- becomes the insert set the strata above see.
+            for key, rows in own_new.items():
+                new_rows.setdefault(key, []).extend(rows)
+            for key, rows in new_rows.items():
+                if rows:
+                    inserts[key] = rows
+
+    def _invalidate_stratum(self, stratum: Stratum) -> None:
+        """Clear the stratum's derived relations (preserving the Relation
+        objects callers may hold) and mark it for recomputation."""
+        for key, relation in list(self.idb.items()):
+            if pred_skeleton(key[0], key[1]) in stratum.skeletons:
+                relation.clear()
+        self._stratum_computed[stratum.index] = False
 
     def _rows_fn(self) -> RowsFn:
         idb = self.idb
@@ -268,20 +502,25 @@ class NailEngine:
         return cached
 
     def _compute_through(self, stratum_index: int) -> None:
-        if stratum_index <= self._computed_through:
+        pending = [
+            stratum
+            for stratum in self.strata[: stratum_index + 1]
+            if not self._stratum_computed[stratum.index]
+        ]
+        if not pending:
             return
         from repro.errors import UnsafeRuleError
 
-        for index in range(self._computed_through + 1, stratum_index + 1):
-            error = self._stratum_safety(index)
+        for stratum in pending:
+            error = self._stratum_safety(stratum.index)
             if error is not None:
                 raise UnsafeRuleError(
-                    f"cannot fully materialize stratum {index}: {error} "
+                    f"cannot fully materialize stratum {stratum.index}: {error} "
                     "(use a demand-bound query instead)"
                 )
         rows_fn = self._rows_fn()
         tracer = self.tracer if self.tracer.enabled else None
-        for stratum in self.strata[self._computed_through + 1 : stratum_index + 1]:
+        for stratum in pending:
             relevant = [
                 info for info in self.rule_infos if info.head_skeleton in stratum.skeletons
             ]
@@ -294,10 +533,7 @@ class NailEngine:
                 ) as span:
                     self._eval_stratum(stratum, relevant, rows_fn, tracer)
                     span.attrs["rounds"] = self.rounds_run
-        self._computed_through = stratum_index
-        # Recompute freshness marker: materialization itself must not count
-        # as an EDB change (it does not touch self.db).
-        self._edb_version_seen = self.db.version
+            self._stratum_computed[stratum.index] = True
 
     def _eval_stratum(self, stratum, relevant, rows_fn, tracer) -> None:
         self._declare_heads(relevant)

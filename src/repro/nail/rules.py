@@ -193,6 +193,7 @@ class RuleInfo:
     has_negation: bool
     has_aggregate: bool
     planner: Optional[JoinPlanner] = field(default=None, compare=False, repr=False)
+    neg_skeletons: Tuple[Skeleton, ...] = ()  # negated literals, in order
 
     @property
     def head_vars(self) -> Set[str]:
@@ -303,12 +304,14 @@ def prepare_rules(
         if check_safety:
             check_rule_safety(rule)
         body_skeletons = []
+        neg_skeletons = []
         has_neg = False
         has_agg = False
         for subgoal in rule.body:
             if isinstance(subgoal, PredSubgoal):
                 if subgoal.negated:
                     has_neg = True
+                    neg_skeletons.append(pred_skeleton(subgoal.pred, len(subgoal.args)))
                 else:
                     body_skeletons.append(pred_skeleton(subgoal.pred, len(subgoal.args)))
             elif isinstance(subgoal, CompareSubgoal):
@@ -322,6 +325,101 @@ def prepare_rules(
                 has_negation=has_neg,
                 has_aggregate=has_agg,
                 planner=JoinPlanner(rule),
+                neg_skeletons=tuple(neg_skeletons),
             )
         )
     return infos
+
+
+# ---------------------------------------------------------------------- #
+# dependency support sets (incremental IDB maintenance)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StratumSupport:
+    """What one stratum's cached extension depends on.
+
+    ``direct`` are the skeletons its rules read in the body (positive and
+    negated) plus the stratum's own head skeletons (EDB facts stored under
+    a rule-defined name seed the derived relation).  ``transitive`` closes
+    ``direct`` over lower strata down to EDB leaves: the cached extension
+    is stale exactly when a relation matching one of these changed.
+
+    ``blocking`` names the skeletons whose *growth* cannot be repaired by
+    monotone delta propagation -- inputs read under negation or feeding an
+    aggregate -- so a change there forces full (but stratum-scoped)
+    recomputation.  ``universal`` marks strata reading through predicate
+    variables (the support set is then the whole EDB); ``blocks_all``
+    additionally forces rebuild on any change (a negated or aggregated
+    predicate-variable literal, whose inputs are unknowable statically).
+    """
+
+    direct: FrozenSet[Skeleton]
+    blocking: FrozenSet[Skeleton]
+    transitive: FrozenSet[Skeleton]
+    universal: bool
+    blocks_all: bool
+
+    def touches(self, changed: Set[Skeleton]) -> bool:
+        return self.universal or bool(self.transitive & changed)
+
+    def repairable(self, changed: Set[Skeleton]) -> bool:
+        """Can growth of ``changed`` be propagated as a seminaive delta?"""
+        return not self.blocks_all and not (self.blocking & changed)
+
+
+def compute_stratum_supports(rule_infos, strata) -> List[StratumSupport]:
+    """Per-stratum dependency support sets, in stratum order.
+
+    Strata arrive bottom-up (from :func:`repro.analysis.stratify.stratify`)
+    so each transitive set is built from the already-finished sets of the
+    strata below it.
+    """
+    stratum_of: Dict[Skeleton, int] = {}
+    for stratum in strata:
+        for skeleton in stratum.skeletons:
+            stratum_of[skeleton] = stratum.index
+    supports: List[StratumSupport] = []
+    for stratum in strata:
+        direct: Set[Skeleton] = set(stratum.skeletons)
+        blocking: Set[Skeleton] = set()
+        universal = False
+        blocks_all = False
+        for info in rule_infos:
+            if info.head_skeleton not in stratum.skeletons:
+                continue
+            inputs = set(info.body_skeletons) | set(info.neg_skeletons)
+            direct |= inputs
+            if any(skel[0] is None for skel in info.body_skeletons):
+                universal = True  # predicate variable: may read any relation
+            if info.has_aggregate:
+                # The aggregate needs the complete extension of everything
+                # the rule ranges over; growth there is non-monotone.
+                blocking |= inputs
+                if any(skel[0] is None for skel in inputs):
+                    blocks_all = True
+            for skel in info.neg_skeletons:
+                if skel[0] is None:
+                    blocks_all = True
+                else:
+                    blocking.add(skel)
+        transitive: Set[Skeleton] = set(stratum.skeletons)
+        for skel in direct:
+            lower = stratum_of.get(skel)
+            if lower is None:
+                if skel[0] is not None:
+                    transitive.add(skel)  # an EDB leaf
+            elif lower < stratum.index:
+                transitive |= supports[lower].transitive
+                universal = universal or supports[lower].universal
+        supports.append(
+            StratumSupport(
+                direct=frozenset(direct),
+                blocking=frozenset(blocking),
+                transitive=frozenset(transitive),
+                universal=universal,
+                blocks_all=blocks_all,
+            )
+        )
+    return supports

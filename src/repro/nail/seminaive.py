@@ -219,6 +219,144 @@ def seminaive_eval(
     return rounds
 
 
+def incremental_eval(
+    rule_infos: Sequence[RuleInfo],
+    stratum: Set[Skeleton],
+    rows_fn: RowsFn,
+    idb: Database,
+    seed_delta: DeltaStore,
+    max_rounds: int = 1_000_000,
+    tracer=None,
+    join_mode: str = "hash",
+) -> Tuple[int, Dict[Tuple[Term, int], List[Row]]]:
+    """Repair one *already-computed* stratum after monotone growth.
+
+    ``seed_delta`` holds just the newly inserted tuples, per predicate --
+    EDB inserts, new tuples from repaired lower strata, and EDB facts
+    seeded into this stratum's own predicates.  The pass is the seminaive
+    delta trick run from that seed instead of from an empty IDB: round 0
+    joins each rule once per body occurrence of a changed predicate (delta
+    there, current values everywhere else), and the genuinely new head
+    tuples -- found by ``uniondiff`` against the existing relations --
+    iterate through the stratum's recursive positions exactly like an
+    ordinary seminaive fixpoint.
+
+    Only valid for growth the stratum is monotone in (the caller checks
+    :class:`~repro.nail.rules.StratumSupport`): no negated or aggregated
+    dependency on a changed predicate.  Returns ``(rounds, new_rows)``
+    where ``new_rows`` maps each of this stratum's predicates to the rows
+    added -- the seed delta for repairing the strata above.
+    """
+    relevant = [info for info in rule_infos if info.head_skeleton in stratum]
+    seed_skels = {
+        pred_skeleton(name, arity) for (name, arity) in seed_delta
+    }
+    seed_fn = _delta_rows_fn(seed_delta)
+    delta: DeltaStore = {}
+
+    def _seed_positions(info: RuleInfo):
+        for position, subgoal in enumerate(info.rule.body):
+            if not isinstance(subgoal, PredSubgoal) or subgoal.negated:
+                continue
+            skeleton = pred_skeleton(subgoal.pred, len(subgoal.args))
+            # A predicate-variable literal (base None) may resolve to any
+            # changed relation; concrete literals must match a seed key.
+            if skeleton[0] is not None and skeleton not in seed_skels:
+                continue
+            yield position
+
+    if tracer is None:
+        for info in relevant:
+            for position in _seed_positions(info):
+                bindings_list = eval_rule_body(
+                    info,
+                    rows_fn,
+                    delta_index=position,
+                    delta_rows_fn=seed_fn,
+                    join_mode=join_mode,
+                )
+                _merge_derivations(derive_heads(info, bindings_list), idb, delta)
+    else:
+        with tracer.span(
+            "incremental_round", "seed", delta_in=_delta_size(seed_delta)
+        ) as span:
+            for i, info in enumerate(relevant):
+                for position in _seed_positions(info):
+                    with tracer.span(
+                        "rule", _rule_label(i, info), delta_pos=position
+                    ) as rule_span:
+                        bindings_list = eval_rule_body(
+                            info,
+                            rows_fn,
+                            delta_index=position,
+                            delta_rows_fn=seed_fn,
+                            tracer=tracer,
+                            join_mode=join_mode,
+                        )
+                        _merge_derivations(
+                            derive_heads(info, bindings_list), idb, delta
+                        )
+                        rule_span.rows = len(bindings_list)
+            span.rows = _delta_size(delta)
+
+    rounds = 1
+    new_rows: Dict[Tuple[Term, int], List[Row]] = {}
+    recursive = [
+        (info, positions)
+        for info in relevant
+        if (positions := _recursive_positions(info, stratum))
+    ]
+    while delta:
+        for key, store in delta.items():
+            new_rows.setdefault(key, []).extend(store.rows)
+        if not recursive:
+            break
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("incremental evaluation did not converge")
+        delta_fn = _delta_rows_fn(delta)
+        new_delta: DeltaStore = {}
+        if tracer is None:
+            for info, positions in recursive:
+                for position in positions:
+                    bindings_list = eval_rule_body(
+                        info,
+                        rows_fn,
+                        delta_index=position,
+                        delta_rows_fn=delta_fn,
+                        join_mode=join_mode,
+                    )
+                    _merge_derivations(
+                        derive_heads(info, bindings_list), idb, new_delta
+                    )
+        else:
+            with tracer.span(
+                "incremental_round",
+                f"round {rounds - 1}",
+                delta_in=_delta_size(delta),
+            ) as span:
+                for i, (info, positions) in enumerate(recursive):
+                    for position in positions:
+                        with tracer.span(
+                            "rule", _rule_label(i, info), delta_pos=position
+                        ) as rule_span:
+                            bindings_list = eval_rule_body(
+                                info,
+                                rows_fn,
+                                delta_index=position,
+                                delta_rows_fn=delta_fn,
+                                tracer=tracer,
+                                join_mode=join_mode,
+                            )
+                            _merge_derivations(
+                                derive_heads(info, bindings_list), idb, new_delta
+                            )
+                            rule_span.rows = len(bindings_list)
+                span.rows = _delta_size(new_delta)
+        delta = new_delta
+    return rounds, new_rows
+
+
 def _rule_label(index: int, info: RuleInfo) -> str:
     skeleton = info.head_skeleton  # (base name, application chain, arity)
     return f"rule#{index} {skeleton[0]}/{skeleton[-1]}"

@@ -32,6 +32,17 @@ class QueryStats:
         return {name: value for name, value in self.counters.items() if value}
 
     @property
+    def idb_cache_hits(self) -> int:
+        """Strata (and demand entries) this query served straight from the
+        incrementally maintained IDB cache."""
+        return self.counters.get("idb_cache_hits", 0)
+
+    @property
+    def idb_delta_rounds(self) -> int:
+        """Seminaive rounds spent repairing cached strata for this query."""
+        return self.counters.get("idb_delta_rounds", 0)
+
+    @property
     def total_tuple_touches(self) -> int:
         """Same scalar as ``CostCounters.total_tuple_touches``, per query."""
         get = self.counters.get

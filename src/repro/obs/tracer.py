@@ -18,8 +18,8 @@ Event schema (deterministic in structure; wall-clock fields vary):
 ``kind``   ``query`` | ``query_magic`` | ``call`` | ``rows`` |
            ``proc`` | ``stmt`` | ``repeat`` | ``step`` |
            ``pipeline_break`` | ``index_build`` | ``stratum`` |
-           ``round`` | ``pass`` | ``rule`` | ``idb_cache_hit`` |
-           ``magic``
+           ``round`` | ``incremental_round`` | ``pass`` | ``rule`` |
+           ``idb_cache_hit`` | ``idb_stale`` | ``demand`` | ``magic``
 ``name``   human-readable label (plan-step text, predicate name, ...)
 ``rows``   rows produced by the traced unit (``None`` when n/a)
 ``dur_ms`` wall-clock duration in milliseconds (0 for instant events)

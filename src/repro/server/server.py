@@ -217,6 +217,11 @@ class Session:
             payload["server_counters"] = {
                 k: v for k, v in aggregate().snapshot().items() if v
             }
+        if self.system._compiled is not None:
+            # Only meaningful once this session has compiled rules; the
+            # engine (and its stratum caches) are per-session state.
+            with self._locked(False):
+                payload["idb_cache"] = self.system.idb_cache_info()
         if self.server.store is not None:
             payload["wal_commits"] = self.server.store.wal.commits
         return payload

@@ -60,6 +60,22 @@ class Database:
     def _bump(self, _relation: Relation) -> None:
         self._version += 1
 
+    def snapshot_relations(self) -> list:
+        """A stable ``[(key, relation), ...]`` snapshot of the catalog.
+
+        Taken under the catalog lock so concurrent declares (a reader
+        session's compile) cannot resize the dict mid-iteration; callers
+        (the NAIL! engine's per-relation freshness check) then fingerprint
+        each relation without holding any lock.
+        """
+        with self._catalog_lock:
+            return list(self._relations.items())
+
+    def version_vector(self) -> dict:
+        """``{(name, arity): (uid, version)}`` for every relation -- the
+        per-relation replacement for the single global counter."""
+        return {key: rel.fingerprint for key, rel in self.snapshot_relations()}
+
     # ------------------------------------------------------------------ #
     # journal (transactions / write-ahead logging)
     # ------------------------------------------------------------------ #

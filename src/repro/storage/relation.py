@@ -21,6 +21,78 @@ from repro.terms.term import Term, Var, is_ground, sort_key
 
 Row = Tuple[Term, ...]
 
+# Monotone id assigned to every Relation instance: lets a cache tell a
+# dropped-and-redeclared relation (fresh counter, same name) apart from the
+# object it fingerprinted earlier.
+_uid_lock = threading.Lock()
+_next_uid = 0
+
+
+def _fresh_uid() -> int:
+    global _next_uid
+    with _uid_lock:
+        _next_uid += 1
+        return _next_uid
+
+
+class ChangeLog:
+    """A bounded journal of row-level changes since a version.
+
+    Entries are ``(version_after, kind, rows)`` with kind ``"+"`` (rows
+    genuinely inserted) or ``"-"`` (rows genuinely deleted).  The log is
+    *windowed*: ``horizon`` is the oldest version the log can answer from;
+    when the entry cap is exceeded the oldest entries are dropped and the
+    horizon advances, so memory stays bounded and a reader that fell too
+    far behind simply gets "unknown" (and recomputes from scratch).
+
+    Tracking is opt-in (:meth:`Relation.track_changes`): relations nobody
+    watches -- VM locals, supplementary relations -- pay only a ``None``
+    check per mutation.
+    """
+
+    __slots__ = ("horizon", "entries", "max_entries")
+
+    def __init__(self, horizon: int, max_entries: int = 1024):
+        self.horizon = horizon
+        self.entries: list = []  # (version_after, kind, tuple(rows))
+        self.max_entries = max_entries
+
+    def record(self, version: int, kind: str, rows) -> None:
+        self.entries.append((version, kind, tuple(rows)))
+        if len(self.entries) > self.max_entries:
+            overflow = len(self.entries) - self.max_entries
+            self.horizon = self.entries[overflow - 1][0]
+            del self.entries[:overflow]
+
+    def net_since(self, version: int):
+        """Net row changes after ``version``: ``(inserted, deleted)`` lists,
+        or ``None`` when the window no longer reaches back that far.
+
+        Offsetting pairs cancel: a row inserted then deleted (or deleted
+        then restored, e.g. by a transaction rollback) contributes nothing,
+        so a rolled-back transaction nets to *no change at all*.
+        """
+        if version < self.horizon:
+            return None
+        first: dict = {}
+        last: dict = {}
+        for entry_version, kind, rows in self.entries:
+            if entry_version <= version:
+                continue
+            for row in rows:
+                if row not in first:
+                    first[row] = kind
+                last[row] = kind
+        inserted = []
+        deleted = []
+        for row, last_kind in last.items():
+            if first[row] == "+" and last_kind == "+":
+                inserted.append(row)  # absent before, present now
+            elif first[row] == "-" and last_kind == "-":
+                deleted.append(row)  # present before, absent now
+            # "+..-" and "-..+" sequences net to zero.
+        return inserted, deleted
+
 
 class Relation:
     """A set of ground tuples of fixed arity, with optional hash indexes.
@@ -61,6 +133,9 @@ class Relation:
         self._index_lock = threading.RLock()
         self._version = 0
         self._listener = listener
+        self.uid = _fresh_uid()
+        # Row-level change journal; None until a cache calls track_changes.
+        self._changelog: Optional[ChangeLog] = None
 
     # ------------------------------------------------------------------ #
     # basic set operations
@@ -70,6 +145,31 @@ class Relation:
     def version(self) -> int:
         """Bumped on every successful mutation; drives ``unchanged(P)``."""
         return self._version
+
+    @property
+    def fingerprint(self) -> Tuple[int, int]:
+        """``(uid, version)``: equal iff this is the same relation object in
+        the same state -- the unit of IDB-cache invalidation."""
+        return (self.uid, self._version)
+
+    def track_changes(self) -> None:
+        """Start journaling row-level changes (idempotent).
+
+        After this call, :meth:`changes_since` can answer "what happened
+        after version v" for any v at or past the current version.  The
+        NAIL! engine enables tracking on the EDB relations in its
+        dependency support sets so inserts can be propagated as seminaive
+        deltas instead of triggering full recomputation.
+        """
+        if self._changelog is None:
+            self._changelog = ChangeLog(self._version)
+
+    def changes_since(self, version: int):
+        """Net ``(inserted_rows, deleted_rows)`` after ``version``, or
+        ``None`` when unknown (tracking off, or the window was exceeded)."""
+        if self._changelog is None:
+            return None
+        return self._changelog.net_since(version)
 
     def _changed(self) -> None:
         self._version += 1
@@ -100,6 +200,8 @@ class Relation:
         for index in self._indexes.values():
             index.add(row)
         self._changed()
+        if self._changelog is not None:
+            self._changelog.record(self._version, "+", (row,))
         if self.journal is not None:
             self.journal.record_insert(self, row)
         return True
@@ -131,6 +233,8 @@ class Relation:
         if new:
             self.counters.inserts += len(new)
             self._changed()
+            if self._changelog is not None:
+                self._changelog.record(self._version, "+", new)
         return new
 
     def delete(self, row: Row) -> bool:
@@ -142,6 +246,8 @@ class Relation:
         for index in self._indexes.values():
             index.remove(row)
         self._changed()
+        if self._changelog is not None:
+            self._changelog.record(self._version, "-", (row,))
         if self.journal is not None:
             self.journal.record_delete(self, row)
         return True
@@ -153,13 +259,16 @@ class Relation:
     def clear(self) -> None:
         if not self._rows:
             return
-        dropped = list(self._rows) if self.journal is not None else None
+        watched = self.journal is not None or self._changelog is not None
+        dropped = list(self._rows) if watched else None
         self.counters.deletes += len(self._rows)
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
         self._changed()
-        if dropped is not None:
+        if self._changelog is not None:
+            self._changelog.record(self._version, "-", dropped)
+        if self.journal is not None:
             for row in dropped:
                 self.journal.record_delete(self, row)
 

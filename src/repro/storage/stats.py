@@ -31,6 +31,13 @@ class CostCounters:
     dedup_removed: int = 0
     proc_calls: int = 0
     dynamic_dispatches: int = 0  # per-row run-time predicate-class checks
+    # IDB cache maintenance (see repro.nail.engine): strata served from
+    # cache, strata repaired by delta propagation (with the seminaive
+    # rounds that took), and strata discarded for full recomputation.
+    idb_cache_hits: int = 0
+    idb_delta_repairs: int = 0
+    idb_delta_rounds: int = 0
+    idb_invalidations: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

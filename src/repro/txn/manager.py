@@ -149,6 +149,14 @@ class TransactionManager:
             self.rollbacks += 1
 
     def _apply_undo(self, op) -> None:
+        """Reverse one journaled op through the normal mutation paths.
+
+        Going through ``Relation.insert``/``delete`` (not raw row storage)
+        matters for cache coherence: the relation's version and row-level
+        change journal record the compensation, so the NAIL! engine's
+        incremental maintenance sees the insert/delete pairs cancel and
+        keeps every derived relation cached across a rollback.
+        """
         kind = op[0]
         if kind == "insert":
             relation = self.db.get(op[1], len(op[2]))
@@ -159,9 +167,9 @@ class TransactionManager:
         elif kind == "declare":
             self.db.drop(op[1], op[2])
         elif kind == "drop":
-            restored = self.db.declare(op[1], op[2])
-            for row in op[3]:
-                restored.insert(row)
+            # Bulk restore: one version bump and one change-journal batch
+            # for the whole extension instead of one per row.
+            self.db.declare(op[1], op[2]).insert_new(op[3])
         else:  # pragma: no cover - vocabulary is closed
             raise ValueError(f"unknown undo op {kind!r}")
 

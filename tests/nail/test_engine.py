@@ -253,3 +253,159 @@ class TestDemandEvaluation:
         engine = NailEngine(db, rules, check_safety=False)
         rows = engine.demand(Atom("lonely"), 1, (Num(2),))
         assert [r[0].value for r in rows] == [2]
+
+
+class TestIncrementalMaintenance:
+    """Dependency-scoped invalidation and delta-driven repair."""
+
+    NEG = PATH + "unreach(X, Y) :- node(X) & node(Y) & !path(X, Y).\n"
+
+    def chain_db(self, n=6):
+        db = Database()
+        db.facts("edge", [(i, i + 1) for i in range(1, n)])
+        return db
+
+    def test_unrelated_write_keeps_cache(self):
+        db = self.chain_db()
+        db.fact("color", 1, 2)
+        engine = NailEngine(db, rules_of(PATH))
+        first = engine.materialize(Atom("path"), 2)
+        db.fact("color", 2, 3)
+        again = engine.materialize(Atom("path"), 2)
+        assert first is again
+        assert db.counters.idb_cache_hits >= 1
+        assert db.counters.idb_invalidations == 0
+        assert db.counters.idb_delta_repairs == 0
+
+    def test_insert_repairs_instead_of_rebuilding(self):
+        db = self.chain_db()
+        engine = NailEngine(db, rules_of(PATH))
+        first = engine.materialize(Atom("path"), 2)
+        n0 = len(first)
+        db.fact("edge", 0, 1)
+        repaired = engine.materialize(Atom("path"), 2)
+        assert repaired is first  # same Relation object, grown in place
+        assert len(repaired) > n0
+        assert db.counters.idb_delta_repairs == 1
+        assert db.counters.idb_invalidations == 0
+        fresh = NailEngine(db, rules_of(PATH)).materialize(Atom("path"), 2)
+        assert set(repaired.rows()) == set(fresh.rows())
+
+    def test_delete_falls_back_to_scoped_rebuild(self):
+        db = self.chain_db()
+        engine = NailEngine(db, rules_of(PATH))
+        engine.materialize(Atom("path"), 2)
+        db.get("edge", 2).delete((Num(3), Num(4)))
+        repaired = engine.materialize(Atom("path"), 2)
+        assert db.counters.idb_invalidations >= 1
+        fresh = NailEngine(db, rules_of(PATH)).materialize(Atom("path"), 2)
+        assert set(repaired.rows()) == set(fresh.rows())
+
+    def test_growth_under_negation_rebuilds_dependent_stratum_only(self):
+        db = self.chain_db(4)
+        db.facts("node", [(i,) for i in range(1, 6)])
+        engine = NailEngine(db, rules_of(self.NEG))
+        engine.materialize(Atom("unreach"), 2)
+        db.fact("edge", 4, 5)
+        repaired = engine.materialize(Atom("unreach"), 2)
+        # path (monotone) was repaired; unreach (negation on path) rebuilt.
+        assert db.counters.idb_delta_repairs == 1
+        assert db.counters.idb_invalidations == 1
+        fresh = NailEngine(db, rules_of(self.NEG)).materialize(Atom("unreach"), 2)
+        assert set(repaired.rows()) == set(fresh.rows())
+
+    def test_naive_strategy_never_repairs(self):
+        db = self.chain_db()
+        engine = NailEngine(db, rules_of(PATH), strategy="naive")
+        engine.materialize(Atom("path"), 2)
+        db.fact("edge", 0, 1)
+        repaired = engine.materialize(Atom("path"), 2)
+        assert db.counters.idb_delta_repairs == 0
+        assert db.counters.idb_invalidations >= 1
+        fresh = NailEngine(db, rules_of(PATH), strategy="naive")
+        assert set(repaired.rows()) == set(fresh.materialize(Atom("path"), 2).rows())
+
+    def test_rollback_style_churn_is_no_change(self):
+        db = self.chain_db()
+        engine = NailEngine(db, rules_of(PATH))
+        first = engine.materialize(Atom("path"), 2)
+        db.fact("edge", 50, 51)
+        db.get("edge", 2).delete((Num(50), Num(51)))
+        again = engine.materialize(Atom("path"), 2)
+        assert again is first
+        assert db.counters.idb_delta_repairs == 0
+        assert db.counters.idb_invalidations == 0
+
+    def test_mixed_sequence_matches_from_scratch(self):
+        db = self.chain_db()
+        engine = NailEngine(db, rules_of(PATH))
+        edge = db.get("edge", 2)
+        for step in range(8):
+            if step % 3 == 2:
+                edge.delete(list(edge.rows())[step % len(edge)])
+            else:
+                db.fact("edge", step + 10, step + 11)
+                db.fact("edge", step + 2, step + 10)
+            got = set(engine.materialize(Atom("path"), 2).rows())
+            want = set(
+                NailEngine(db, rules_of(PATH)).materialize(Atom("path"), 2).rows()
+            )
+            assert got == want, f"diverged at step {step}"
+
+    def test_demand_cache_survives_unrelated_write(self):
+        db = self.chain_db()
+        db.fact("color", 1, 2)
+        rules = rules_of(
+            "reach(X, Y) :- edge(X, Y).\n"
+            "reach(X, Z) :- reach(X, Y) & edge(Y, Z).\n"
+        )
+        engine = NailEngine(db, rules)
+        first = engine.demand(Atom("reach"), 2, (Num(1), Var("Y")))
+        db.fact("color", 7, 8)
+        scanned = db.counters.tuples_scanned
+        hits = db.counters.idb_cache_hits
+        again = engine.demand(Atom("reach"), 2, (Num(1), Var("Y")))
+        assert set(again) == set(first)
+        assert db.counters.tuples_scanned == scanned  # served from cache
+        assert db.counters.idb_cache_hits == hits + 1
+
+    def test_demand_cache_invalidated_by_relevant_write(self):
+        db = self.chain_db(4)
+        engine = NailEngine(db, rules_of(PATH))
+        first = engine.demand(Atom("path"), 2, (Num(1), Var("Y")))
+        db.fact("edge", 4, 5)
+        again = engine.demand(Atom("path"), 2, (Num(1), Var("Y")))
+        assert len(again) == len(first) + 1
+
+    def test_demand_flat_residual_uses_indexed_answers(self):
+        db = self.chain_db()
+        engine = NailEngine(db, rules_of(PATH))
+        all_rows = engine.demand(Atom("path"), 2, (Var("X"), Var("Y")))
+        narrowed = engine.demand(Atom("path"), 2, (Num(1), Var("Y")))
+        assert set(narrowed) < set(all_rows)
+        assert all(r[0] == Num(1) for r in narrowed)
+
+    def test_seed_facts_under_idb_name_repair(self):
+        db = self.chain_db(4)
+        engine = NailEngine(db, rules_of(PATH))
+        engine.materialize(Atom("path"), 2)
+        # A fact inserted directly under the derived predicate's own name.
+        db.fact("path", 100, 200)
+        repaired = engine.materialize(Atom("path"), 2)
+        assert (Num(100), Num(200)) in repaired
+        assert db.counters.idb_invalidations == 0
+        fresh = NailEngine(db, rules_of(PATH)).materialize(Atom("path"), 2)
+        assert set(repaired.rows()) == set(fresh.rows())
+
+    def test_cache_info_epochs_move_only_for_touched_strata(self):
+        db = self.chain_db(4)
+        db.fact("color", 1, 1)
+        engine = NailEngine(db, rules_of(PATH))
+        engine.materialize(Atom("path"), 2)
+        epoch0 = list(engine._stratum_epoch)
+        db.fact("color", 2, 2)
+        engine.materialize(Atom("path"), 2)
+        assert engine._stratum_epoch == epoch0
+        db.fact("edge", 7, 8)
+        engine.materialize(Atom("path"), 2)
+        assert engine._stratum_epoch != epoch0

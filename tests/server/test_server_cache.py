@@ -1,0 +1,143 @@
+"""IDB cache behavior under the concurrent query server.
+
+Each session owns a private NAIL! engine over the shared EDB, so these
+tests pin down the cross-session contract of incremental maintenance:
+writes by one session invalidate (or repair) exactly the derived
+relations that depend on them in every other session, and nothing else.
+"""
+
+import threading
+
+import pytest
+
+from repro.server.client import Client
+from repro.server.server import GlueNailServer
+
+PATH_RULES = "path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y) & edge(Y, Z)."
+
+
+@pytest.fixture
+def server():
+    with GlueNailServer(port=0).start() as srv:
+        yield srv
+
+
+@pytest.fixture
+def pair(server):
+    with Client(port=server.port) as writer, Client(port=server.port) as reader:
+        yield writer, reader
+
+
+def counters_of(result) -> dict:
+    return result.stats["counters"]
+
+
+class TestScopedInvalidation:
+    def test_untouched_predicate_stays_cached(self, pair):
+        writer, reader = pair
+        writer.facts("edge", [(1, 2), (2, 3), (3, 4)])
+        reader.load(PATH_RULES)
+        warm = reader.query("path(X, Y)?")
+        assert counters_of(warm)["inserts"] > 0  # first evaluation did work
+        # A write to an unrelated relation...
+        writer.facts("color", [(1, 10), (2, 20)])
+        cached = reader.query("path(X, Y)?")
+        stats = counters_of(cached)
+        assert stats["idb_cache_hits"] >= 1
+        assert stats["idb_invalidations"] == 0
+        assert stats["idb_delta_repairs"] == 0
+        assert stats["inserts"] == 0  # nothing re-derived
+        assert sorted(cached.values) == sorted(warm.values)
+
+    def test_touched_predicate_sees_new_facts_via_repair(self, pair):
+        writer, reader = pair
+        writer.facts("edge", [(1, 2), (2, 3)])
+        reader.load(PATH_RULES)
+        assert sorted(reader.query("path(1, X)?").values) == [(1, 2), (1, 3)]
+        writer.fact("edge", 3, 4)
+        result = reader.query("path(1, X)?")
+        assert sorted(result.values) == [(1, 2), (1, 3), (1, 4)]
+        stats = counters_of(result)
+        assert stats["idb_delta_repairs"] == 1
+        assert stats["idb_invalidations"] == 0
+
+    def test_stats_op_reports_cache_state(self, pair):
+        writer, reader = pair
+        writer.facts("edge", [(1, 2)])
+        reader.load(PATH_RULES)
+        reader.query("path(X, Y)?")
+        info = reader.stats()["idb_cache"]
+        assert info["strata"] and info["strata"][0]["computed"]
+        assert info["strata"][0]["support"] >= 1
+
+
+class TestTransactions:
+    def test_rollback_nets_to_no_invalidation(self, pair):
+        writer, reader = pair
+        writer.facts("edge", [(1, 2), (2, 3)])
+        reader.load(PATH_RULES)
+        warm = reader.query("path(X, Y)?")
+        writer.begin()
+        writer.fact("edge", 3, 4)
+        writer.rollback()
+        cached = reader.query("path(X, Y)?")
+        stats = counters_of(cached)
+        assert stats["idb_cache_hits"] >= 1
+        assert stats["idb_delta_repairs"] == 0
+        assert stats["idb_invalidations"] == 0
+        assert sorted(cached.values) == sorted(warm.values)
+
+    def test_committed_transaction_is_visible(self, pair):
+        writer, reader = pair
+        writer.facts("edge", [(1, 2)])
+        reader.load(PATH_RULES)
+        assert reader.query("path(1, X)?").values == [(1, 2)]
+        writer.begin()
+        writer.fact("edge", 2, 3)
+        writer.commit()
+        assert sorted(reader.query("path(1, X)?").values) == [(1, 2), (1, 3)]
+
+
+class TestConcurrency:
+    def test_concurrent_writer_and_cached_reader_agree(self, server):
+        """A reader hammering a derived predicate while a writer streams
+        single-fact inserts must always see a closure consistent with some
+        prefix of the writes -- and the final answer must be exact."""
+        n = 30
+        errors = []
+
+        with Client(port=server.port) as setup:
+            setup.facts("edge", [(0, 1)])
+
+        def write():
+            try:
+                with Client(port=server.port) as w:
+                    for i in range(1, n):
+                        w.fact("edge", i, i + 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def read():
+            try:
+                with Client(port=server.port) as r:
+                    r.load(PATH_RULES)
+                    for _ in range(n):
+                        rows = r.query("path(0, Y)?").values
+                        # Closure of a growing chain from 0: always a
+                        # contiguous prefix 1..k.
+                        got = sorted(y for (_, y) in rows)
+                        assert got == list(range(1, len(got) + 1)), got
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write), threading.Thread(target=read)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+        with Client(port=server.port) as check:
+            check.load(PATH_RULES)
+            rows = check.query("path(0, Y)?").values
+            assert sorted(y for (_, y) in rows) == list(range(1, n + 1))

@@ -268,3 +268,108 @@ class TestConcurrentAdaptiveIndexing:
         # Both single-column indexes exist exactly once each.
         assert rel.index_columns == [(0,), (1,)]
         assert rel.counters.index_builds == 2
+
+
+class TestChangeTracking:
+    """Row-level change journal behind the engine's incremental repair."""
+
+    def test_untracked_relation_reports_unknown(self):
+        r = rel()
+        r.insert(row(1, 2))
+        assert r.changes_since(0) is None
+
+    def test_net_inserts_after_version(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.track_changes()
+        v = r.version
+        r.insert(row(2, 3))
+        r.insert(row(3, 4))
+        inserted, deleted = r.changes_since(v)
+        assert set(inserted) == {row(2, 3), row(3, 4)}
+        assert deleted == []
+
+    def test_insert_delete_pairs_cancel(self):
+        r = rel()
+        r.track_changes()
+        v = r.version
+        r.insert(row(1, 2))
+        r.delete(row(1, 2))
+        assert r.changes_since(v) == ([], [])
+
+    def test_delete_then_reinsert_cancels(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.track_changes()
+        v = r.version
+        r.delete(row(1, 2))
+        r.insert(row(1, 2))
+        assert r.changes_since(v) == ([], [])
+
+    def test_deletes_reported(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.insert(row(2, 3))
+        r.track_changes()
+        v = r.version
+        r.delete(row(1, 2))
+        inserted, deleted = r.changes_since(v)
+        assert inserted == []
+        assert deleted == [row(1, 2)]
+
+    def test_insert_new_batch_recorded(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.track_changes()
+        v = r.version
+        new = r.insert_new([row(1, 2), row(2, 3), row(3, 4)])
+        assert set(new) == {row(2, 3), row(3, 4)}
+        inserted, deleted = r.changes_since(v)
+        assert set(inserted) == {row(2, 3), row(3, 4)}
+        assert deleted == []
+
+    def test_clear_recorded_as_deletes(self):
+        r = rel()
+        r.insert(row(1, 2))
+        r.track_changes()
+        v = r.version
+        r.clear()
+        inserted, deleted = r.changes_since(v)
+        assert inserted == []
+        assert deleted == [row(1, 2)]
+
+    def test_window_before_tracking_is_unknown(self):
+        r = rel()
+        r.insert(row(1, 2))
+        v_before = r.version - 1
+        r.track_changes()
+        assert r.changes_since(v_before) is None
+
+    def test_overflow_moves_horizon(self):
+        from repro.storage.relation import ChangeLog
+
+        log = ChangeLog(horizon=0, max_entries=4)
+        for i in range(1, 8):
+            log.record(i, "+", (row(i, i),))
+        assert log.net_since(0) is None  # window rolled past version 0
+        inserted, deleted = log.net_since(log.horizon)
+        assert len(inserted) == 4 and deleted == []
+
+    def test_fingerprint_distinguishes_redeclared_relation(self):
+        a, b = rel(), rel()
+        assert a.fingerprint != b.fingerprint  # fresh uid per instance
+        fp = a.fingerprint
+        a.insert(row(1, 2))
+        assert a.fingerprint != fp
+        assert a.fingerprint[0] == fp[0]
+
+    def test_database_version_vector(self):
+        from repro.storage.database import Database
+
+        db = Database()
+        db.fact("edge", 1, 2)
+        vec = db.version_vector()
+        (key,) = vec
+        assert key == (Atom("edge"), 2)
+        db.fact("edge", 2, 3)
+        assert db.version_vector()[key][1] > vec[key][1]
