@@ -253,6 +253,126 @@ def main_mixed(args) -> int:
     return 0
 
 
+GLUE_SOURCE = """
+joined(A, D) := r(A, B) & s(B, C) & t(C, D).
+far(A, D) := joined(A, D) & !near(A, D).
+latest(B, A) +=[B] r(A, B).
+"""
+
+GLUE_OUT_PREDS = (("joined", 2), ("far", 2), ("latest", 2))
+
+
+def _glue_facts(n):
+    return {
+        "r": [(i, i % 40) for i in range(n)],
+        "s": [(i % 40, (i * 7) % 40) for i in range(n)],
+        "t": [((i * 7) % 40, i) for i in range(n)],
+        "near": [(i, i) for i in range(n)],
+    }
+
+
+def _run_glue_once(n, join_mode):
+    """One Glue VM run: returns (stats, result-set per output predicate).
+
+    Both modes run with the adaptive index policy disabled so the numbers
+    compare the *statement planner* against the true per-row nested
+    baseline (the hash path builds its indexes explicitly; the reactive
+    policy would otherwise partially rescue the nested path).
+    """
+    from repro.core.system import GlueNailSystem
+    from repro.storage.adaptive import NeverIndexPolicy
+
+    system = GlueNailSystem(
+        db=Database(index_policy=NeverIndexPolicy()), join_mode=join_mode
+    )
+    system.load(GLUE_SOURCE)
+    for name, rows in _glue_facts(n).items():
+        system.facts(name, rows)
+    system.compile()
+    counters = system.db.counters
+    counters.reset()
+    t0 = time.perf_counter()
+    system.run_script()
+    wall = time.perf_counter() - t0
+    results = {
+        f"{name}/{arity}": set(system.db.relation(Atom(name), arity).rows())
+        for name, arity in GLUE_OUT_PREDS
+    }
+    stats = {
+        "rows": len(results["joined/2"]),
+        "wall_s": round(wall, 4),
+        "tuples_scanned": counters.tuples_scanned,
+        "index_lookups": counters.index_lookups,
+        "index_probe_tuples": counters.index_probe_tuples,
+        "total_tuple_touches": counters.total_tuple_touches,
+        "glue_hash_joins": counters.glue_hash_joins,
+    }
+    return stats, results
+
+
+def main_glue(args) -> int:
+    """The Glue VM workload: a join-heavy statement pipeline (3-way join,
+    anti-join, keyed update) over growing EDBs, run twice -- planned hash
+    joins vs the ``join_mode="nested"`` per-row baseline."""
+    sizes = [100, 200] if args.quick else [100, 200, 400]
+    results = {}
+    divergences = []
+    for n in sizes:
+        name = f"glue-3way-{n}"
+        hash_stats, hash_rows = _run_glue_once(n, "hash")
+        nested_stats, nested_rows = _run_glue_once(n, "nested")
+        touch_x = round(
+            nested_stats["total_tuple_touches"]
+            / max(hash_stats["total_tuple_touches"], 1),
+            1,
+        )
+        wall_x = round(nested_stats["wall_s"] / max(hash_stats["wall_s"], 1e-9), 1)
+        entry = {
+            "edb_rows": n,
+            "hash": hash_stats,
+            "nested": nested_stats,
+            "touch_improvement": touch_x,
+            "wall_improvement": wall_x,
+        }
+        results[name] = entry
+        line = (
+            f"{name:28s} rows={hash_stats['rows']:<7d} "
+            f"hash={hash_stats['wall_s']:<8.4f} nested={nested_stats['wall_s']:<8.4f} "
+            f"touches {hash_stats['total_tuple_touches']} vs "
+            f"{nested_stats['total_tuple_touches']} ({touch_x}x)"
+        )
+        if args.check:
+            ok = hash_rows == nested_rows
+            line += "  check=" + ("OK" if ok else "DIVERGED")
+            if not ok:
+                divergences.append(name)
+        print(line)
+
+    out_path = Path(
+        args.out
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_glue_joins.json"
+    )
+    doc = {"workloads": {}, "history": []}
+    if out_path.exists():
+        try:
+            doc = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["quick"] = args.quick
+    doc["workloads"] = results
+    if args.label:
+        doc.setdefault("history", []).append(
+            {"label": args.label, "quick": args.quick, "workloads": results}
+        )
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    if divergences:
+        print(f"DIVERGENCE hash vs nested Glue execution on: {', '.join(divergences)}")
+        return 1
+    return 0
+
+
 def workloads(quick: bool):
     if quick:
         return {
@@ -294,10 +414,19 @@ def main(argv=None) -> int:
         "from-scratch); writes BENCH_incremental.json by default",
     )
     parser.add_argument(
+        "--glue",
+        action="store_true",
+        help="run the Glue VM workload instead (join-heavy statement "
+        "pipeline, planned hash joins vs the nested per-row baseline); "
+        "writes BENCH_glue_joins.json by default; --check cross-validates "
+        "the two modes",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (history in an existing file is preserved); "
-        "default BENCH_joins.json, or BENCH_incremental.json with --mixed",
+        "default BENCH_joins.json, BENCH_incremental.json with --mixed, or "
+        "BENCH_glue_joins.json with --glue",
     )
     parser.add_argument(
         "--label", default=None, help="history label for this run (default: none, "
@@ -307,6 +436,8 @@ def main(argv=None) -> int:
 
     if args.mixed:
         return main_mixed(args)
+    if args.glue:
+        return main_glue(args)
     if args.out is None:
         args.out = str(Path(__file__).resolve().parent.parent / "BENCH_joins.json")
 

@@ -60,6 +60,7 @@ class GlueNailSystem:
         inp=None,
         max_loop_iterations: int = 1_000_000,
         adaptive_reorder: bool = False,
+        join_mode: str = "hash",
         trace: Union[bool, TraceSink] = False,
     ):
         self.db = db if db is not None else Database()
@@ -73,6 +74,12 @@ class GlueNailSystem:
         self.inp = inp
         self.max_loop_iterations = max_loop_iterations
         self.adaptive_reorder = adaptive_reorder
+        # One join optimizer for the whole program: the mode drives both
+        # the NAIL! rule evaluator and the Glue VM's statement bodies
+        # ("nested" is the differential/costing baseline).
+        if join_mode not in ("hash", "nested"):
+            raise ValueError(f"unknown join mode {join_mode!r}")
+        self.join_mode = join_mode
 
         self._programs: List[Program] = []
         self._foreign: List[Tuple[ForeignSig, ForeignProc]] = []
@@ -178,6 +185,7 @@ class GlueNailSystem:
             inp=self.inp,
             max_loop_iterations=self.max_loop_iterations,
             adaptive_reorder=self.adaptive_reorder,
+            join_mode=self.join_mode,
         )
         for _, proc in self._foreign:
             ctx.register_foreign(proc)
@@ -185,7 +193,8 @@ class GlueNailSystem:
         # bindings (magic evaluation) are legal until someone asks for
         # their full extension.
         engine = NailEngine(
-            self.db, compiled.rules, strategy=self.nail_strategy, check_safety=False
+            self.db, compiled.rules, strategy=self.nail_strategy, check_safety=False,
+            join_mode=self.join_mode,
         )
         ctx.nail_engine = engine
         for name, arity in compiled.edb_decls:

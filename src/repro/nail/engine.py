@@ -603,6 +603,14 @@ class NailView:
             if extended is not None:
                 yield extended
 
+    def joinable_relation(self):
+        """The fully materialized Relation behind this view, or None when
+        the predicate needs demand bindings (the VM's hash-join planner
+        then falls back to per-row demand-driven selection)."""
+        if self.engine.can_materialize(self.name, self.arity):
+            return self.engine.materialize(self.name, self.arity)
+        return None
+
     def rows(self):
         return self.engine.materialize(self.name, self.arity).rows()
 

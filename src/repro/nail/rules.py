@@ -75,11 +75,19 @@ class LiteralPlan:
         )
 
 
-def compile_literal_plan(subgoal: PredSubgoal, bound: FrozenSet[str]) -> LiteralPlan:
-    """Classify each argument position of ``subgoal`` given that the
-    variables in ``bound`` are ground at evaluation time."""
+def classify_join_columns(
+    pred: Term, args: Sequence[Term], bound: FrozenSet[str]
+) -> LiteralPlan:
+    """Classify each argument position of a literal given that the
+    variables in ``bound`` are ground at evaluation time.
+
+    Shared between the NAIL! evaluator (whose :class:`JoinPlanner` memoizes
+    the result per bound-set) and the Glue VM compiler (which maps the
+    bound-variable names onto supplementary-row columns and bakes the
+    result into each scan step).
+    """
     pred_vars: List[str] = []
-    for v in variables(subgoal.pred):
+    for v in variables(pred):
         if not v.is_anonymous and v.name not in pred_vars:
             pred_vars.append(v.name)
     key_cols: List[Tuple[int, str, object]] = []
@@ -87,7 +95,7 @@ def compile_literal_plan(subgoal: PredSubgoal, bound: FrozenSet[str]) -> Literal
     eq_checks: List[Tuple[int, int]] = []
     complex_cols: List[Tuple[int, Term]] = []
     first_new: Dict[str, int] = {}
-    for col, arg in enumerate(subgoal.args):
+    for col, arg in enumerate(args):
         if isinstance(arg, Var):
             if arg.is_anonymous:
                 continue  # matches anything, binds nothing
@@ -104,16 +112,22 @@ def compile_literal_plan(subgoal: PredSubgoal, bound: FrozenSet[str]) -> Literal
             complex_cols.append((col, arg))
     complex_has_bound = any(term_vars(pat) & bound for _, pat in complex_cols)
     return LiteralPlan(
-        pred=subgoal.pred,
+        pred=pred,
         pred_vars=tuple(pred_vars),
-        arity=len(subgoal.args),
+        arity=len(args),
         key_cols=tuple(key_cols),
         extract=tuple(extract),
         eq_checks=tuple(eq_checks),
         complex_cols=tuple(complex_cols),
         complex_has_bound=complex_has_bound,
-        patterns=tuple(subgoal.args),
+        patterns=tuple(args),
     )
+
+
+def compile_literal_plan(subgoal: PredSubgoal, bound: FrozenSet[str]) -> LiteralPlan:
+    """Classify each argument position of ``subgoal`` given that the
+    variables in ``bound`` are ground at evaluation time."""
+    return classify_join_columns(subgoal.pred, subgoal.args, bound)
 
 
 def _expr_var_occurrences(expr) -> List[str]:

@@ -43,6 +43,12 @@ class QueryStats:
         return self.counters.get("idb_delta_rounds", 0)
 
     @property
+    def glue_hash_joins(self) -> int:
+        """Glue VM scan steps this query executed as planned hash joins
+        (one per resolved source) instead of per-row nested matching."""
+        return self.counters.get("glue_hash_joins", 0)
+
+    @property
     def total_tuple_touches(self) -> int:
         """Same scalar as ``CostCounters.total_tuple_touches``, per query."""
         get = self.counters.get

@@ -63,6 +63,17 @@ class HashIndex:
     def probe_count(self, key: Row) -> int:
         return len(self._buckets.get(key, ()))
 
+    def probe_many(self, keys: Iterable[Row]) -> Iterator[Row]:
+        """Rows for a batch of keys, bucket by bucket (bulk bucket access).
+
+        Callers pass distinct keys; the union is therefore duplicate-free.
+        The keyed-update path uses this to collect all victim tuples of a
+        ``+=[keys]`` statement in one pass over the key set.
+        """
+        buckets = self._buckets
+        for key in keys:
+            yield from buckets.get(key, ())
+
     def bulk_load(self, rows: Iterable[Row]) -> int:
         """Load all rows; returns the number loaded (the build cost in tuples)."""
         count = 0

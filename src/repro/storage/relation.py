@@ -332,6 +332,19 @@ class Relation:
             )
         return index
 
+    def probe_buckets(self, columns: Tuple[int, ...], keys: Iterable[Row]) -> list:
+        """Bulk bucket access: all stored rows matching any of ``keys``.
+
+        One index lookup is charged per key; callers pass distinct keys so
+        the result is duplicate-free (rows live in exactly one bucket).
+        """
+        index = self.build_index(columns)
+        keys = list(keys)
+        hits = list(index.probe_many(keys))
+        self.counters.index_lookups += len(keys)
+        self.counters.index_probe_tuples += len(hits)
+        return hits
+
     def has_index(self, columns: Tuple[int, ...]) -> bool:
         with self._index_lock:
             return tuple(sorted(set(columns))) in self._indexes

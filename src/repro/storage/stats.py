@@ -31,6 +31,10 @@ class CostCounters:
     dedup_removed: int = 0
     proc_calls: int = 0
     dynamic_dispatches: int = 0  # per-row run-time predicate-class checks
+    # Glue VM statement bodies executed as planned hash joins: one count
+    # per (scan step, resolved source) that probed a hash table instead of
+    # matching per accumulated row (see repro.vm.plan).
+    glue_hash_joins: int = 0
     # IDB cache maintenance (see repro.nail.engine): strata served from
     # cache, strata repaired by delta propagation (with the seminaive
     # rounds that took), and strata discarded for full recomputation.

@@ -45,6 +45,7 @@ from repro.lang.ast import (
     UnionSubgoal,
     UpdateSubgoal,
 )
+from repro.nail.rules import classify_join_columns
 from repro.terms.term import Atom, Term, Var, is_ground, variables
 from repro.vm.exprs import compile_expr, compile_pattern, compile_term_code
 from repro.vm.plan import (
@@ -63,6 +64,7 @@ from repro.vm.plan import (
     PredRef,
     ScanStep,
     Step,
+    StmtJoinShape,
     TruthStep,
     UnchangedStep,
     UnionStep,
@@ -126,6 +128,38 @@ def _flat_extract(
         return tuple(positions[name] for name in new_vars)
     except KeyError:
         return None
+
+
+def _join_shape(
+    subgoal: PredSubgoal,
+    known: Set[str],
+    colindex: Dict[str, int],
+    new_vars: Sequence[str],
+) -> StmtJoinShape:
+    """The statement-level join plan of one scan: classify the subgoal's
+    argument pattern with the shared NAIL! literal classifier, then map the
+    bound variable names onto supplementary-row positions so the VM can
+    build probe keys positionally."""
+    lit = classify_join_columns(subgoal.pred, subgoal.args, frozenset(known))
+    key_build = []
+    for _col, kind, value in lit.key_cols:
+        if kind == "const":
+            key_build.append((None, value))
+        else:
+            key_build.append((colindex[value], None))
+    extract_cols: Optional[Tuple[int, ...]] = None
+    if not lit.complex_cols:
+        positions = {name: col for col, name in lit.extract}
+        if all(name in positions for name in new_vars):
+            extract_cols = tuple(positions[name] for name in new_vars)
+    return StmtJoinShape(
+        key_build=tuple(key_build),
+        probe_cols=lit.probe_cols,
+        covers_all=lit.covers_all_columns,
+        extract_cols=extract_cols,
+        eq_checks=lit.eq_checks,
+        residual_bound=lit.complex_has_bound,
+    )
 
 
 def _ordered_new_vars(terms: Sequence[Term], known: Set[str]) -> List[str]:
@@ -822,6 +856,7 @@ class ProgramCompiler:
                 name_fn=name_fn,
                 columns_out=tuple(state.columns),
                 flat=_flat_extract(subgoal.args, known, ()) is not None,
+                join_shape=_join_shape(subgoal, known, colindex, ()),
             )
 
         if is_ground(subgoal.pred):
@@ -841,6 +876,7 @@ class ProgramCompiler:
                 new_vars=tuple(new_vars),
                 columns_out=tuple(state.columns),
                 flat_extract=_flat_extract(subgoal.args, known, new_vars),
+                join_shape=_join_shape(subgoal, known, colindex, new_vars),
             )
 
         # Predicate-variable (HiLog) subgoal: name instantiated per row.
@@ -864,6 +900,7 @@ class ProgramCompiler:
                 name_fn=name_fn,
                 columns_out=tuple(state.columns),
                 flat_extract=_flat_extract(subgoal.args, known, new_vars),
+                join_shape=_join_shape(subgoal, known, colindex, new_vars),
             )
         return DynamicStep(
             ref=ref,

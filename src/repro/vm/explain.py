@@ -43,6 +43,14 @@ def _ref_text(ref: PredRef) -> str:
     return f"{name}/{ref.arity} [dynamic]"
 
 
+def _join_text(shape) -> str:
+    """The hash-join annotation of a scan: its probe-key columns (empty
+    keys mean a broadcast / one-shot test, so nothing is shown)."""
+    if shape is None or not shape.probe_cols:
+        return ""
+    return f" key@{list(shape.probe_cols)}"
+
+
 def explain_step(step: Step) -> str:
     barrier = " <<BREAK>>" if step.is_barrier else ""
     cols = ",".join(step.columns_out) if getattr(step, "columns_out", ()) else "-"
@@ -51,9 +59,10 @@ def explain_step(step: Step) -> str:
         detail = _ref_text(step.ref)
         if step.new_vars:
             detail += f" binds({','.join(step.new_vars)})"
+        detail += _join_text(step.join_shape)
     elif isinstance(step, NegScanStep):
         kind = "ANTIJOIN"
-        detail = "!" + _ref_text(step.ref)
+        detail = "!" + _ref_text(step.ref) + _join_text(step.join_shape)
     elif isinstance(step, CompareStep):
         kind = "FILTER"
         detail = f"op '{step.op}'"

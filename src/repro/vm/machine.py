@@ -67,9 +67,12 @@ class ExecContext:
         inp=None,
         max_loop_iterations: int = 1_000_000,
         adaptive_reorder: bool = False,
+        join_mode: str = "hash",
     ):
         if strategy not in ("pipelined", "materialized"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if join_mode not in ("hash", "nested"):
+            raise ValueError(f"unknown join mode {join_mode!r}")
         self.db = db if db is not None else Database()
         self.counters: CostCounters = self.db.counters
         self.strategy = strategy
@@ -78,6 +81,7 @@ class ExecContext:
         self.inp = inp if inp is not None else sys.stdin
         self.max_loop_iterations = max_loop_iterations
         self.adaptive_reorder = adaptive_reorder
+        self.join_mode = join_mode
         self.tracer = self.db.tracer
         self.foreign: Dict[Tuple[str, int], ForeignProc] = {}
         self.nail_engine = None  # wired by repro.core.system
@@ -331,14 +335,25 @@ class Machine:
         elif op == "modify":
             # Update by key (paper Section 3.1): remove every existing tuple
             # sharing a key with a new tuple, then insert the new tuples.
-            keys = {tuple(row[p] for p in stmt.key_positions) for row in head_rows}
-            victims = [
-                existing
-                for existing in target.rows()
-                if tuple(existing[p] for p in stmt.key_positions) in keys
-            ]
+            # Incoming rows are deduplicated by key first -- the *last* row
+            # in result order wins -- so a body producing several tuples for
+            # one key leaves exactly one (see docs/GLUE_MANUAL.md).
+            key_positions = stmt.key_positions
+            if not key_positions:
+                # No key columns: every tuple shares the empty key, so any
+                # result replaces the whole relation.
+                if head_rows:
+                    target.replace(head_rows[-1:])
+                return
+            by_key: Dict[Row, Row] = {}
+            for row in head_rows:
+                by_key[tuple(row[p] for p in key_positions)] = row
+            if not by_key:
+                return
+            # Victims come from the key index, not a full relation scan.
+            victims = target.probe_buckets(key_positions, by_key.keys()) if len(target) else []
             target.delete_many(victims)
-            target.insert_many(head_rows)
+            target.insert_many(by_key.values())
         else:  # pragma: no cover - parser prevents this
             raise GlueRuntimeError(f"unknown assignment operator {op}")
 
@@ -394,8 +409,15 @@ class Machine:
             return stmt
         variant = stmt.variants.get(ordered)
         if variant is None:
-            variant = compiler.recompile_with_order(stmt, ordered)
-            stmt.variants[ordered] = variant
+            # Two sessions executing the same compiled statement must not
+            # recompile concurrently: recompile_with_order mutates the
+            # shared compile-time scope, and an unguarded get/recompile/put
+            # can publish two variants for one ordering.
+            with stmt.variants_lock:
+                variant = stmt.variants.get(ordered)
+                if variant is None:
+                    variant = compiler.recompile_with_order(stmt, ordered)
+                    stmt.variants[ordered] = variant
         return variant
 
     def _exec_repeat(self, stmt: CompiledRepeat, frame: Frame) -> None:

@@ -12,6 +12,7 @@ parameter below is that machine (duck-typed to avoid an import cycle).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -19,6 +20,7 @@ from repro.analysis.scope import PredInfo
 from repro.errors import GlueRuntimeError
 from repro.glue.builtins import compare_terms
 from repro.lang.ast import AssignStmt, ProcDecl, RuleDecl
+from repro.terms.matching import match_tuple
 from repro.terms.term import Term, is_ground
 
 Row = Tuple[Term, ...]
@@ -43,6 +45,60 @@ class PredRef:
     @property
     def is_dynamic(self) -> bool:
         return not is_ground(self.pred)
+
+
+@dataclass(frozen=True)
+class StmtJoinShape:
+    """The positional join shape of one scan step.
+
+    Computed once at compile time by running the shared literal classifier
+    (:func:`repro.nail.rules.classify_join_columns`) over the subgoal with
+    the statement's already-bound columns as the bound-variable set, then
+    mapping variable names onto supplementary-row positions.  At run time
+    the step uses the shape to execute as a planned hash join -- build (or
+    reuse) the stored side's persistent hash index once, probe it per
+    supplementary row -- instead of re-matching the whole stored relation
+    per accumulated row.
+
+    ``key_build`` produces the probe key from an incoming row: each entry
+    is ``(sup_position, None)`` for a bound variable or ``(None, const)``
+    for a ground argument, listed in stored-column order.  ``probe_cols``
+    are the corresponding stored-side columns (sorted, so they are directly
+    a :class:`~repro.storage.index.HashIndex` column set).  ``covers_all``
+    marks keys that determine the entire stored row (the probe degenerates
+    to a membership test).  ``extract_cols`` is the flat extraction
+    template -- stored positions in new-variable order -- or ``None`` when
+    some argument is a compound containing variables (those keep general
+    per-candidate matching).  ``eq_checks`` are repeated-fresh-variable
+    equalities ``(col, first_col)`` checked on the stored row.
+    ``residual_bound`` marks non-key arguments that mention bound
+    variables (compounds), which make the probe pattern row-dependent.
+    """
+
+    key_build: Tuple[Tuple[Optional[int], Optional[Term]], ...]
+    probe_cols: Tuple[int, ...]
+    covers_all: bool
+    extract_cols: Optional[Tuple[int, ...]]
+    eq_checks: Tuple[Tuple[int, int], ...]
+    residual_bound: bool
+
+
+def _probe_key(key_build, row: Row) -> Row:
+    return tuple(row[pos] if pos is not None else const for pos, const in key_build)
+
+
+def _joinable_relation(relation):
+    """The hashable Relation behind ``relation``, or None.
+
+    ``resolve_relation`` may hand back a demand-driven NAIL! view that has
+    no stored extension to index; such sources keep per-row ``select``.
+    """
+    if hasattr(relation, "build_index"):
+        return relation
+    joinable = getattr(relation, "joinable_relation", None)
+    if joinable is not None:
+        return joinable()
+    return None
 
 
 class Step:
@@ -75,8 +131,14 @@ class ScanStep(Step):
     name_fn: Optional[RowFn] = None  # dynamic predicate-name instantiation
     columns_out: Tuple[str, ...] = ()
     flat_extract: Optional[Tuple[int, ...]] = None
+    join_shape: Optional[StmtJoinShape] = None
 
     def iterate(self, rows, rt, frame):
+        if self.join_shape is not None and rt.ctx.join_mode == "hash":
+            return self._iterate_hash(rows, rt, frame)
+        return self._iterate_nested(rows, rt, frame)
+
+    def _iterate_nested(self, rows, rt, frame):
         ref = self.ref
         static_rel = None
         if self.name_fn is None:
@@ -96,6 +158,146 @@ class ScanStep(Step):
             for bindings in relation.select(patterns):
                 yield row + tuple(bindings[v] for v in new_vars)
 
+    def _iterate_hash(self, rows, rt, frame):
+        """Planned set-at-a-time execution: one join state per resolved
+        source (dynamic-name scans get one per distinct name), then a hash
+        probe -- not a relation-wide match -- per supplementary row."""
+        ref = self.ref
+        name_fn = self.name_fn
+        tracer = rt.ctx.tracer
+        states: Dict[Term, list] = {}
+        try:
+            for row in rows:
+                name = ref.pred if name_fn is None else name_fn(row)
+                state = states.get(name)
+                if state is None:
+                    relation = rt.resolve_relation(ref, name, frame)
+                    emit, strategy, source_size = self._join_state(relation, rt)
+                    state = [emit, strategy, source_size, 0, 0]
+                    states[name] = state
+                state[3] += 1
+                out = state[0](row)
+                state[4] += len(out)
+                yield from out
+        finally:
+            if tracer.enabled and states:
+                for name, (_e, strategy, source_size, rows_in, rows_out) in states.items():
+                    tracer.event(
+                        "join",
+                        f"{name}/{ref.arity}",
+                        rows=rows_out,
+                        strategy=strategy,
+                        bindings=rows_in,
+                        source=source_size,
+                    )
+
+    def _join_state(self, relation, rt):
+        """Pick a join strategy for one resolved source.
+
+        Returns ``(emit(row) -> list[Row], strategy_name, source_size)``.
+        Mirrors the NAIL! body evaluator's strategy menu (member / probe /
+        probe+match / broadcast / scan+match), positionally compiled.
+        """
+        shape = self.join_shape
+        counters = rt.ctx.counters
+        new_vars = self.new_vars
+        pattern_fn = self.pattern_fn
+        target = _joinable_relation(relation)
+        if target is None:
+            # Demand-driven NAIL! view: no stored extension to hash.
+            def select_rows(row):
+                patterns = pattern_fn(row)
+                return [
+                    row + tuple(b[v] for v in new_vars)
+                    for b in relation.select(patterns)
+                ]
+
+            return select_rows, "select", None
+        counters.glue_hash_joins += 1
+        key_build = shape.key_build
+        eq_checks = shape.eq_checks
+        extract = shape.extract_cols
+        if shape.probe_cols:
+            if shape.covers_all:
+                # Fully determined flat pattern: membership test per row.
+                def member(row):
+                    if _probe_key(key_build, row) in target:
+                        counters.index_probe_tuples += 1
+                        return (row,)
+                    return ()
+
+                return member, "member", len(target)
+            index = target.build_index(shape.probe_cols)
+            if extract is not None:
+
+                def probe(row):
+                    hits = index.bucket(_probe_key(key_build, row))
+                    counters.index_lookups += 1
+                    counters.index_probe_tuples += len(hits)
+                    if eq_checks:
+                        return [
+                            row + tuple(stored[c] for c in extract)
+                            for stored in hits
+                            if all(stored[c] == stored[c0] for c, c0 in eq_checks)
+                        ]
+                    return [row + tuple(stored[c] for c in extract) for stored in hits]
+
+                return probe, "probe", len(target)
+
+            def probe_match(row):
+                hits = index.bucket(_probe_key(key_build, row))
+                counters.index_lookups += 1
+                counters.index_probe_tuples += len(hits)
+                patterns = pattern_fn(row)
+                out = []
+                for stored in hits:
+                    bindings = match_tuple(patterns, stored)
+                    if bindings is not None:
+                        out.append(row + tuple(bindings[v] for v in new_vars))
+                return out
+
+            return probe_match, "probe+match", len(target)
+        if shape.residual_bound:
+            # Compounds mention bound variables: the pattern is
+            # row-dependent even without key columns.
+            def scan_match(row):
+                patterns = pattern_fn(row)
+                counters.tuples_scanned += len(target)
+                out = []
+                for stored in target.rows():
+                    bindings = match_tuple(patterns, stored)
+                    if bindings is not None:
+                        out.append(row + tuple(bindings[v] for v in new_vars))
+                return out
+
+            return scan_match, "scan+match", len(target)
+
+        # No key columns and a row-independent pattern: compute the new
+        # column fragments once and broadcast them across all rows.
+        fragments = None
+
+        def broadcast(row):
+            nonlocal fragments
+            if fragments is None:
+                counters.tuples_scanned += len(target)
+                fragments = []
+                if extract is not None:
+                    for stored in target.rows():
+                        if eq_checks and not all(
+                            stored[c] == stored[c0] for c, c0 in eq_checks
+                        ):
+                            continue
+                        fragments.append(tuple(stored[c] for c in extract))
+                else:
+                    patterns = pattern_fn(row)
+                    for stored in target.rows():
+                        bindings = match_tuple(patterns, stored)
+                        if bindings is not None:
+                            fragments.append(tuple(bindings[v] for v in new_vars))
+            return [row + fragment for fragment in fragments]
+
+        return broadcast, "broadcast", len(target)
+
 
 @dataclass
 class NegScanStep(Step):
@@ -111,8 +313,14 @@ class NegScanStep(Step):
     name_fn: Optional[RowFn] = None
     columns_out: Tuple[str, ...] = ()
     flat: bool = False
+    join_shape: Optional[StmtJoinShape] = None
 
     def iterate(self, rows, rt, frame):
+        if self.join_shape is not None and rt.ctx.join_mode == "hash":
+            return self._iterate_hash(rows, rt, frame)
+        return self._iterate_nested(rows, rt, frame)
+
+    def _iterate_nested(self, rows, rt, frame):
         static_rel = None
         if self.name_fn is None:
             static_rel = rt.resolve_relation(self.ref, self.ref.pred, frame)
@@ -127,6 +335,112 @@ class NegScanStep(Step):
                 matched = next(iter(relation.select(patterns)), None)
             if matched is None:
                 yield row
+
+    def _iterate_hash(self, rows, rt, frame):
+        """Hash anti-join: keep rows whose probe finds no witness."""
+        ref = self.ref
+        name_fn = self.name_fn
+        tracer = rt.ctx.tracer
+        states: Dict[Term, list] = {}
+        try:
+            for row in rows:
+                name = ref.pred if name_fn is None else name_fn(row)
+                state = states.get(name)
+                if state is None:
+                    relation = rt.resolve_relation(ref, name, frame)
+                    survives, strategy, source_size = self._join_state(relation, rt)
+                    state = [survives, strategy, source_size, 0, 0]
+                    states[name] = state
+                state[3] += 1
+                if state[0](row):
+                    state[4] += 1
+                    yield row
+        finally:
+            if tracer.enabled and states:
+                for name, (_s, strategy, source_size, rows_in, rows_out) in states.items():
+                    tracer.event(
+                        "join",
+                        f"{name}/{ref.arity}",
+                        rows=rows_out,
+                        strategy=strategy,
+                        bindings=rows_in,
+                        source=source_size,
+                    )
+
+    def _join_state(self, relation, rt):
+        """Pick an anti-join strategy: ``(survives(row) -> bool, name, size)``."""
+        shape = self.join_shape
+        counters = rt.ctx.counters
+        pattern_fn = self.pattern_fn
+        target = _joinable_relation(relation)
+        if target is None:
+            def select_absent(row):
+                patterns = pattern_fn(row)
+                return next(iter(relation.select(patterns)), None) is None
+
+            return select_absent, "anti-select", None
+        counters.glue_hash_joins += 1
+        key_build = shape.key_build
+        eq_checks = shape.eq_checks
+        flat = shape.extract_cols is not None  # no compound arguments
+        if shape.probe_cols:
+            if shape.covers_all:
+                def absent(row):
+                    if _probe_key(key_build, row) in target:
+                        counters.index_probe_tuples += 1
+                        return False
+                    return True
+
+                return absent, "anti-member", len(target)
+            index = target.build_index(shape.probe_cols)
+            if flat:
+
+                def anti_probe(row):
+                    hits = index.bucket(_probe_key(key_build, row))
+                    counters.index_lookups += 1
+                    counters.index_probe_tuples += len(hits)
+                    if not eq_checks:
+                        return not hits
+                    for stored in hits:
+                        if all(stored[c] == stored[c0] for c, c0 in eq_checks):
+                            return False
+                    return True
+
+                return anti_probe, "anti-probe", len(target)
+
+            def anti_probe_match(row):
+                hits = index.bucket(_probe_key(key_build, row))
+                counters.index_lookups += 1
+                counters.index_probe_tuples += len(hits)
+                patterns = pattern_fn(row)
+                return not any(match_tuple(patterns, s) is not None for s in hits)
+
+            return anti_probe_match, "anti-probe+match", len(target)
+        if shape.residual_bound:
+
+            def anti_scan(row):
+                patterns = pattern_fn(row)
+                counters.tuples_scanned += len(target)
+                return not any(
+                    match_tuple(patterns, s) is not None for s in target.rows()
+                )
+
+            return anti_scan, "anti-scan+match", len(target)
+
+        # Row-independent pattern: one existence test serves every row.
+        verdict = None
+
+        def anti_static(row):
+            nonlocal verdict
+            if verdict is None:
+                counters.tuples_scanned += len(target)
+                patterns = pattern_fn(row)
+                verdict = not any(
+                    match_tuple(patterns, s) is not None for s in target.rows()
+                )
+            return verdict
+
+        return anti_static, "anti-static", len(target)
 
 
 @dataclass
@@ -453,6 +767,12 @@ class CompiledStmt:
     source_scope: object = None            # compile-time Scope for variants
     source_proc: object = None             # enclosing ProcDecl (or None)
     variants: Dict[tuple, "CompiledStmt"] = field(default_factory=dict)
+    # Serializes adaptive recompilation: concurrent sessions executing the
+    # same compiled statement race on reading/populating ``variants`` and
+    # on the (scope-mutating) recompile itself (see Machine._adapted_variant).
+    variants_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
 
 @dataclass

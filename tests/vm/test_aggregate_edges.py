@@ -83,13 +83,14 @@ class TestModifyEdges:
         assert rel(system, "stock", 2) == [("a", 7), ("b", 5)]
 
     def test_modify_key_collision_within_result(self):
-        # Two result rows with the same key: both inserted (the key only
-        # governs which OLD tuples are removed).
+        # Two result rows with the same key: a keyed update is a *keyed*
+        # relation write, so exactly one tuple survives per key -- the last
+        # distinct result row in plan-output order wins.
         system = run(
             "m(K, V) +=[K] src(K, V).",
             facts={"m": [("k", 0)], "src": [("k", 1), ("k", 2)]},
         )
-        assert rel(system, "m", 2) == [("k", 1), ("k", 2)]
+        assert rel(system, "m", 2) == [("k", 2)]
 
     def test_modify_all_columns_key(self):
         system = run(

@@ -66,6 +66,59 @@ class TestAssignmentOperators:
         )
         assert rel(system, "m", 2) == [("a", 9), ("b", 3)]
 
+    def test_modify_dedups_colliding_incoming_keys(self):
+        # Regression: incoming rows that collide on the key used to BOTH
+        # survive, leaving duplicate keys in a keyed relation.  The pinned
+        # semantics: the last distinct result row (in plan-output order)
+        # wins, so exactly one tuple remains per key.
+        system = run(
+            "m(K, V) +=[K] delta(K, V).",
+            facts={"m": [("a", 0)], "delta": [("a", 1), ("a", 2)]},
+        )
+        assert rel(system, "m", 2) == [("a", 2)]
+
+    def test_modify_collision_deterministic_last_wins(self):
+        # Plan output follows the body relation's insertion order, so the
+        # surviving tuple is determined by it -- not by set/hash order.
+        system = run(
+            "m(K, V) +=[K] delta(K, V).",
+            facts={"m": [], "delta": [("k", 3), ("k", 1), ("k", 2)]},
+        )
+        assert rel(system, "m", 2) == [("k", 2)]
+
+    def test_modify_collision_mixed_with_fresh_keys(self):
+        system = run(
+            "m(K, V) +=[K] delta(K, V).",
+            facts={
+                "m": [("a", 0), ("b", 0)],
+                "delta": [("a", 1), ("c", 1), ("a", 2)],
+            },
+        )
+        assert rel(system, "m", 2) == [("a", 2), ("b", 0), ("c", 1)]
+
+    def test_modify_victims_via_index_not_full_scan(self):
+        # The victim lookup must be keyed (index probes), not a walk over
+        # every stored tuple.
+        from repro.storage.adaptive import NeverIndexPolicy
+        from repro.storage.database import Database
+
+        from tests.conftest import make_system
+
+        system = make_system(
+            "m(K, V) +=[K] delta(K, V).", db=Database(index_policy=NeverIndexPolicy())
+        )
+        system.facts("m", [(i, "old") for i in range(500)])
+        system.facts("delta", [(3, "new")])
+        system.compile()
+        system.reset_counters()
+        system.run_script()
+        assert rel(system, "m", 2)[3] == (3, "new")
+        # The victims came from key-index probes (one per incoming key),
+        # and no full-relation scan was charged for the update.
+        assert system.counters.index_lookups >= 1
+        assert system.db.get("m", 2).has_index((0,))
+        assert system.counters.tuples_scanned < 100
+
     def test_empty_body_clears_on_clearing_assignment(self):
         system = run("out(X) := a(X).", facts={"out": [(1,)]})
         assert rel(system, "out", 1) == []
