@@ -35,6 +35,8 @@ def _build_system(args) -> GlueNailSystem:
         optimize=not args.no_optimize,
         strategy=args.strategy,
         dedup_on_break=not args.no_dedup,
+        join_mode=getattr(args, "join_mode", "hash"),
+        order_mode=getattr(args, "order_mode", "cost"),
     )
     if getattr(args, "db", None):
         system = GlueNailSystem.open(args.db, **options)
@@ -232,6 +234,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="disable duplicate elimination at pipeline breaks")
     parser.add_argument(
         "--strategy", choices=("pipelined", "materialized"), default="pipelined"
+    )
+    parser.add_argument(
+        "--join-mode", choices=("hash", "nested"), default="hash",
+        help="how bodies join: planned hash joins or the nested-loop baseline",
+    )
+    parser.add_argument(
+        "--order-mode", choices=("cost", "program"), default="cost",
+        help="how bodies are ordered: the cost-based planner or program order",
     )
     parser.add_argument("--stats", action="store_true", help="print cost counters")
     parser.add_argument(

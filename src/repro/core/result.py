@@ -61,6 +61,24 @@ class QueryResult(list):
             self._plan = self._plan_fn() if self._plan_fn is not None else ""
         return self._plan
 
+    @property
+    def joins(self) -> List[dict]:
+        """The query's join steps, in execution order, as dicts.
+
+        One entry per traced ``join`` event (requires tracing), with the
+        unified schema both engines emit: ``strategy``, ``key`` (probe
+        columns), ``bindings``/``source`` input sizes, and ``est_rows``
+        vs ``actual_rows`` -- the chosen join order made observable.
+        """
+        out = []
+        for event in sorted(self.trace, key=lambda e: e.seq):
+            if event.kind != "join":
+                continue
+            entry = {"name": event.name, "rows": event.rows}
+            entry.update(event.attrs)
+            out.append(entry)
+        return out
+
     def to_python(self) -> List[tuple]:
         """Rows lowered to plain Python values (atoms -> str, nums -> int)."""
         return rows_to_python(self)

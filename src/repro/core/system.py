@@ -61,6 +61,7 @@ class GlueNailSystem:
         max_loop_iterations: int = 1_000_000,
         adaptive_reorder: bool = False,
         join_mode: str = "hash",
+        order_mode: str = "cost",
         trace: Union[bool, TraceSink] = False,
     ):
         self.db = db if db is not None else Database()
@@ -80,6 +81,12 @@ class GlueNailSystem:
         if join_mode not in ("hash", "nested"):
             raise ValueError(f"unknown join mode {join_mode!r}")
         self.join_mode = join_mode
+        # One body-ordering mode for the whole program, mirroring
+        # join_mode: "cost" plans through repro.opt, "program" keeps the
+        # written subgoal order (the differential baseline).
+        if order_mode not in ("cost", "program"):
+            raise ValueError(f"unknown order mode {order_mode!r}")
+        self.order_mode = order_mode
 
         self._programs: List[Program] = []
         self._foreign: List[Tuple[ForeignSig, ForeignProc]] = []
@@ -170,11 +177,20 @@ class GlueNailSystem:
         """(Re)compile everything loaded; idempotent until the next load."""
         if self._compiled is not None:
             return self._compiled
+        db = self.db
+
+        def stats_source(pred, arity):
+            # Live EDB statistics for the planner; resolved at plan time so
+            # the adaptive recompile path sees current cardinalities.
+            return db.get(pred, arity)
+
         compiler = ProgramCompiler(
             strict=self.strict,
             optimize=self.optimize,
             deref_at_compile_time=self.deref_at_compile_time,
             foreign_sigs=[sig for sig, _ in self._foreign],
+            order_mode=self.order_mode,
+            stats_source=stats_source,
         )
         compiled = compiler.compile_program(self.program)
         ctx = ExecContext(
@@ -186,6 +202,7 @@ class GlueNailSystem:
             max_loop_iterations=self.max_loop_iterations,
             adaptive_reorder=self.adaptive_reorder,
             join_mode=self.join_mode,
+            order_mode=self.order_mode,
         )
         for _, proc in self._foreign:
             ctx.register_foreign(proc)
@@ -194,7 +211,7 @@ class GlueNailSystem:
         # their full extension.
         engine = NailEngine(
             self.db, compiled.rules, strategy=self.nail_strategy, check_safety=False,
-            join_mode=self.join_mode,
+            join_mode=self.join_mode, order_mode=self.order_mode,
         )
         ctx.nail_engine = engine
         for name, arity in compiled.edb_decls:
@@ -510,6 +527,9 @@ class GlueNailSystem:
         for info in self._engine.rule_infos:
             if info.head_skeleton == skeleton:
                 lines.append("  " + pretty_rule(info.rule).strip())
+                plan = getattr(info.planner, "last_plan", None)
+                if plan is not None:
+                    lines.extend("    " + line for line in plan.describe())
         return "\n".join(lines)
 
     @staticmethod
@@ -542,7 +562,8 @@ class GlueNailSystem:
             try:
                 answers, _engine = magic_query(
                     self.db, self._compiled.rules, subgoal.pred, subgoal.args,
-                    strategy=self.nail_strategy,
+                    strategy=self.nail_strategy, join_mode=self.join_mode,
+                    order_mode=self.order_mode,
                 )
             except MagicTransformError:
                 return self._resolve_query(subgoal)

@@ -39,7 +39,9 @@ from repro.lang.ast import (
     RuleDecl,
     UnaryOp,
 )
-from repro.nail.rules import JoinPlanner, LiteralPlan, RuleInfo
+from repro.nail.rules import JoinPlanner, RuleInfo
+from repro.opt import LiteralPlan, Plan
+from repro.opt import optimize as _optimize
 from repro.terms.matching import instantiate, match, match_tuple, substitute
 from repro.terms.term import Atom, Num, Term, Var, is_ground
 
@@ -337,6 +339,7 @@ def _grouped_literal(
     planner: JoinPlanner,
     tracer,
     runner,
+    est_rows: Optional[float] = None,
 ) -> List[Bindings]:
     """Run ``runner`` (join or anti-join) per homogeneous binding group.
 
@@ -374,26 +377,37 @@ def _grouped_literal(
                 before = len(out)
                 strategy = runner(sub, source, plan, out)
                 if tracer is not None and tracer.enabled:
+                    # Unified join-event schema, shared with the Glue VM's
+                    # scan steps (see repro.vm.plan): strategy, key
+                    # columns, est_rows, actual_rows.
+                    added = len(out) - before
                     tracer.event(
                         "join",
                         f"{name}/{plan.arity}",
-                        rows=len(out) - before,
+                        rows=added,
                         strategy=strategy,
                         bindings=len(sub),
                         source=len(source),
+                        key=list(plan.probe_cols),
+                        est_rows=est_rows,
+                        actual_rows=added,
                     )
         else:
             source = _as_source(rows_fn(subgoal.pred, plan.arity))
             before = len(out)
             strategy = runner(group, source, plan, out)
             if tracer is not None and tracer.enabled:
+                added = len(out) - before
                 tracer.event(
                     "join",
                     f"{subgoal.pred}/{plan.arity}",
-                    rows=len(out) - before,
+                    rows=added,
                     strategy=strategy,
                     bindings=len(group),
                     source=len(source),
+                    key=list(plan.probe_cols),
+                    est_rows=est_rows,
+                    actual_rows=added,
                 )
     return out
 
@@ -515,6 +529,25 @@ def _dedup_bindings(
     return out
 
 
+def _project_bindings(
+    bindings_list: List[Bindings], live: Tuple[str, ...]
+) -> List[Bindings]:
+    """Projection push-down: drop dead variables and merge the duplicates.
+
+    Sound under set semantics (the final head set is unchanged); callers
+    never apply it in aggregate rules, where binding multiplicity matters.
+    """
+    seen = set()
+    out: List[Bindings] = []
+    for b in bindings_list:
+        key = tuple(b.get(name) for name in live)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append({name: b[name] for name in live if name in b})
+    return out
+
+
 def _apply_aggregate_compare(
     bindings_list: List[Bindings],
     left,
@@ -547,6 +580,47 @@ def _apply_aggregate_compare(
     return out
 
 
+def _cost_plan(
+    rule: RuleInfo,
+    decl: RuleDecl,
+    rows_fn: RowsFn,
+    delta_index: Optional[int],
+    seeds: Optional[List[Bindings]],
+) -> Plan:
+    """Run the shared planner over a rule body at evaluation time.
+
+    Statistics come straight from ``rows_fn``: a resolved Relation is
+    snapshotted once under its lock, a plain iterable by size, and an
+    absent relation counts as genuinely empty *right now* (scheduling it
+    first annihilates the body immediately).  The seminaive delta literal
+    is pinned first -- it is (almost always) the smallest source and must
+    drive the join -- and its estimate conservatively uses the full
+    relation's statistics.
+    """
+
+    def stats_source(pred, arity):
+        obj = rows_fn(pred, arity)
+        if obj is None:
+            return 0
+        return obj
+
+    bound: set = set()
+    if seeds:
+        bound = set(seeds[0])
+        for b in seeds[1:]:
+            bound &= set(b)
+    plan = _optimize(
+        decl.body,
+        stats=stats_source,
+        bound=bound,
+        input_size=len(seeds) if seeds is not None else 1,
+        pinned_first=delta_index,
+        required_vars=rule.head_vars,
+        allow_projection=True,
+    )
+    return plan
+
+
 def eval_rule_body(
     rule: Union[RuleDecl, RuleInfo],
     rows_fn: RowsFn,
@@ -555,6 +629,7 @@ def eval_rule_body(
     seeds: Optional[List[Bindings]] = None,
     tracer=None,
     join_mode: str = "hash",
+    order_mode: str = "cost",
 ) -> List[Bindings]:
     """Evaluate a rule body left to right; returns the final binding set.
 
@@ -565,8 +640,12 @@ def eval_rule_body(
     seminaive trick.  ``join_mode`` selects ``"hash"`` (the planned
     hash-join engine) or ``"nested"`` (the pre-hash-join nested-loop
     baseline, kept for differential testing and cost comparisons).
-    ``tracer``, when given and enabled, receives one ``join`` event per
-    (literal, binding group) with the strategy the engine chose.
+    ``order_mode`` selects ``"cost"`` (the shared ``repro.opt`` planner
+    chooses the join order per call, with projection push-down) or
+    ``"program"`` (the written order plus the legacy delta-first rotation
+    -- the differential baseline).  ``tracer``, when given and enabled,
+    receives one ``join`` event per (literal, binding group) with the
+    strategy the engine chose and estimated vs. actual rows.
     """
     if isinstance(rule, RuleInfo):
         decl = rule.rule
@@ -578,25 +657,52 @@ def eval_rule_body(
         planner = None
     elif join_mode != "hash":
         raise ValueError(f"unknown join mode {join_mode!r}")
+    if order_mode not in ("cost", "program"):
+        raise ValueError(f"unknown order mode {order_mode!r}")
     var_order = planner.var_order if planner is not None else ()
 
-    order = list(range(len(decl.body)))
+    # Cost-based ordering applies to prepared, aggregate-free rules under
+    # the hash engine; everything else (aggregates -- whose group_by scope
+    # is positional -- HiLog deltas needing earlier binders, the nested
+    # baseline) falls back to program order.  See the fallback matrix in
+    # docs/PERFORMANCE.md.
+    plan: Optional[Plan] = None
     if (
-        delta_index is not None
-        and delta_index != 0
+        order_mode == "cost"
+        and planner is not None
         and isinstance(rule, RuleInfo)
         and not rule.has_aggregate
-        and is_ground(decl.body[delta_index].pred)
+        and not any(isinstance(s, GroupBySubgoal) for s in decl.body)
+        and (delta_index is None or is_ground(decl.body[delta_index].pred))
     ):
-        # Seminaive delta-first rotation: the delta is (almost always) the
-        # smallest source, so it should drive the join rather than be
-        # probed once per row of the full accumulated relations.  Moving a
-        # positive literal earlier only *adds* bindings at every later
-        # subgoal, so negations and comparisons keep their semantics;
-        # aggregate rules are excluded (group_by scope is positional), as
-        # are HiLog deltas whose predicate variables need earlier binders.
-        order.remove(delta_index)
-        order.insert(0, delta_index)
+        plan = _cost_plan(rule, decl, rows_fn, delta_index, seeds)
+        planner.last_plan = plan
+
+    if plan is not None:
+        order = list(plan.order)
+        est_of = {step.index: step.est_rows for step in plan.steps}
+        project_of = {step.index: step.project for step in plan.steps}
+    else:
+        est_of = {}
+        project_of = {}
+        order = list(range(len(decl.body)))
+        if (
+            delta_index is not None
+            and delta_index != 0
+            and isinstance(rule, RuleInfo)
+            and not rule.has_aggregate
+            and is_ground(decl.body[delta_index].pred)
+        ):
+            # Seminaive delta-first rotation: the delta is (almost always)
+            # the smallest source, so it should drive the join rather than
+            # be probed once per row of the full accumulated relations.
+            # Moving a positive literal earlier only *adds* bindings at
+            # every later subgoal, so negations and comparisons keep their
+            # semantics; aggregate rules are excluded (group_by scope is
+            # positional), as are HiLog deltas whose predicate variables
+            # need earlier binders.
+            order.remove(delta_index)
+            order.insert(0, delta_index)
 
     bindings_list: List[Bindings] = seeds if seeds is not None else [{}]
     group_vars: List[str] = []
@@ -615,7 +721,7 @@ def eval_rule_body(
                 if planner is not None:
                     bindings_list = _grouped_literal(
                         bindings_list, index, subgoal, rows_fn, planner, tracer,
-                        _antijoin_group,
+                        _antijoin_group, est_of.get(index),
                     )
                 else:
                     bindings_list = _filter_negation(bindings_list, subgoal, rows_fn)
@@ -624,10 +730,13 @@ def eval_rule_body(
                 if planner is not None:
                     bindings_list = _grouped_literal(
                         bindings_list, index, subgoal, fn, planner, tracer,
-                        _join_group,
+                        _join_group, est_of.get(index),
                     )
                 else:
                     bindings_list = _join_literal(bindings_list, subgoal, fn)
+                live = project_of.get(index)
+                if live is not None and bindings_list:
+                    bindings_list = _project_bindings(bindings_list, live)
         elif isinstance(subgoal, CompareSubgoal):
             bindings_list = _apply_compare(bindings_list, subgoal, group_vars, var_order)
         elif isinstance(subgoal, GroupBySubgoal):

@@ -61,6 +61,9 @@ class NailEngine:
     ``join_mode`` selects how rule bodies are joined: ``"hash"`` (planned
     hash joins over indexed sources) or ``"nested"`` (the nested-loop
     baseline, kept for differential testing and cost comparisons).
+    ``order_mode`` selects how rule bodies are ordered: ``"cost"`` (the
+    :mod:`repro.opt` pass pipeline) or ``"program"`` (source order, the
+    differential baseline).
     """
 
     def __init__(
@@ -71,15 +74,19 @@ class NailEngine:
         check_safety: bool = True,
         extra_edb: Optional[Database] = None,
         join_mode: str = "hash",
+        order_mode: str = "cost",
     ):
         if strategy not in ("seminaive", "naive"):
             raise ValueError(f"unknown NAIL! strategy {strategy!r}")
         if join_mode not in ("hash", "nested"):
             raise ValueError(f"unknown NAIL! join mode {join_mode!r}")
+        if order_mode not in ("cost", "program"):
+            raise ValueError(f"unknown NAIL! order mode {order_mode!r}")
         self.db = db
         self.extra_edb = extra_edb
         self.strategy = strategy
         self.join_mode = join_mode
+        self.order_mode = order_mode
         self.rule_infos: List[RuleInfo] = prepare_rules(rules, check_safety=check_safety)
         self.dep = build_dependency_graph([info.rule for info in self.rule_infos])
         self.strata: List[Stratum] = stratify(self.dep)
@@ -236,6 +243,7 @@ class NailEngine:
                         query_args,
                         strategy=self.strategy,
                         join_mode=self.join_mode,
+                        order_mode=self.order_mode,
                     )
                 except MagicTransformError as exc:
                     if self.can_materialize(name, arity):
@@ -430,7 +438,7 @@ class NailEngine:
             if tracer is None:
                 rounds, new_rows = incremental_eval(
                     relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
-                    join_mode=self.join_mode,
+                    join_mode=self.join_mode, order_mode=self.order_mode,
                 )
             else:
                 with tracer.span(
@@ -439,6 +447,7 @@ class NailEngine:
                     rounds, new_rows = incremental_eval(
                         relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
                         tracer=tracer, join_mode=self.join_mode,
+                        order_mode=self.order_mode,
                     )
                     span.attrs["rounds"] = rounds
             counters.idb_delta_repairs += 1
@@ -540,7 +549,8 @@ class NailEngine:
         self._seed_from_edb(stratum.skeletons)
         if self.strategy == "naive":
             self.rounds_run = naive_eval(
-                relevant, rows_fn, self.idb, tracer=tracer, join_mode=self.join_mode
+                relevant, rows_fn, self.idb, tracer=tracer,
+                join_mode=self.join_mode, order_mode=self.order_mode,
             )
         else:
             self.rounds_run = seminaive_eval(
@@ -550,6 +560,7 @@ class NailEngine:
                 self.idb,
                 tracer=tracer,
                 join_mode=self.join_mode,
+                order_mode=self.order_mode,
             )
 
     def _seed_from_edb(self, skeletons) -> None:
@@ -632,6 +643,7 @@ def magic_query(
     args: Sequence[Term],
     strategy: str = "seminaive",
     join_mode: str = "hash",
+    order_mode: str = "cost",
 ) -> Tuple[List[Row], "NailEngine"]:
     """Answer ``pred(args)`` demand-driven via the magic-sets rewrite.
 
@@ -656,6 +668,7 @@ def magic_query(
         check_safety=True,
         extra_edb=seed_db,
         join_mode=join_mode,
+        order_mode=order_mode,
     )
     tracer = db.tracer
     if not tracer.enabled:

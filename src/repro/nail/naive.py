@@ -24,6 +24,7 @@ def naive_eval(
     max_passes: int = 1_000_000,
     tracer=None,
     join_mode: str = "hash",
+    order_mode: str = "cost",
 ) -> int:
     """Run all rules to fixpoint, full re-derivation each pass.
 
@@ -39,10 +40,12 @@ def naive_eval(
         if passes > max_passes:
             raise RuntimeError("naive evaluation did not converge")
         if tracer is None:
-            added = _run_pass(rule_infos, rows_fn, idb, join_mode)
+            added = _run_pass(rule_infos, rows_fn, idb, join_mode, order_mode)
         else:
             with tracer.span("pass", f"pass {passes}") as span:
-                added = _run_pass(rule_infos, rows_fn, idb, join_mode, tracer)
+                added = _run_pass(
+                    rule_infos, rows_fn, idb, join_mode, order_mode, tracer
+                )
                 span.rows = added
         if added == 0:
             return passes
@@ -53,11 +56,12 @@ def _run_pass(
     rows_fn: RowsFn,
     idb: Database,
     join_mode: str = "hash",
+    order_mode: str = "cost",
     tracer=None,
 ) -> int:
     added = 0
     for info in rule_infos:
-        bindings_list = eval_rule_body(info, rows_fn, tracer=tracer, join_mode=join_mode)
+        bindings_list = eval_rule_body(info, rows_fn, tracer=tracer, join_mode=join_mode, order_mode=order_mode)
         for name, row in derive_heads(info, bindings_list):
             if idb.relation(name, len(row)).insert(row):
                 added += 1

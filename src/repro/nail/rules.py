@@ -11,6 +11,7 @@ work in the evaluator is then key build + hash probe instead of a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -27,107 +28,52 @@ from repro.lang.ast import (
     RuleDecl,
     UnaryOp,
 )
-from repro.terms.term import Term, Var, is_ground, variables
+from repro.opt.literal import LiteralPlan
+from repro.opt.literal import classify_join_columns as _classify_join_columns
+from repro.opt.literal import compile_literal_plan as _compile_literal_plan
+from repro.terms.term import Term, Var, variables
 
-
-@dataclass(frozen=True)
-class LiteralPlan:
-    """The compiled join shape of one body literal for one bound-var set.
-
-    ``key_cols`` are the probe-key positions, sorted by column: each entry
-    is ``(col, kind, value)`` with kind ``"const"`` (value is the ground
-    term to equal) or ``"var"`` (value is the bound variable supplying the
-    key).  ``probe_cols`` is the matching sorted column tuple, directly
-    usable as a :class:`~repro.storage.index.HashIndex` column set.
-
-    ``extract`` positions bind new variables straight off the row (a flat
-    extraction template -- no bindings-dict matching); ``eq_checks`` pins a
-    repeated new variable to its first occurrence; ``complex_cols`` holds
-    argument patterns (compounds containing variables) that still need
-    general matching per candidate row.
-    """
-
-    pred: Term
-    pred_vars: Tuple[str, ...]  # vars in the predicate name, first-appearance
-    arity: int
-    key_cols: Tuple[Tuple[int, str, object], ...]
-    extract: Tuple[Tuple[int, str], ...]
-    eq_checks: Tuple[Tuple[int, int], ...]
-    complex_cols: Tuple[Tuple[int, Term], ...]
-    complex_has_bound: bool  # some complex pattern mentions a bound var
-    patterns: Tuple[Term, ...]  # the literal's original argument terms
-
-    @property
-    def probe_cols(self) -> Tuple[int, ...]:
-        return tuple(col for col, _, _ in self.key_cols)
-
-    @property
-    def has_var_keys(self) -> bool:
-        return any(kind == "var" for _, kind, _ in self.key_cols)
-
-    @property
-    def covers_all_columns(self) -> bool:
-        """True when the probe key determines the entire row (a membership
-        test -- the fully-ground negation fast path)."""
-        return (
-            len(self.key_cols) == self.arity
-            and not self.complex_cols
-        )
+__all__ = [
+    "JoinPlanner",
+    "LiteralPlan",
+    "RuleInfo",
+    "StratumSupport",
+    "check_rule_safety",
+    "classify_join_columns",
+    "compile_literal_plan",
+    "compute_stratum_supports",
+    "order_body_for_evaluation",
+    "prepare_rules",
+    "terms_free",
+]
 
 
 def classify_join_columns(
     pred: Term, args: Sequence[Term], bound: FrozenSet[str]
 ) -> LiteralPlan:
-    """Classify each argument position of a literal given that the
-    variables in ``bound`` are ground at evaluation time.
-
-    Shared between the NAIL! evaluator (whose :class:`JoinPlanner` memoizes
-    the result per bound-set) and the Glue VM compiler (which maps the
-    bound-variable names onto supplementary-row columns and bakes the
-    result into each scan step).
-    """
-    pred_vars: List[str] = []
-    for v in variables(pred):
-        if not v.is_anonymous and v.name not in pred_vars:
-            pred_vars.append(v.name)
-    key_cols: List[Tuple[int, str, object]] = []
-    extract: List[Tuple[int, str]] = []
-    eq_checks: List[Tuple[int, int]] = []
-    complex_cols: List[Tuple[int, Term]] = []
-    first_new: Dict[str, int] = {}
-    for col, arg in enumerate(args):
-        if isinstance(arg, Var):
-            if arg.is_anonymous:
-                continue  # matches anything, binds nothing
-            if arg.name in bound:
-                key_cols.append((col, "var", arg.name))
-            elif arg.name in first_new:
-                eq_checks.append((col, first_new[arg.name]))
-            else:
-                first_new[arg.name] = col
-                extract.append((col, arg.name))
-        elif is_ground(arg):
-            key_cols.append((col, "const", arg))
-        else:
-            complex_cols.append((col, arg))
-    complex_has_bound = any(term_vars(pat) & bound for _, pat in complex_cols)
-    return LiteralPlan(
-        pred=pred,
-        pred_vars=tuple(pred_vars),
-        arity=len(args),
-        key_cols=tuple(key_cols),
-        extract=tuple(extract),
-        eq_checks=tuple(eq_checks),
-        complex_cols=tuple(complex_cols),
-        complex_has_bound=complex_has_bound,
-        patterns=tuple(args),
+    """Deprecated shim: moved to :func:`repro.opt.classify_join_columns`
+    (it is now a pass of the shared planner).  Import it from ``repro.opt``
+    -- this re-export will be removed next release."""
+    warnings.warn(
+        "repro.nail.rules.classify_join_columns moved to repro.opt; "
+        "import it from there (this shim will be removed next release)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _classify_join_columns(pred, args, bound)
 
 
 def compile_literal_plan(subgoal: PredSubgoal, bound: FrozenSet[str]) -> LiteralPlan:
-    """Classify each argument position of ``subgoal`` given that the
-    variables in ``bound`` are ground at evaluation time."""
-    return classify_join_columns(subgoal.pred, subgoal.args, bound)
+    """Deprecated shim: moved to :func:`repro.opt.compile_literal_plan`.
+    Import it from ``repro.opt`` -- this re-export will be removed next
+    release."""
+    warnings.warn(
+        "repro.nail.rules.compile_literal_plan moved to repro.opt; "
+        "import it from there (this shim will be removed next release)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _compile_literal_plan(subgoal, bound)
 
 
 def _expr_var_occurrences(expr) -> List[str]:
@@ -157,10 +103,13 @@ class JoinPlanner:
     :class:`RuleInfo` and is shared by every evaluation of that rule.
     """
 
-    __slots__ = ("rule", "var_order", "_plans")
+    __slots__ = ("rule", "var_order", "_plans", "last_plan")
 
     def __init__(self, rule: RuleDecl):
         self.rule = rule
+        # The most recent cost-mode Plan for this rule (observability:
+        # EXPLAIN renders the chosen join order and estimates from it).
+        self.last_plan = None
         order: List[str] = []
         seen: Set[str] = set()
         for subgoal in rule.body:
@@ -192,7 +141,7 @@ class JoinPlanner:
         key = (index, bound)
         plan = self._plans.get(key)
         if plan is None:
-            plan = compile_literal_plan(self.rule.body[index], bound)
+            plan = _compile_literal_plan(self.rule.body[index], bound)
             self._plans[key] = plan
         return plan
 

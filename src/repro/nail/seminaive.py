@@ -135,6 +135,7 @@ def seminaive_eval(
     max_rounds: int = 1_000_000,
     tracer=None,
     join_mode: str = "hash",
+    order_mode: str = "cost",
 ) -> int:
     """Evaluate one stratum to fixpoint with seminaive iteration.
 
@@ -152,14 +153,14 @@ def seminaive_eval(
     # lower strata already provide).
     if tracer is None:
         for info in relevant:
-            bindings_list = eval_rule_body(info, rows_fn, join_mode=join_mode)
+            bindings_list = eval_rule_body(info, rows_fn, join_mode=join_mode, order_mode=order_mode)
             _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
         with tracer.span("round", "round 0", rules=len(relevant)) as span:
             for i, info in enumerate(relevant):
                 with tracer.span("rule", _rule_label(i, info)) as rule_span:
                     bindings_list = eval_rule_body(
-                        info, rows_fn, tracer=tracer, join_mode=join_mode
+                        info, rows_fn, tracer=tracer, join_mode=join_mode, order_mode=order_mode
                     )
                     _merge_derivations(derive_heads(info, bindings_list), idb, delta)
                     rule_span.rows = len(bindings_list)
@@ -188,7 +189,7 @@ def seminaive_eval(
                         rows_fn,
                         delta_index=position,
                         delta_rows_fn=delta_fn,
-                        join_mode=join_mode,
+                        join_mode=join_mode, order_mode=order_mode,
                     )
                     _merge_derivations(
                         derive_heads(info, bindings_list), idb, new_delta
@@ -208,7 +209,7 @@ def seminaive_eval(
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
                                 tracer=tracer,
-                                join_mode=join_mode,
+                                join_mode=join_mode, order_mode=order_mode,
                             )
                             _merge_derivations(
                                 derive_heads(info, bindings_list), idb, new_delta
@@ -228,6 +229,7 @@ def incremental_eval(
     max_rounds: int = 1_000_000,
     tracer=None,
     join_mode: str = "hash",
+    order_mode: str = "cost",
 ) -> Tuple[int, Dict[Tuple[Term, int], List[Row]]]:
     """Repair one *already-computed* stratum after monotone growth.
 
@@ -273,7 +275,7 @@ def incremental_eval(
                     rows_fn,
                     delta_index=position,
                     delta_rows_fn=seed_fn,
-                    join_mode=join_mode,
+                    join_mode=join_mode, order_mode=order_mode,
                 )
                 _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
@@ -291,7 +293,7 @@ def incremental_eval(
                             delta_index=position,
                             delta_rows_fn=seed_fn,
                             tracer=tracer,
-                            join_mode=join_mode,
+                            join_mode=join_mode, order_mode=order_mode,
                         )
                         _merge_derivations(
                             derive_heads(info, bindings_list), idb, delta
@@ -324,7 +326,7 @@ def incremental_eval(
                         rows_fn,
                         delta_index=position,
                         delta_rows_fn=delta_fn,
-                        join_mode=join_mode,
+                        join_mode=join_mode, order_mode=order_mode,
                     )
                     _merge_derivations(
                         derive_heads(info, bindings_list), idb, new_delta
@@ -346,7 +348,7 @@ def incremental_eval(
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
                                 tracer=tracer,
-                                join_mode=join_mode,
+                                join_mode=join_mode, order_mode=order_mode,
                             )
                             _merge_derivations(
                                 derive_heads(info, bindings_list), idb, new_delta

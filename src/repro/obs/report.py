@@ -11,6 +11,7 @@ from typing import Iterable, List, Sequence
 
 from repro.obs.query_stats import QueryStats
 from repro.obs.tracer import TraceEvent
+from repro.opt.plan import fmt_est
 
 
 def _format_counters(counters) -> str:
@@ -48,6 +49,38 @@ def render_profile(stats: QueryStats, events: Sequence[TraceEvent] = ()) -> str:
     return "\n".join(out)
 
 
+def render_joins_table(events: Sequence[TraceEvent]) -> List[str]:
+    """The estimated-vs-actual join table, one row per ``join`` event.
+
+    Both engines emit the same event schema (strategy, probe-key columns,
+    input sizes, planner estimate, actual output rows), so NAIL! rule
+    bodies and Glue statement bodies render through this one table.
+    """
+    joins = [e for e in sorted(events, key=lambda e: e.seq) if e.kind == "join"]
+    if not joins:
+        return []
+    table = [("join", "strategy", "key", "bindings", "source", "est", "actual")]
+    for event in joins:
+        attrs = event.attrs
+        actual = attrs.get("actual_rows", event.rows)
+        table.append(
+            (
+                event.name,
+                str(attrs.get("strategy", "?")),
+                str(attrs.get("key", [])),
+                str(attrs.get("bindings", "?")),
+                str(attrs.get("source", "?")),
+                fmt_est(attrs.get("est_rows")),
+                "?" if actual is None else str(actual),
+            )
+        )
+    widths = [max(len(row[col]) for row in table) for col in range(len(table[0]))]
+    lines = ["Joins (estimated vs actual)", "---------------------------"]
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return lines
+
+
 def render_explain_analyze(
     text: str,
     stats: QueryStats,
@@ -73,6 +106,10 @@ def render_explain_analyze(
         lines.append("Plan")
         lines.append("----")
         lines.extend(plan.splitlines())
+    joins = render_joins_table(events)
+    if joins:
+        lines.append("")
+        lines.extend(joins)
     lines.append("")
     lines.append("Execution")
     lines.append("---------")

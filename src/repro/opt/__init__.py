@@ -1,0 +1,46 @@
+"""repro.opt: the shared cost-based planner for both join engines.
+
+One public facade -- :func:`optimize` -- plans NAIL! rule bodies and Glue
+VM statement bodies alike: an ordered pass pipeline (constant-selection
+pull-forward, greedy cost-based join ordering with bound-variable
+propagation, projection push-down) over a small logical plan, costed
+against consistent per-relation statistics snapshots.  Program order stays
+available as the differential baseline via ``order_mode="program"``.
+
+Migration note (PR 6): ``classify_join_columns``, ``compile_literal_plan``
+and :class:`LiteralPlan` moved here from ``repro.nail.rules``, where they
+remain importable as deprecated shims for one release.
+"""
+
+from repro.opt.literal import (
+    LiteralPlan,
+    classify_join_columns,
+    compile_literal_plan,
+)
+from repro.opt.passes import (
+    DEFAULT_COST_PIPELINE,
+    PASSES,
+    PassContext,
+    PlanState,
+    optimize,
+)
+from repro.opt.plan import Plan, PlanStep, filter_selectivity, fmt_est
+from repro.opt.stats import RelationSnapshot, StatsContext, coerce_snapshot
+
+__all__ = [
+    "DEFAULT_COST_PIPELINE",
+    "LiteralPlan",
+    "PASSES",
+    "PassContext",
+    "Plan",
+    "PlanState",
+    "PlanStep",
+    "RelationSnapshot",
+    "StatsContext",
+    "classify_join_columns",
+    "coerce_snapshot",
+    "compile_literal_plan",
+    "filter_selectivity",
+    "fmt_est",
+    "optimize",
+]

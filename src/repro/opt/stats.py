@@ -1,0 +1,68 @@
+"""Planner-side statistics access.
+
+The planner never touches live relation state directly: every read goes
+through a :class:`StatsContext`, which resolves each predicate at most
+once per ``optimize()`` call and coerces whatever the caller's source
+returns into an immutable
+:class:`~repro.storage.stats.RelationSnapshot`.  A live
+:class:`~repro.storage.relation.Relation` is snapshotted by its own
+``stats_snapshot()`` -- one acquisition of its index lock -- so the whole
+plan is costed against a single consistent state even while concurrent
+readers are building adaptive indexes and charging scan ledgers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.storage.stats import RelationSnapshot
+
+# A caller-supplied statistics source: ``source(pred, arity)`` returns a
+# Relation, a RelationSnapshot, a bare row count, any sized container, or
+# None when the predicate's statistics are unknown.
+StatsSource = Callable[[object, int], object]
+
+
+def coerce_snapshot(raw, name, arity: int) -> Optional[RelationSnapshot]:
+    """Adapt whatever a stats source returned to a RelationSnapshot."""
+    if raw is None:
+        return None
+    if isinstance(raw, RelationSnapshot):
+        return raw
+    snapshot = getattr(raw, "stats_snapshot", None)
+    if snapshot is not None:
+        return snapshot()
+    if isinstance(raw, int):
+        return RelationSnapshot(name=name, arity=arity, rows=raw)
+    try:
+        rows = len(raw)
+    except TypeError:
+        return None
+    return RelationSnapshot(name=name, arity=arity, rows=rows)
+
+
+class StatsContext:
+    """Memoized statistics reads for one ``optimize()`` call.
+
+    Each ``(pred, arity)`` is resolved and snapshotted at most once per
+    context, so every pass sees the same numbers and a relation's lock is
+    taken once per plan, not once per field read.
+    """
+
+    __slots__ = ("_source", "_cache")
+
+    def __init__(self, source: Optional[StatsSource] = None):
+        self._source = source
+        self._cache: Dict[Tuple[object, int], Optional[RelationSnapshot]] = {}
+
+    def lookup(self, pred, arity: int) -> Optional[RelationSnapshot]:
+        key = (pred, arity)
+        try:
+            return self._cache[key]
+        except KeyError:
+            pass
+        snap = None
+        if self._source is not None:
+            snap = coerce_snapshot(self._source(pred, arity), pred, arity)
+        self._cache[key] = snap
+        return snap

@@ -15,7 +15,12 @@ from typing import Callable, Iterable, Iterator, Mapping, Optional, Tuple
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.adaptive import IndexPolicy
 from repro.storage.index import HashIndex
-from repro.storage.stats import CostCounters, RelationStats
+from repro.storage.stats import (
+    CardinalityProfile,
+    CostCounters,
+    RelationSnapshot,
+    RelationStats,
+)
 from repro.terms.matching import Bindings, match_tuple, substitute
 from repro.terms.term import Term, Var, is_ground, sort_key
 
@@ -353,6 +358,66 @@ class Relation:
     def index_columns(self) -> list:
         with self._index_lock:
             return sorted(self._indexes)
+
+    # ------------------------------------------------------------------ #
+    # planner statistics
+    # ------------------------------------------------------------------ #
+
+    def column_profile(self) -> Tuple[int, ...]:
+        """Per-column distinct-value counts, for selectivity estimates.
+
+        The first call scans the relation once and turns on change
+        tracking; later calls replay the change log's net inserts since the
+        profiled version, so a relation that only grows (the seminaive
+        common case) refreshes in time proportional to its delta.  Nets
+        with deletes, or a log window that fell behind, rebuild.
+        """
+        with self._index_lock:
+            return self._column_profile_locked()
+
+    def _column_profile_locked(self) -> Tuple[int, ...]:
+        profile = self.stats.profile
+        if profile is not None and profile.column_values is not None:
+            if profile.version == self._version:
+                return profile.distincts()
+            if self._changelog is not None:
+                net = self._changelog.net_since(profile.version)
+                if net is not None and not net[1]:
+                    for row in net[0]:
+                        for col, value in enumerate(row):
+                            profile.column_values[col].add(value)
+                    profile.version = self._version
+                    return profile.distincts()
+        self.track_changes()
+        values = [set() for _ in range(self.arity)]
+        for row in self._rows:
+            for col, value in enumerate(row):
+                values[col].add(value)
+        self.stats.profile = CardinalityProfile(
+            version=self._version, column_values=values
+        )
+        return self.stats.profile.distincts()
+
+    def stats_snapshot(self) -> RelationSnapshot:
+        """Everything the cost-based planner consults, read in a single
+        acquisition of ``_index_lock`` -- cardinality, distinct counts,
+        scan-cost ledgers and available indexes describe one instant even
+        while concurrent reads trigger adaptive index builds."""
+        with self._index_lock:
+            distincts = self._column_profile_locked()
+            scan_costs = {
+                cols: (ledger.cumulative_scan_cost, ledger.scans)
+                for cols, ledger in self.stats.ledgers.items()
+            }
+            return RelationSnapshot(
+                name=self.name,
+                arity=self.arity,
+                rows=len(self._rows),
+                version=self._version,
+                distincts=distincts,
+                indexed=frozenset(self._indexes),
+                scan_costs=scan_costs,
+            )
 
     def _bound_positions(self, patterns: Row) -> Tuple[int, ...]:
         return tuple(i for i, pat in enumerate(patterns) if is_ground(pat))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field, fields
+from typing import FrozenSet, Mapping, Optional, Tuple
 
 
 @dataclass
@@ -170,10 +171,30 @@ class ScanCostLedger:
 
 
 @dataclass
+class CardinalityProfile:
+    """Per-column distinct-value sets backing the planner's selectivity
+    estimates.
+
+    Maintained off the relation's version counter and change log: a profile
+    built at version ``v`` is refreshed by replaying the net row changes
+    since ``v``.  Insert-only nets extend the value sets in place; nets
+    containing deletes (or an exhausted change-log window) force a rebuild,
+    since a distinct count cannot be decremented without per-value counts.
+    """
+
+    version: int = -1
+    column_values: Optional[list] = None  # one set of values per column
+
+    def distincts(self) -> Tuple[int, ...]:
+        return tuple(len(values) for values in self.column_values or ())
+
+
+@dataclass
 class RelationStats:
     """Per-relation bookkeeping used by adaptive optimization."""
 
     ledgers: dict = field(default_factory=dict)  # tuple[int, ...] -> ScanCostLedger
+    profile: Optional[CardinalityProfile] = None
 
     def ledger(self, columns: tuple) -> ScanCostLedger:
         entry = self.ledgers.get(columns)
@@ -181,3 +202,41 @@ class RelationStats:
             entry = ScanCostLedger()
             self.ledgers[columns] = entry
         return entry
+
+
+@dataclass(frozen=True)
+class RelationSnapshot:
+    """One consistent, planner-facing read of a relation's statistics.
+
+    Built by :meth:`~repro.storage.relation.Relation.stats_snapshot` in a
+    single acquisition of the relation's index lock, so the cardinality,
+    distinct counts, scan-cost ledgers and available indexes all describe
+    the same instant.  (The planner previously consulted these fields one
+    by one while adaptive index builds were mutating them from concurrent
+    read paths.)  ``scan_costs`` maps a column set to its ledger reading
+    ``(cumulative_scan_cost, scans)``.
+    """
+
+    name: object
+    arity: int
+    rows: int
+    version: int = -1
+    distincts: Optional[Tuple[int, ...]] = None
+    indexed: FrozenSet[Tuple[int, ...]] = frozenset()
+    scan_costs: Mapping = field(default_factory=dict)
+
+    def distinct(self, col: int) -> Optional[int]:
+        if self.distincts is None or not 0 <= col < len(self.distincts):
+            return None
+        return self.distincts[col]
+
+    def est_matches(self, probe_cols: Tuple[int, ...]) -> float:
+        """Expected rows matching one probe key on ``probe_cols``, under
+        uniform value frequencies and independent columns:
+        ``rows / prod(distinct(c))``."""
+        est = float(self.rows)
+        for col in probe_cols:
+            d = self.distinct(col)
+            if d:
+                est /= d
+        return est

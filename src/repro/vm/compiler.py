@@ -45,7 +45,8 @@ from repro.lang.ast import (
     UnionSubgoal,
     UpdateSubgoal,
 )
-from repro.nail.rules import classify_join_columns
+from repro.opt import optimize as plan_body
+from repro.opt.literal import classify_join_columns
 from repro.terms.term import Atom, Term, Var, is_ground, variables
 from repro.vm.exprs import compile_expr, compile_pattern, compile_term_code
 from repro.vm.plan import (
@@ -182,9 +183,19 @@ class ProgramCompiler:
         optimize: bool = True,
         deref_at_compile_time: bool = True,
         foreign_sigs: Sequence[ForeignSig] = (),
+        order_mode: str = "cost",
+        stats_source=None,
     ):
+        if order_mode not in ("cost", "program"):
+            raise ValueError(f"unknown order mode {order_mode!r}")
         self.strict = strict
         self.optimize = optimize
+        self.order_mode = order_mode
+        # (pred, arity) -> something repro.opt.coerce_snapshot understands
+        # (a Relation, a snapshot, a row count, or None for unknown).
+        # Resolved per compile, so the adaptive recompile path sees live
+        # cardinalities.
+        self.stats_source = stats_source
         self.deref_at_compile_time = deref_at_compile_time
         self.foreign_sigs = {(sig.module, sig.name, sig.arity): sig for sig in foreign_sigs}
         self._fixed_procs: Set[Tuple[Optional[str], str, int]] = set()
@@ -713,23 +724,89 @@ class ProgramCompiler:
         preordered: bool = False,
     ) -> Tuple[List[Step], _ColumnState, Tuple[object, ...]]:
         if self.optimize and not preordered:
-            body = reorder_body(
-                body,
-                initially_bound=set(),
-                call_fixedness=self._call_fixedness(scope),
-                call_bound_arity=self._call_bound_arity(scope),
-            )
+            body = self._order_body(body, scope)
         line = stmt.line if stmt is not None else 0
         try:
             analyze_bindings(body)
         except BindingError as exc:
             raise CompileError(f"line {line}: {exc}") from exc
 
+        est_of = self._body_estimates(body, scope)
         state = _ColumnState()
         plan: List[Step] = []
-        for subgoal in body:
-            plan.append(self._compile_subgoal(subgoal, scope, state, line))
+        for pos, subgoal in enumerate(body):
+            step = self._compile_subgoal(subgoal, scope, state, line)
+            if isinstance(step, (ScanStep, NegScanStep)):
+                step.est_rows = est_of.get(pos)
+            plan.append(step)
         return plan, state, tuple(body)
+
+    def _order_body(self, body: List[object], scope: Scope) -> List[object]:
+        """Choose the body's evaluation order per ``order_mode``.
+
+        ``"cost"`` runs the shared :mod:`repro.opt` pass pipeline;
+        ``"program"`` keeps the written order.  Both fall back to the
+        heuristic :func:`reorder_body` when their order does not
+        bind-check -- some bodies only compile reordered, and program
+        mode must not reject programs that cost mode accepts.
+        """
+        call_fix = self._call_fixedness(scope)
+        call_ba = self._call_bound_arity(scope)
+        if self.order_mode == "cost":
+            planned = plan_body(
+                tuple(body),
+                stats=self._scoped_stats(scope),
+                call_fixedness=call_fix,
+                call_bound_arity=call_ba,
+            )
+            candidate = list(planned.ordered_body)
+        else:
+            candidate = list(body)
+        try:
+            analyze_bindings(candidate)
+            return candidate
+        except BindingError:
+            pass
+        return reorder_body(
+            body,
+            initially_bound=set(),
+            call_fixedness=call_fix,
+            call_bound_arity=call_ba,
+        )
+
+    def _scoped_stats(self, scope: Scope):
+        """The compile-time statistics source, scope-aware.
+
+        SPECIAL relations (``in``/``return``) are sized at one tuple -- the
+        unit-seed default for per-invocation relations -- so an unknowable
+        input does not turn every downstream estimate unknown."""
+        if self.stats_source is None:
+            return None
+        stats_source = self.stats_source
+
+        def source(pred, arity):
+            info = self._try_resolve(pred, arity, scope)
+            if info is not None and info.klass is PredClass.SPECIAL:
+                return 1
+            return stats_source(pred, arity)
+
+        return source
+
+    def _body_estimates(self, body: Sequence[object], scope: Scope) -> Dict[int, object]:
+        """Planner row estimates for ``body`` in its final order, keyed by
+        position.  Empty without a statistics source (estimates are then
+        unknown, not zero)."""
+        stats = self._scoped_stats(scope)
+        if stats is None:
+            return {}
+        annotated = plan_body(
+            tuple(body),
+            stats=stats,
+            order_mode="program",
+            call_fixedness=self._call_fixedness(scope),
+            call_bound_arity=self._call_bound_arity(scope),
+        )
+        return {pos: step.est_rows for pos, step in enumerate(annotated.steps)}
 
     def _compile_subgoal(self, subgoal, scope: Scope, state: _ColumnState, line: int) -> Step:
         colindex = state.colindex

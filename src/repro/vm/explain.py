@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.analysis.scope import PredClass
+from repro.opt.plan import fmt_est
 from repro.vm.plan import (
     AggStep,
     BindStep,
@@ -51,6 +52,14 @@ def _join_text(shape) -> str:
     return f" key@{list(shape.probe_cols)}"
 
 
+def _est_text(step: Step) -> str:
+    """The planner's row estimate, when one was available at plan time."""
+    est = getattr(step, "est_rows", None)
+    if est is None:
+        return ""
+    return f" est~{fmt_est(est)}"
+
+
 def explain_step(step: Step) -> str:
     barrier = " <<BREAK>>" if step.is_barrier else ""
     cols = ",".join(step.columns_out) if getattr(step, "columns_out", ()) else "-"
@@ -59,10 +68,10 @@ def explain_step(step: Step) -> str:
         detail = _ref_text(step.ref)
         if step.new_vars:
             detail += f" binds({','.join(step.new_vars)})"
-        detail += _join_text(step.join_shape)
+        detail += _join_text(step.join_shape) + _est_text(step)
     elif isinstance(step, NegScanStep):
         kind = "ANTIJOIN"
-        detail = "!" + _ref_text(step.ref) + _join_text(step.join_shape)
+        detail = "!" + _ref_text(step.ref) + _join_text(step.join_shape) + _est_text(step)
     elif isinstance(step, CompareStep):
         kind = "FILTER"
         detail = f"op '{step.op}'"

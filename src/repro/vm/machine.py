@@ -68,11 +68,14 @@ class ExecContext:
         max_loop_iterations: int = 1_000_000,
         adaptive_reorder: bool = False,
         join_mode: str = "hash",
+        order_mode: str = "cost",
     ):
         if strategy not in ("pipelined", "materialized"):
             raise ValueError(f"unknown strategy {strategy!r}")
         if join_mode not in ("hash", "nested"):
             raise ValueError(f"unknown join mode {join_mode!r}")
+        if order_mode not in ("cost", "program"):
+            raise ValueError(f"unknown order mode {order_mode!r}")
         self.db = db if db is not None else Database()
         self.counters: CostCounters = self.db.counters
         self.strategy = strategy
@@ -82,6 +85,7 @@ class ExecContext:
         self.max_loop_iterations = max_loop_iterations
         self.adaptive_reorder = adaptive_reorder
         self.join_mode = join_mode
+        self.order_mode = order_mode
         self.tracer = self.db.tracer
         self.foreign: Dict[Tuple[str, int], ForeignProc] = {}
         self.nail_engine = None  # wired by repro.core.system
@@ -367,14 +371,15 @@ class Machine:
         optimize at compile-time."  Statements whose plans carry
         ``unchanged`` history are left alone (re-compiling would reset it).
         """
-        from repro.analysis.reorder import reorder_body
         from repro.analysis.scope import Scope
-        from repro.lang.ast import PredSubgoal
+        from repro.errors import CompileError
+        from repro.opt import optimize as plan_body
         from repro.terms.term import is_ground
         from repro.vm.plan import UnchangedStep
 
         if (
-            stmt.source is None
+            self.ctx.order_mode != "cost"  # program order is the baseline
+            or stmt.source is None
             or stmt.reorder_input is None
             or stmt.source_scope is None
             or any(isinstance(step, UnchangedStep) for step in stmt.plan)
@@ -385,26 +390,28 @@ class Machine:
         if compiler is None:
             return stmt
 
-        def size_of(subgoal: PredSubgoal):
-            if subgoal.negated or not is_ground(subgoal.pred):
+        def stats_source(pred, arity):
+            # Live cardinalities: resolve like the VM would, including the
+            # frame's local relations (which the compile-time source can't
+            # see).  NAIL! predicates and procedures stay unknown.
+            if not is_ground(pred):
                 return None
-            info = compiler._try_resolve(subgoal.pred, len(subgoal.args), scope)
+            info = compiler._try_resolve(pred, arity, scope)
             if info is None or info.klass is PredClass.EDB:
-                relation = self.ctx.db.get(subgoal.pred, len(subgoal.args))
-                return len(relation) if relation is not None else 0
+                relation = self.ctx.db.get(pred, arity)
+                return relation if relation is not None else 0
             if info.klass is PredClass.LOCAL:
-                relation = frame.locals.get((info.skeleton[0], len(subgoal.args)))
-                return len(relation) if relation is not None else 0
-            return None  # NAIL!/procedures: unknown cardinality
+                relation = frame.locals.get((info.skeleton[0], arity))
+                return relation if relation is not None else 0
+            return None
 
-        ordered = tuple(
-            reorder_body(
-                list(stmt.reorder_input),
-                call_fixedness=compiler._call_fixedness(scope),
-                call_bound_arity=compiler._call_bound_arity(scope),
-                size_of=size_of,
-            )
+        planned = plan_body(
+            stmt.reorder_input,
+            stats=stats_source,
+            call_fixedness=compiler._call_fixedness(scope),
+            call_bound_arity=compiler._call_bound_arity(scope),
         )
+        ordered = planned.ordered_body
         if ordered == stmt.ordered_body:
             return stmt
         variant = stmt.variants.get(ordered)
@@ -416,7 +423,12 @@ class Machine:
             with stmt.variants_lock:
                 variant = stmt.variants.get(ordered)
                 if variant is None:
-                    variant = compiler.recompile_with_order(stmt, ordered)
+                    try:
+                        variant = compiler.recompile_with_order(stmt, ordered)
+                    except CompileError:
+                        # The planned order does not bind-check; keep the
+                        # compiled plan rather than fail at run time.
+                        variant = stmt
                     stmt.variants[ordered] = variant
         return variant
 

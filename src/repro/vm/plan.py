@@ -132,6 +132,7 @@ class ScanStep(Step):
     columns_out: Tuple[str, ...] = ()
     flat_extract: Optional[Tuple[int, ...]] = None
     join_shape: Optional[StmtJoinShape] = None
+    est_rows: Optional[float] = None  # planner's output-size estimate
 
     def iterate(self, rows, rt, frame):
         if self.join_shape is not None and rt.ctx.join_mode == "hash":
@@ -181,6 +182,8 @@ class ScanStep(Step):
                 yield from out
         finally:
             if tracer.enabled and states:
+                # Unified join-event schema shared with the NAIL! body
+                # evaluator: strategy, bindings, source, key, est vs actual.
                 for name, (_e, strategy, source_size, rows_in, rows_out) in states.items():
                     tracer.event(
                         "join",
@@ -189,6 +192,9 @@ class ScanStep(Step):
                         strategy=strategy,
                         bindings=rows_in,
                         source=source_size,
+                        key=list(self.join_shape.probe_cols),
+                        est_rows=self.est_rows,
+                        actual_rows=rows_out,
                     )
 
     def _join_state(self, relation, rt):
@@ -314,6 +320,7 @@ class NegScanStep(Step):
     columns_out: Tuple[str, ...] = ()
     flat: bool = False
     join_shape: Optional[StmtJoinShape] = None
+    est_rows: Optional[float] = None  # planner's output-size estimate
 
     def iterate(self, rows, rt, frame):
         if self.join_shape is not None and rt.ctx.join_mode == "hash":
@@ -365,6 +372,9 @@ class NegScanStep(Step):
                         strategy=strategy,
                         bindings=rows_in,
                         source=source_size,
+                        key=list(self.join_shape.probe_cols),
+                        est_rows=self.est_rows,
+                        actual_rows=rows_out,
                     )
 
     def _join_state(self, relation, rt):

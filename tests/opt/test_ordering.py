@@ -1,0 +1,324 @@
+"""Tests for the shared cost-based planner (``repro.opt``).
+
+Covers the public ``optimize()`` facade, the differential guarantee that
+``order_mode="cost"`` and ``order_mode="program"`` agree on results, the
+cost collapse on adversarially ordered bodies, the unified join-event
+schema both engines emit, the consistent statistics snapshot, and the
+deprecated re-export shims left in ``repro.nail.rules``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_program
+from repro.opt import (
+    LiteralPlan,
+    Plan,
+    RelationSnapshot,
+    classify_join_columns,
+    compile_literal_plan,
+    optimize,
+)
+from repro.storage.relation import Relation
+from repro.terms.term import Atom, Num, Var
+from tests.conftest import make_system
+
+# --------------------------------------------------------------------- #
+# the optimize() facade
+# --------------------------------------------------------------------- #
+
+
+def _body(source: str):
+    """The body of the single rule in ``source``."""
+    program = parse_program(source)
+    return program.items[0].body
+
+
+class TestOptimizeFacade:
+    def test_program_mode_keeps_source_order(self):
+        body = _body("q(X, Z) :- a(X, Y) & b(Y, Z) & X < Z.")
+        plan = optimize(body, order_mode="program")
+        assert isinstance(plan, Plan)
+        assert plan.order == (0, 1, 2)
+        assert plan.ordered_body == tuple(body)
+        assert plan.passes == ()
+
+    def test_unknown_order_mode_rejected(self):
+        body = _body("q(X) :- a(X).")
+        with pytest.raises(ValueError):
+            optimize(body, order_mode="fastest")
+
+    def test_cost_mode_schedules_small_relation_first(self):
+        body = _body("q(X, Z) :- big(X, Y) & tiny(Y, Z).")
+        sizes = {"big": 10_000, "tiny": 2}
+        plan = optimize(body, stats=lambda pred, arity: sizes.get(str(pred)))
+        assert plan.order == (1, 0)  # tiny drives the join
+
+    def test_selection_pulled_forward(self):
+        # The comparison only needs X, so it runs right after the literal
+        # binding X instead of filtering after the whole join.
+        body = _body("q(X, Z) :- a(X) & b(X, Z) & X < 5.")
+        sizes = {"a": 100, "b": 100}
+        plan = optimize(body, stats=lambda pred, arity: sizes.get(str(pred)))
+        assert plan.order == (0, 2, 1)
+
+    def test_estimates_use_distinct_counts(self):
+        body = _body("q(X, Z) :- a(X, Y) & b(Y, Z).")
+        stats = {
+            "a": RelationSnapshot(name="a", arity=2, rows=10, distincts=(10, 5)),
+            "b": RelationSnapshot(name="b", arity=2, rows=100, distincts=(5, 100)),
+        }
+        plan = optimize(body, stats=lambda pred, arity: stats.get(str(pred)))
+        # a scans first (10 rows), then b is probed on its col-0 key:
+        # 10 bindings * 100/5 matches per binding.
+        step_b = plan.step_at(1)
+        assert step_b.probe_cols == (0,)
+        assert step_b.est_rows == pytest.approx(10 * 100 / 5)
+        assert "est~" in plan.describe()[0]
+
+    def test_pipeline_override_runs_named_passes_only(self):
+        body = _body("q(X, Z) :- big(X, Y) & tiny(Y, Z).")
+        sizes = {"big": 10_000, "tiny": 2}
+        plan = optimize(
+            body,
+            stats=lambda pred, arity: sizes.get(str(pred)),
+            pipeline=("pull-selections",),
+        )
+        assert plan.order == (0, 1)  # the join-order pass was not requested
+        assert plan.passes == ("pull-selections",)
+
+
+# --------------------------------------------------------------------- #
+# differential: cost order and program order agree on results
+# --------------------------------------------------------------------- #
+
+LITERALS = ("e(X, Y)", "f(Y, Z)", "g(Z)")
+
+
+def _answers(order_mode, body_literals, e_rows, f_rows, g_rows):
+    source = "q(X, Z) :- " + " & ".join(body_literals) + "."
+    system = make_system(source, order_mode=order_mode)
+    system.facts("e", e_rows)
+    system.facts("f", f_rows)
+    system.facts("g", g_rows)
+    return sorted(system.rows("q", 2).to_python())
+
+
+small_ints = st.integers(min_value=0, max_value=6)
+pairs = st.lists(st.tuples(small_ints, small_ints), min_size=0, max_size=12)
+units = st.lists(st.tuples(small_ints), min_size=0, max_size=6)
+
+
+class TestDifferential:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        perm=st.permutations(LITERALS),
+        e_rows=pairs,
+        f_rows=pairs,
+        g_rows=units,
+    )
+    def test_cost_equals_program_on_random_bodies(self, perm, e_rows, f_rows, g_rows):
+        cost = _answers("cost", perm, e_rows, f_rows, g_rows)
+        program = _answers("program", perm, e_rows, f_rows, g_rows)
+        assert cost == program
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        perm=st.permutations(LITERALS),
+        e_rows=pairs,
+        f_rows=pairs,
+        g_rows=units,
+    )
+    def test_agreement_with_comparison(self, perm, e_rows, f_rows, g_rows):
+        # Cost mode hoists the trailing filter to its earliest admissible
+        # slot; program mode runs it where written.  Same answers either way.
+        body = tuple(perm) + ("X < Z",)
+        cost = _answers("cost", body, e_rows, f_rows, g_rows)
+        program = _answers("program", body, e_rows, f_rows, g_rows)
+        assert cost == program
+
+    def test_glue_statement_differential(self):
+        source = "out(X, Z) := big_a(X, Y) & big_b(Y, Z) & tiny(Z)."
+        results = {}
+        for mode in ("cost", "program"):
+            system = make_system(source, order_mode=mode)
+            system.facts("big_a", [(i, i % 5) for i in range(60)])
+            system.facts("big_b", [(j % 5, j) for j in range(60)])
+            system.facts("tiny", [(7,)])
+            system.run_script()
+            results[mode] = sorted(system.rows("out", 2).to_python())
+        assert results["cost"] == results["program"]
+        assert results["cost"]  # non-vacuous
+
+
+# --------------------------------------------------------------------- #
+# cost collapse: the ordered body touches far fewer tuples
+# --------------------------------------------------------------------- #
+
+
+class TestCostCollapse:
+    N = 800
+    K = 20
+
+    def _run(self, order_mode):
+        # Program order joins the two big relations first (N*N/K
+        # intermediate bindings) before the single-row tiny(Z) prunes; cost
+        # order starts from tiny and probes backwards through the keys.
+        system = make_system(
+            "q(X, Z) :- big_a(X, Y) & big_b(Y, Z) & tiny(Z).",
+            order_mode=order_mode,
+        )
+        system.facts("big_a", [(i, i % self.K) for i in range(self.N)])
+        system.facts("big_b", [(j % self.K, j) for j in range(self.N)])
+        system.facts("tiny", [(7,)])
+        system.compile()
+        system.reset_counters()
+        rows = sorted(system.rows("q", 2).to_python())
+        return rows, system.counters.total_tuple_touches
+
+    def test_cost_order_touches_5x_fewer_tuples(self):
+        cost_rows, cost_touches = self._run("cost")
+        program_rows, program_touches = self._run("program")
+        assert cost_rows == program_rows
+        assert cost_rows  # the join is non-empty
+        assert cost_touches * 5 <= program_touches, (
+            f"cost={cost_touches} program={program_touches}"
+        )
+
+
+# --------------------------------------------------------------------- #
+# unified join-event schema and plan observability
+# --------------------------------------------------------------------- #
+
+JOIN_EVENT_KEYS = {"strategy", "bindings", "source", "key", "est_rows", "actual_rows"}
+
+LOOKUP_PROC = """
+proc lookup(X:Y)
+  return(X:Y) := a(X, V) & b(V, Y).
+end
+"""
+
+
+class TestUnifiedJoinEvents:
+    def test_nail_join_events_carry_the_schema(self):
+        system = make_system("q(X, Z) :- a(X, Y) & b(Y, Z).", trace=True)
+        system.facts("a", [(1, 2), (3, 4)])
+        system.facts("b", [(2, 5), (4, 6)])
+        result = system.query("q(X, Z)?")
+        joins = result.joins
+        assert joins, "tracing produced no join events"
+        for join in joins:
+            assert JOIN_EVENT_KEYS <= set(join)
+        keyed = [j for j in joins if j["key"]]
+        assert keyed and all(j["actual_rows"] is not None for j in keyed)
+
+    def test_glue_join_events_carry_the_same_schema(self):
+        system = make_system(LOOKUP_PROC, trace=True)
+        system.facts("a", [(1, 2), (3, 4)])
+        system.facts("b", [(2, 5), (4, 6)])
+        result = system.call("lookup", [(1,)])
+        assert result.to_python() == [(1, 5)]
+        joins = result.joins
+        assert joins, "tracing produced no join events"
+        for join in joins:
+            assert JOIN_EVENT_KEYS <= set(join)
+        assert any(j["est_rows"] is not None for j in joins)
+
+    def test_explain_analyze_renders_est_vs_actual_for_both_engines(self):
+        nail = make_system("q(X, Z) :- a(X, Y) & b(Y, Z).")
+        nail.facts("a", [(1, 2)])
+        nail.facts("b", [(2, 3)])
+        report = nail.explain_analyze("q(X, Z)?")
+        assert "Joins (estimated vs actual)" in report
+        assert "est" in report and "actual" in report
+
+        glue = make_system(LOOKUP_PROC)
+        glue.facts("a", [(1, 2)])
+        glue.facts("b", [(2, 3)])
+        report = glue.explain_analyze("lookup(1, Y)?")
+        assert "Joins (estimated vs actual)" in report
+        assert "est~" in report  # the plan lines carry the estimates too
+
+    def test_query_result_exposes_chosen_join_order(self):
+        system = make_system("q(X, Z) :- big(X, Y) & tiny(Y, Z).", trace=True)
+        system.facts("big", [(i, i % 4) for i in range(100)])
+        system.facts("tiny", [(2, 9)])
+        result = system.query("q(X, Z)?")
+        # The rendered plan shows the scheduled order with estimates ...
+        assert "tiny" in result.plan and "est~" in result.plan
+        # ... and the join events replay it: tiny was scanned first.
+        assert result.joins[0]["name"] == "tiny/2"
+
+
+# --------------------------------------------------------------------- #
+# statistics snapshots
+# --------------------------------------------------------------------- #
+
+
+def _rel(rows):
+    relation = Relation(Atom("r"), 2)
+    relation.insert_new([(Num(a), Num(b)) for a, b in rows])
+    return relation
+
+
+class TestStatsSnapshot:
+    def test_snapshot_rows_and_distincts(self):
+        relation = _rel([(i, i % 3) for i in range(9)])
+        snap = relation.stats_snapshot()
+        assert snap.rows == 9
+        assert snap.distincts == (9, 3)
+        assert snap.est_matches(()) == pytest.approx(9.0)
+        assert snap.est_matches((1,)) == pytest.approx(3.0)
+        assert snap.est_matches((0, 1)) == pytest.approx(9 / (9 * 3))
+
+    def test_snapshot_tracks_inserts(self):
+        relation = _rel([(i, i % 3) for i in range(9)])
+        first = relation.stats_snapshot()
+        relation.insert((Num(100), Num(5)))
+        second = relation.stats_snapshot()
+        assert second.rows == 10
+        assert second.distincts == (10, 4)
+        assert second.version > first.version
+
+    def test_snapshot_rebuilds_after_delete(self):
+        relation = _rel([(i, i % 3) for i in range(9)])
+        relation.stats_snapshot()
+        relation.delete((Num(8), Num(2)))
+        snap = relation.stats_snapshot()
+        assert snap.rows == 8
+        assert snap.distincts == (8, 3)
+
+    def test_snapshot_is_value_stable(self):
+        # Two reads without writes in between are equal: the ledgers are
+        # read under one lock acquisition, not field by field.
+        relation = _rel([(i, i) for i in range(5)])
+        assert relation.stats_snapshot() == relation.stats_snapshot()
+
+
+# --------------------------------------------------------------------- #
+# deprecated shims
+# --------------------------------------------------------------------- #
+
+
+class TestDeprecatedShims:
+    def test_classify_join_columns_shim_warns_and_delegates(self):
+        from repro.nail.rules import classify_join_columns as shim
+
+        args = (Var("X"), Num(1))
+        with pytest.warns(DeprecationWarning, match="moved to repro.opt"):
+            via_shim = shim(Atom("p"), args, frozenset())
+        direct = classify_join_columns(Atom("p"), args, frozenset())
+        assert isinstance(via_shim, LiteralPlan)
+        assert via_shim == direct
+
+    def test_compile_literal_plan_shim_warns_and_delegates(self):
+        from repro.lang.ast import PredSubgoal
+        from repro.nail.rules import compile_literal_plan as shim
+
+        subgoal = PredSubgoal(pred=Atom("p"), args=(Var("X"), Var("Y")))
+        with pytest.warns(DeprecationWarning, match="moved to repro.opt"):
+            via_shim = shim(subgoal, frozenset({"X"}))
+        assert via_shim == compile_literal_plan(subgoal, frozenset({"X"}))

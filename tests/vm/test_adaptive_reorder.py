@@ -13,12 +13,14 @@ def build(adaptive, big_rows, small_rows, source=JOIN, index=True):
     from repro.storage.database import Database
 
     # Indexing off isolates the join-order effect: otherwise the adaptive
-    # *index* policy largely rescues a bad order on its own.
+    # *index* policy largely rescues a bad order on its own.  Compiling
+    # *before* the facts load keeps the compile-time planner blind to the
+    # cardinalities -- adaptation at run time is then the only fix.
     db = None if index else Database(index_policy=NeverIndexPolicy())
     system = make_system(source, adaptive_reorder=adaptive, db=db)
+    system.compile()
     system.facts("big", big_rows)
     system.facts("small", small_rows)
-    system.compile()
     system.reset_counters()
     return system
 

@@ -271,10 +271,12 @@ class TestAdaptiveVariantRace:
         system = make_system(
             "out(X, Y) := big(X, V) & small(V, Y).", adaptive_reorder=True
         )
-        system.facts("big", [(i, i % 50) for i in range(2000)])
-        system.facts("small", [(3, "hit"), (7, "hit2")])
+        # Compile before the facts load so the compile-time planner can't
+        # already pick the good order -- adaptation must kick in at run time.
         compiled = system.compile()
         (stmt,) = compiled.script
+        system.facts("big", [(i, i % 50) for i in range(2000)])
+        system.facts("small", [(3, "hit"), (7, "hit2")])
 
         start = threading.Barrier(8)
         errors = []
