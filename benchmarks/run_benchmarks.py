@@ -492,6 +492,157 @@ def main_ordering(args) -> int:
     return 0
 
 
+def run_subscriptions(quick: bool, check: bool):
+    """The continuous-query workload: N subscribers over a mixed stream.
+
+    One system maintains the transitive closure of a chain while a mixed
+    insert/delete/rollback stream commits against it.  N subscribers watch
+    ``path/2`` through the push pipeline (callback mode, so delivery time
+    is measured on the committing thread); the baseline runs the same
+    stream with N pollers that re-read the whole extension after every
+    commit and diff it against their previous copy -- the poll-and-requery
+    pattern push replaces.  Under ``--check`` one subscriber's replayed
+    replica is compared against a from-scratch recomputation at the end.
+    """
+    import random as random_mod
+    import statistics
+
+    from repro.core.system import GlueNailSystem
+    from repro.terms.term import mk
+
+    chain = 40 if quick else 80
+    steps = 60 if quick else 200
+    subscribers = 4 if quick else 8
+    rng = random_mod.Random(1991)
+
+    def script(on_commit=None, subscriber_count=0, replica=None):
+        """Run the mixed stream once; returns (system, wall seconds,
+        per-commit latencies)."""
+        system = GlueNailSystem()
+        system.load(PATH_RULES)
+        system.facts("edge", [(n, n + 1) for n in range(chain)])
+        system.query("path(X, Y)?")  # warm the engine
+        latencies = []
+        for _ in range(subscriber_count):
+            def deliver(note, fired=latencies):
+                fired.append(time.perf_counter())
+                if replica is not None and note.predicate == "path/2":
+                    if note.op == "insert":
+                        replica.update(note.rows)
+                    elif note.op == "delete":
+                        replica.difference_update(note.rows)
+            system.subscribe("path", 2, callback=deliver)
+        if replica is not None:
+            replica.update(system.query("path(X, Y)?"))
+        relation = system.db.relation(mk("edge"), 2)
+        live = [(n, n + 1) for n in range(chain)]
+        stream = rng.getstate()
+        t_start = time.perf_counter()
+        per_commit = []
+        for step in range(steps):
+            action = rng.random()
+            t0 = time.perf_counter()
+            if action < 0.55 or len(live) < 2:
+                row = (rng.randrange(chain), rng.randrange(chain))
+                system.facts("edge", [row])
+                live.append(row)
+            elif action < 0.85:
+                row = live.pop(rng.randrange(len(live)))
+                relation.delete(tuple(mk(v) for v in row))
+            else:
+                system.begin()
+                system.facts("edge", [(chain + step, chain + step + 1)])
+                system.rollback()
+            if latencies:
+                per_commit.append(latencies[-1] - t0)
+            if on_commit is not None:
+                on_commit(system)
+        wall = time.perf_counter() - t_start
+        rng.setstate(stream)  # both runs see the identical stream
+        return system, wall, per_commit
+
+    # Push mode: N callback subscribers, one (under --check) replaying.
+    replica = set() if check else None
+    push_system, push_wall, latencies = script(
+        subscriber_count=subscribers, replica=replica
+    )
+    pushed = push_system.db.counters.notifications_pushed
+
+    divergences = []
+    if check:
+        recomputed = set(push_system.query("path(X, Y)?"))
+        if replica != recomputed:
+            missing = len(recomputed - replica)
+            extra = len(replica - recomputed)
+            divergences.append(f"replay (missing {missing}, extra {extra})")
+
+    # Poll baseline: N pollers re-read and diff the extension per commit.
+    poll_copies = [set() for _ in range(subscribers)]
+
+    def poll(system):
+        # Each poller independently re-reads the whole extension and
+        # diffs it against its previous copy -- the pattern push replaces.
+        for copy in poll_copies:
+            current = set(system.query("path(X, Y)?"))
+            copy.symmetric_difference(current)  # the diff a poller computes
+            copy.clear()
+            copy.update(current)
+
+    _, poll_wall, _ = script(on_commit=poll)
+
+    stats = {
+        "chain": chain,
+        "steps": steps,
+        "subscribers": subscribers,
+        "rows": len(push_system.query("path(X, Y)?")),
+        "notifications_pushed": pushed,
+        "push_wall_s": round(push_wall, 5),
+        "poll_wall_s": round(poll_wall, 5),
+        "speedup_vs_poll": round(poll_wall / max(push_wall, 1e-9), 1),
+        "latency_median_us": round(
+            statistics.median(latencies) * 1e6, 1
+        ) if latencies else None,
+        "notifications_per_s": round(pushed / max(push_wall, 1e-9)),
+        "resyncs": push_system.subscriptions.resyncs,
+    }
+    return stats, divergences
+
+
+def main_subscriptions(args) -> int:
+    stats, divergences = run_subscriptions(args.quick, args.check)
+    name = f"subs-{stats['subscribers']}x-chain-{stats['chain']}"
+    print(
+        f"{name:28s} rows={stats['rows']:<7d} pushed={stats['notifications_pushed']:<7d} "
+        f"push={stats['push_wall_s']:<8.5f} poll={stats['poll_wall_s']:<8.5f} "
+        f"speedup={stats['speedup_vs_poll']}x "
+        f"latency={stats['latency_median_us']}us"
+        + ("  check=" + ("DIVERGED" if divergences else "OK") if args.check else "")
+    )
+    out_path = Path(
+        args.out
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_subscriptions.json"
+    )
+    doc = {"workloads": {}, "history": []}
+    if out_path.exists():
+        try:
+            doc = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["quick"] = args.quick
+    doc["workloads"] = {name: stats}
+    if args.label:
+        doc.setdefault("history", []).append(
+            {"label": args.label, "quick": args.quick, "workloads": {name: stats}}
+        )
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    if divergences:
+        print(f"DIVERGENCE push replay vs recomputation: {', '.join(divergences)}")
+        return 1
+    return 0
+
+
 def workloads(quick: bool):
     if quick:
         return {
@@ -549,12 +700,20 @@ def main(argv=None) -> int:
         "cross-validates the two modes",
     )
     parser.add_argument(
+        "--subscriptions",
+        action="store_true",
+        help="run the continuous-query workload instead (N push subscribers "
+        "over a mixed insert/delete stream vs the poll-and-requery "
+        "baseline); writes BENCH_subscriptions.json by default; --check "
+        "verifies a subscriber's replayed deltas against recomputation",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         help="output JSON path (history in an existing file is preserved); "
         "default BENCH_joins.json, BENCH_incremental.json with --mixed, "
-        "BENCH_glue_joins.json with --glue, or BENCH_ordering.json with "
-        "--ordering",
+        "BENCH_glue_joins.json with --glue, BENCH_ordering.json with "
+        "--ordering, or BENCH_subscriptions.json with --subscriptions",
     )
     parser.add_argument(
         "--label", default=None, help="history label for this run (default: none, "
@@ -568,6 +727,8 @@ def main(argv=None) -> int:
         return main_glue(args)
     if args.ordering:
         return main_ordering(args)
+    if args.subscriptions:
+        return main_subscriptions(args)
     if args.out is None:
         args.out = str(Path(__file__).resolve().parent.parent / "BENCH_joins.json")
 

@@ -219,6 +219,58 @@ def cmd_connect(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    from repro.server.client import Client, ConnectionClosed, RemoteError
+
+    if "/" not in args.predicate:
+        print("error: predicate must be NAME/ARITY", file=sys.stderr)
+        return 1
+    name, _, arity_text = args.predicate.rpartition("/")
+    try:
+        arity = int(arity_text)
+    except ValueError:
+        print("error: predicate must be NAME/ARITY", file=sys.stderr)
+        return 1
+    source = None
+    if args.program:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        client = Client(host=args.host, port=args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"error: cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        try:
+            sub = client.subscribe(name, arity, source=source,
+                                   snapshot=args.snapshot)
+        except RemoteError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"watching {sub.predicate} ({sub.kind}) -- ^C to stop",
+              file=sys.stderr)
+        if sub.snapshot is not None:
+            for row in sub.snapshot:
+                print(f"= {sub.predicate} {row}")
+        for note in sub:
+            if note.op == "resync":
+                print(f"! {note.predicate} resync (dropped {note.dropped})")
+                continue
+            sign = "+" if note.op == "insert" else "-"
+            for row in note.rows:
+                print(f"{sign} {note.predicate} {row}  [txn {note.txn}]")
+            sys.stdout.flush()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    except ConnectionClosed:
+        print("server closed the connection", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="Glue-Nail source file")
     parser.add_argument("--edb", help="EDB dump to load before running")
@@ -317,6 +369,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_connect.add_argument("--timeout", type=float, default=None,
                            help="socket timeout in seconds (default: none)")
     p_connect.set_defaults(fn=cmd_connect)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a predicate's committed deltas from a server"
+    )
+    p_watch.add_argument("predicate", help="NAME/ARITY, e.g. path/2")
+    p_watch.add_argument("--program", help="rules to load server-side first "
+                                           "(needed for new IDB predicates)")
+    p_watch.add_argument("--snapshot", action="store_true",
+                         help="print the current extension before the deltas")
+    p_watch.add_argument("--host", default="127.0.0.1")
+    p_watch.add_argument("--port", type=int, default=7411)
+    p_watch.add_argument("--timeout", type=float, default=None,
+                         help="socket timeout in seconds (default: none)")
+    p_watch.set_defaults(fn=cmd_watch)
 
     args = parser.parse_args(argv)
     try:

@@ -48,6 +48,8 @@ Commands:
   .save FILE / .load FILE   EDB persistence
   .begin / .commit / .rollback   transaction boundaries
   .checkpoint          compact the durable store's WAL (with --db)
+  .watch NAME/ARITY    print committed deltas of a predicate (.watch lists)
+  .unwatch ID          stop a watch
   .quit                leave
 """
 
@@ -63,6 +65,7 @@ class Repl:
         self.out = out if out is not None else sys.stdout
         self.system = system if system is not None else GlueNailSystem(out=self.out)
         self._pending: List[str] = []
+        self._watches: dict = {}  # sub id -> Subscription (.watch command)
         self.done = False
 
     # ------------------------------------------------------------------ #
@@ -222,6 +225,8 @@ class Repl:
             ".commit": self._cmd_commit,
             ".rollback": self._cmd_rollback,
             ".checkpoint": self._cmd_checkpoint,
+            ".watch": self._cmd_watch,
+            ".unwatch": self._cmd_unwatch,
         }
         handler = handlers.get(command)
         if handler is None:
@@ -352,6 +357,56 @@ class Repl:
     def _cmd_checkpoint(self, _arg: str) -> None:
         count = self.system.checkpoint()
         self._print(f"checkpointed {count} fact(s)")
+
+    def _cmd_watch(self, arg: str) -> None:
+        from repro.lang.parser import parse_term
+
+        if not arg:
+            if not self._watches:
+                self._print("(no watches)")
+            for sub_id, sub in sorted(self._watches.items()):
+                self._print(f"  [{sub_id}] {sub.predicate}")
+            return
+        if "/" not in arg:
+            self._print("usage: .watch name/arity")
+            return
+        name_text, _, arity_text = arg.rpartition("/")
+        try:
+            name = parse_term(name_text.strip())
+            arity = int(arity_text)
+        except (ParseError, LexError, ValueError):
+            self._print("usage: .watch name/arity")
+            return
+
+        def show(note) -> None:
+            if note.op == "resync":
+                self._print(
+                    f"watch[{note.sub_id}] {note.predicate} resync"
+                    f" (dropped {note.dropped})"
+                )
+                return
+            sign = "+" if note.op == "insert" else "-"
+            for row in note.rows:
+                self._print(
+                    f"watch[{note.sub_id}] {sign}{note.predicate} {tuple_to_str(row)}"
+                )
+
+        sub = self.system.subscribe(name, arity, callback=show)
+        self._watches[sub.id] = sub
+        self._print(f"watching {sub.predicate} [{sub.id}]")
+
+    def _cmd_unwatch(self, arg: str) -> None:
+        try:
+            sub_id = int(arg)
+        except ValueError:
+            self._print("usage: .unwatch ID")
+            return
+        sub = self._watches.pop(sub_id, None)
+        if sub is None:
+            self._print(f"no watch {sub_id}")
+            return
+        self.system.subscriptions.unsubscribe(sub_id)
+        self._print(f"unwatched {sub.predicate} [{sub_id}]")
 
 
 def main() -> int:  # pragma: no cover - interactive entry point

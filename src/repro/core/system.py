@@ -97,6 +97,7 @@ class GlueNailSystem:
 
         self._collector: Optional[CollectingSink] = None
         self._collector_local = False
+        self._subscriptions = None  # lazy SubscriptionManager (repro.sub)
         self.last_result: Optional[QueryResult] = None
         # Durable store / transaction manager (see repro.txn); attached by
         # GlueNailSystem.open() or enable_transactions().
@@ -220,6 +221,14 @@ class GlueNailSystem:
         self._ctx = ctx
         self._engine = engine
         self._machine = Machine(compiled, ctx)
+        # Register the program's ``watch`` declarations as active rules;
+        # a recompile replaces the previous set (and clears it when the
+        # new program has none).
+        watches = getattr(compiled, "watches", ())
+        if watches:
+            self.subscriptions.set_watch_rules(watches)
+        elif self._subscriptions is not None and self._subscriptions._watch_sub_ids:
+            self._subscriptions.set_watch_rules(())
         return compiled
 
     @property
@@ -315,6 +324,31 @@ class GlueNailSystem:
     def transaction(self):
         """``with system.transaction():`` -- commit on success, else roll back."""
         return self.enable_transactions().transaction()
+
+    # ------------------------------------------------------------------ #
+    # subscriptions (see repro.sub and docs/SUBSCRIPTIONS.md)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def subscriptions(self):
+        """The push-subscription manager (created on first use).
+
+        Creating it enables transactions: delivery is transaction-
+        consistent, so committed batches are the unit of notification.
+        """
+        if self._subscriptions is None:
+            from repro.sub.manager import SubscriptionManager
+
+            self._subscriptions = SubscriptionManager(self)
+        return self._subscriptions
+
+    def subscribe(self, name, arity: int, **kwargs):
+        """Subscribe to committed deltas of ``name/arity``.
+
+        Convenience for ``system.subscriptions.subscribe(...)``; see
+        :meth:`repro.sub.manager.SubscriptionManager.subscribe`.
+        """
+        return self.subscriptions.subscribe(name, arity, **kwargs)
 
     def checkpoint(self) -> int:
         """Compact the durable store's WAL into its checkpoint dump."""

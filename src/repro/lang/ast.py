@@ -231,6 +231,27 @@ class EdbDecl:
 
 
 @dataclass(frozen=True, slots=True)
+class WatchDecl:
+    """``watch path(X, Y) call handler;`` -- a Glue-level active rule.
+
+    Runs procedure ``proc`` on every committed delta of ``pred``/len(args)
+    with ``(op, row...)`` input tuples (``op`` is the atom ``insert`` or
+    ``delete``).  Ground head arguments double as a row filter; variables
+    are wildcards.  ``module`` qualifies the handler (``call m.p``).
+    """
+
+    pred: Term
+    args: Tuple[Term, ...]
+    proc: str
+    module: Optional[str] = None
+    line: int = field(default=0, compare=False)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+@dataclass(frozen=True, slots=True)
 class ImportDecl:
     module: str
     sigs: Tuple[PredSig, ...]

@@ -34,6 +34,7 @@ from repro.lang.ast import (
     UnchangedCond,
     UnionSubgoal,
     UpdateSubgoal,
+    WatchDecl,
 )
 from repro.lang.lexer import tokenize
 from repro.lang.tokens import AGGREGATE_OPS, BUILTIN_FUNCTIONS, Token, TokenKind
@@ -176,6 +177,10 @@ class _Parser:
                 return self._parse_proc()
             if token.value in ("repeat",):
                 return self._parse_repeat()
+            if token.value == "watch" and not self.peek().is_punct("("):
+                # ``watch(`` would be a predicate named watch; the keyword
+                # is contextual, like ``end``.
+                return self._parse_watch()
         return self._parse_rule_or_statement()
 
     def _parse_export(self) -> ExportDecl:
@@ -195,6 +200,29 @@ class _Parser:
             sigs.append(self._parse_pred_sig())
         self.expect_punct(";")
         return ImportDecl(module=module, sigs=tuple(sigs))
+
+    def _parse_watch(self) -> WatchDecl:
+        """``watch pred(Args...) call [module.]proc;`` -- an active rule."""
+        start = self.current
+        self.expect_name("watch")
+        head = self._parse_head()
+        if head.bound is not None:
+            raise ParseError("watch heads cannot use ':'", start)
+        self.expect_name("call")
+        module: Optional[str] = None
+        name = self.expect_name()
+        if self.current.is_punct("."):
+            self.advance()
+            module = name
+            name = self.expect_name()
+        self.expect_punct(";")
+        return WatchDecl(
+            pred=head.pred,
+            args=head.args,
+            proc=name,
+            module=module,
+            line=start.line,
+        )
 
     def _parse_edb(self) -> List[EdbDecl]:
         """``edb a(X, Y), b(Z);`` -- returns a list; the caller flattens."""

@@ -31,6 +31,7 @@ from repro.lang.ast import (
     UnchangedCond,
     UnionSubgoal,
     UpdateSubgoal,
+    WatchDecl,
 )
 from repro.terms.printer import term_to_str
 from repro.terms.term import Term, Var
@@ -177,6 +178,10 @@ def pretty_item(item, indent: int = 0) -> str:
         return pretty_rule(item, indent)
     if isinstance(item, (AssignStmt, RepeatStmt)):
         return pretty_statement(item, indent)
+    if isinstance(item, WatchDecl):
+        args = ", ".join(term_to_str(a) for a in item.args)
+        handler = f"{item.module}.{item.proc}" if item.module else item.proc
+        return f"{pad}watch {term_to_str(item.pred)}({args}) call {handler};"
     raise TypeError(f"not a module item: {item!r}")
 
 

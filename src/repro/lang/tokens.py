@@ -64,6 +64,7 @@ KEYWORDS = frozenset(
         "repeat",
         "until",
         "end",
+        "watch",
     }
 )
 

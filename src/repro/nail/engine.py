@@ -119,6 +119,21 @@ class NailEngine:
         self._global_seen: Optional[Tuple[int, int]] = None
         # (name, arity, signature) -> (answer Relation, stratum epoch)
         self._demand_cache: Dict[tuple, Tuple[Relation, int]] = {}
+        # Delta listeners (see repro.sub): told about exact per-predicate
+        # repair deltas (``on_idb_delta(key, rows)``) and about strata that
+        # were invalidated instead of repaired (``on_idb_rebuild(skels)``)
+        # so they can fall back to snapshot diffing or emit a resync.
+        self.delta_listeners: List[object] = []
+
+    def add_delta_listener(self, listener) -> None:
+        """Register for exact repair deltas and rebuild (precision-loss)
+        events; see :mod:`repro.sub`."""
+        if listener not in self.delta_listeners:
+            self.delta_listeners.append(listener)
+
+    def remove_delta_listener(self, listener) -> None:
+        if listener in self.delta_listeners:
+            self.delta_listeners.remove(listener)
 
     # ------------------------------------------------------------------ #
     # public interface
@@ -339,6 +354,17 @@ class NailEngine:
                 else:
                     net = relation.changes_since(old[1])
                 if net is None:
+                    # The bounded change log overflowed (or the relation was
+                    # redeclared): exact deltas are gone, dependents must be
+                    # rebuilt.  Surface the precision loss instead of losing
+                    # it silently -- subscribers diff snapshots or resync.
+                    self.db.counters.idb_resyncs += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "idb_resync",
+                            f"{key[0]}/{key[1]}",
+                            reason="changelog_overflow",
+                        )
                     rebuild_skels.add(skeleton)
                     continue
                 inserted, deleted = net
@@ -354,6 +380,11 @@ class NailEngine:
             for seen_key, _old_fp in old_seen.items():
                 if seen_key not in new_seen:
                     _tag, key = seen_key
+                    self.db.counters.idb_resyncs += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "idb_resync", f"{key[0]}/{key[1]}", reason="dropped"
+                        )
                     rebuild_skels.add(pred_skeleton(key[0], key[1]))
                     changed_versions[f"{key[0]}/{key[1]}"] = -1
         self._edb_seen = new_seen
@@ -417,6 +448,8 @@ class NailEngine:
             if not repair:
                 counters.idb_invalidations += 1
                 self._invalidate_stratum(stratum)
+                for listener in self.delta_listeners:
+                    listener.on_idb_rebuild(stratum.skeletons)
                 rebuild_skels = rebuild_skels | stratum.skeletons
                 continue
             # EDB facts inserted under this stratum's own predicates merge
@@ -459,6 +492,8 @@ class NailEngine:
             for key, rows in new_rows.items():
                 if rows:
                     inserts[key] = rows
+                    for listener in self.delta_listeners:
+                        listener.on_idb_delta(key, rows)
 
     def _invalidate_stratum(self, stratum: Stratum) -> None:
         """Clear the stratum's derived relations (preserving the Relation

@@ -9,13 +9,23 @@ updates serialize (:mod:`repro.server.rwlock`), the wire protocol
 are the CLI entry points.
 """
 
-from repro.server.client import Client, RemoteError, RemoteResult
+from repro.server.client import (
+    Client,
+    ClientNotification,
+    ClientSubscription,
+    ConnectionClosed,
+    RemoteError,
+    RemoteResult,
+)
 from repro.server.protocol import ProtocolError, decode, encode
 from repro.server.rwlock import RWLock
 from repro.server.server import DEFAULT_PORT, GlueNailServer, Session
 
 __all__ = [
     "Client",
+    "ClientNotification",
+    "ClientSubscription",
+    "ConnectionClosed",
     "DEFAULT_PORT",
     "GlueNailServer",
     "ProtocolError",

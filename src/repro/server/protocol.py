@@ -85,6 +85,21 @@ def stats_payload(stats: Optional[QueryStats]) -> Optional[dict]:
     }
 
 
+def notification_frame(note) -> dict:
+    """A pushed subscription notification as a wire frame.
+
+    Notification frames are distinguished from responses by the
+    ``"event"`` key (responses carry ``"ok"`` instead); rows travel in the
+    JSON lowering of :func:`rows_to_python`.  ``seq`` is monotone per
+    subscription; a gap (or an explicit ``resync`` op) tells the consumer
+    to re-read the predicate before trusting further deltas.
+    """
+    payload = note.payload()
+    payload["event"] = "notification"
+    payload["rows"] = rows_to_python(note.rows)
+    return payload
+
+
 def rows_payload(result) -> dict:
     """Rows + metadata of a QueryResult (or plain row list)."""
     payload = {

@@ -34,11 +34,13 @@ from repro.analysis.scope import pred_skeleton
 from repro.core.system import GlueNailSystem
 from repro.errors import GlueNailError
 from repro.lang.parser import parse_query
+from repro.core.query import rows_to_python
 from repro.server.protocol import (
     ProtocolError,
     decode,
     encode,
     error_response,
+    notification_frame,
     ok_response,
     rows_payload,
 )
@@ -85,6 +87,14 @@ class Session:
             self.system.load(server.base_program)
         self._repl = None
         self._repl_out: Optional[StringIO] = None
+        # Push subscriptions: this session's registrations on the server's
+        # SubscriptionManager, the transport the pusher writes frames to,
+        # and the pusher thread itself (started on first subscribe).
+        self._subs: dict = {}
+        self._wfile = None
+        self._write_lock = threading.Lock()
+        self._push_event = threading.Event()
+        self._pusher: Optional[threading.Thread] = None
         # Tag this connection thread's trace events with the session name.
         server.db.tracer.set_session(self.name)
 
@@ -224,6 +234,7 @@ class Session:
                 payload["idb_cache"] = self.system.idb_cache_info()
         if self.server.store is not None:
             payload["wal_commits"] = self.server.store.wal.commits
+        payload["subscriptions"] = self.server.subscriptions.stats()
         return payload
 
     def op_trace(self, request: dict) -> dict:
@@ -268,6 +279,85 @@ class Session:
         with self._locked(True):
             count = self.system.checkpoint()
         return {"checkpointed": count}
+
+    # -------------------------------------------------------------- #
+    # subscriptions: push framed notifications over this connection
+    # -------------------------------------------------------------- #
+
+    def op_subscribe(self, request: dict) -> dict:
+        name = request.get("name", "")
+        arity = int(request.get("arity", 0))
+        pattern = request.get("pattern")
+        capacity = int(request.get("capacity", 1024))
+        snapshot = bool(request.get("snapshot"))
+        source = request.get("source")
+        # Under the write lock: registration must not interleave with a
+        # commit flush, and `source` mutates the shared subscription
+        # system's program (IDB watches evaluate there, not on this
+        # session's private rule set).
+        with self._locked(True):
+            if source:
+                self.server.sub_system.load(source)
+                self.server.sub_system.compile()
+            sub = self.server.subscriptions.subscribe(
+                name,
+                arity,
+                pattern=pattern,
+                capacity=capacity,
+                owner=self,
+                snapshot=snapshot,
+            )
+            self._subs[sub.id] = sub
+            sub.notify_hook = self._push_event.set
+        self._ensure_pusher()
+        fields = {"sub": sub.id, "predicate": sub.predicate, "kind": sub.kind}
+        if snapshot:
+            fields["snapshot"] = rows_to_python(sub.snapshot_rows or [])
+        return fields
+
+    def op_unsubscribe(self, request: dict) -> dict:
+        sub_id = int(request.get("sub", 0))
+        sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            raise GlueNailError(f"no subscription {sub_id} in this session")
+        self.server.subscriptions.unsubscribe(sub_id)
+        return {"unsubscribed": sub_id}
+
+    # -------------------------------------------------------------- #
+    # the push path: one pusher thread per session with subscriptions
+    # -------------------------------------------------------------- #
+
+    def attach_transport(self, wfile) -> None:
+        self._wfile = wfile
+
+    def send_response(self, response: dict) -> None:
+        """Write one frame; serialized against the pusher thread so
+        notification and response lines never interleave mid-frame."""
+        data = (encode(response) + "\n").encode("utf-8")
+        with self._write_lock:
+            self._wfile.write(data)
+            self._wfile.flush()
+
+    def _ensure_pusher(self) -> None:
+        if self._pusher is None and self._wfile is not None:
+            self._pusher = threading.Thread(
+                target=self._push_loop, name=f"{self.name}-pusher", daemon=True
+            )
+            self._pusher.start()
+
+    def _push_loop(self) -> None:
+        # Commits wake us via notify_hook; the timeout is only a backstop
+        # so teardown (closed=True) is noticed even without traffic.
+        while not self.closed:
+            self._push_event.wait(timeout=0.2)
+            self._push_event.clear()
+            for sub in list(self._subs.values()):
+                for note in sub.drain():
+                    try:
+                        self.send_response(notification_frame(note))
+                    except (ConnectionError, OSError, ValueError):
+                        self.closed = True
+                        return
 
     # -------------------------------------------------------------- #
     # transactions: the session keeps the write lock for their duration
@@ -341,7 +431,8 @@ class Session:
     # -------------------------------------------------------------- #
 
     def release(self) -> None:
-        """Connection teardown: abort any open transaction, free the lock."""
+        """Connection teardown: abort any open transaction, free the lock,
+        and remove this session's subscriptions (no leaked queues)."""
         if self._holds_write:
             try:
                 if self.system.txn is not None and self.system.txn.in_transaction:
@@ -349,15 +440,20 @@ class Session:
             finally:
                 self._holds_write = False
                 self.server.lock.release_write()
+        if self._subs:
+            self.server.subscriptions.unsubscribe_owner(self)
+            self._subs.clear()
         self.system.disable_tracing()
         self.server.db.tracer.set_session(None)
         self.closed = True
+        self._push_event.set()  # wake the pusher so it can exit
 
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self):  # pragma: no cover - exercised via live-server tests
         server: GlueNailServer = self.server.core
         session = server._new_session()
+        session.attach_transport(self.wfile)
         try:
             while not session.closed:
                 raw = self.rfile.readline()
@@ -372,8 +468,7 @@ class _Handler(socketserver.StreamRequestHandler):
                     response = error_response(str(exc), kind="protocol")
                 else:
                     response = session.dispatch(request)
-                self.wfile.write((encode(response) + "\n").encode("utf-8"))
-                self.wfile.flush()
+                session.send_response(response)
         except (ConnectionError, BrokenPipeError, OSError):
             pass
         finally:
@@ -418,6 +513,21 @@ class GlueNailServer:
             self.db.attach_journal(self.txn)
         self.lock = RWLock()
         self.base_program = program or ""
+        # One shared system hosts the subscriptions: IDB watches evaluate
+        # on it (sessions' private rule sets never leak into each other),
+        # and its lazy ``subscriptions`` property is the same manager a
+        # base-program ``watch`` declaration registers on -- one manager,
+        # never two.
+        self.sub_system = GlueNailSystem(db=self.db)
+        self.sub_system.store = self.store
+        self.sub_system._txn = self.txn
+        if self.base_program:
+            self.sub_system.load(self.base_program)
+            try:
+                self.sub_system.compile()  # activates `watch` declarations
+            except GlueNailError:
+                pass  # sessions surface program errors on first use
+        self.subscriptions = self.sub_system.subscriptions
         self.sessions_started = 0
         self._session_lock = threading.Lock()
         self._session_ids = itertools.count(1)

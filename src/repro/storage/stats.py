@@ -43,6 +43,14 @@ class CostCounters:
     idb_delta_repairs: int = 0
     idb_delta_rounds: int = 0
     idb_invalidations: int = 0
+    # Delta-precision losses: an EDB change log overflowed (or the
+    # relation was dropped) so exact per-row deltas were unavailable and
+    # dependent strata had to be rebuilt from scratch.  Subscribers over
+    # those predicates fall back to snapshot diffing or a resync event.
+    idb_resyncs: int = 0
+    # Push-based subscriptions (see repro.sub): notifications delivered to
+    # subscriber sinks/queues, including resync markers.
+    notifications_pushed: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

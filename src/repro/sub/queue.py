@@ -1,0 +1,109 @@
+"""Delivery primitives for push-based subscriptions.
+
+A :class:`Notification` is one framed unit of change for one
+subscription: the predicate, the operation (``insert``/``delete``/
+``resync``), the affected rows (as Term tuples), the id of the committed
+transaction that produced them, and a per-subscription monotone sequence
+number.
+
+A :class:`DeliveryQueue` is the bounded mailbox between the committing
+writer and a (possibly slow) consumer.  The writer never blocks: when the
+queue is full, everything buffered is dropped and replaced by a single
+``resync`` marker telling the consumer to re-read the predicate's current
+extension before trusting further deltas.  Sequence numbers keep
+advancing across the drop, so a consumer can detect the gap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.terms.term import Term
+
+Row = Tuple[Term, ...]
+
+#: Notification operations.
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+OP_RESYNC = "resync"
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One unit of pushed change for one subscription."""
+
+    sub_id: int
+    seq: int
+    predicate: str  # "name/arity"
+    op: str  # OP_INSERT | OP_DELETE | OP_RESYNC
+    rows: Tuple[Row, ...] = ()
+    txn_id: int = 0
+    #: For resync markers produced by queue overflow: how many buffered
+    #: notifications were discarded to make room.
+    dropped: int = 0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def payload(self) -> dict:
+        """The JSON-able wire shape (rows still as Terms; the server maps
+        them through :func:`repro.server.protocol.rows_to_python`)."""
+        return {
+            "sub": self.sub_id,
+            "seq": self.seq,
+            "predicate": self.predicate,
+            "op": self.op,
+            "txn": self.txn_id,
+            "dropped": self.dropped,
+        }
+
+
+class DeliveryQueue:
+    """Bounded, thread-safe notification mailbox with drop-with-resync.
+
+    ``push`` is what the committing writer calls; it never blocks.  On
+    overflow the whole backlog is replaced with one resync marker built by
+    the ``make_resync(dropped_count)`` callback (the owning subscription
+    supplies it so the marker gets the next sequence number).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = max(1, int(capacity))
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self.dropped = 0  # notifications discarded by overflow, lifetime
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def push(
+        self,
+        item: Notification,
+        make_resync: Callable[[int], Notification],
+    ) -> bool:
+        """Enqueue ``item``; on overflow swap the backlog for a resync
+        marker.  Returns False when the item was dropped."""
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                lost = len(self._items) + 1  # the backlog plus this item
+                self._items.clear()
+                self.dropped += lost
+                self._items.append(make_resync(lost))
+                return False
+            self._items.append(item)
+            return True
+
+    def pop(self) -> Optional[Notification]:
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def drain(self) -> List[Notification]:
+        """Take everything currently buffered, oldest first."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            return items

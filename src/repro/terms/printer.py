@@ -21,7 +21,7 @@ _RESERVED_NAMES = frozenset(
     {
         # keywords
         "module", "export", "import", "from", "edb", "proc", "procedure",
-        "rels", "repeat", "until", "end",
+        "rels", "repeat", "until", "end", "watch",
         # aggregate operators
         "min", "max", "mean", "sum", "product", "arbitrary", "std_dev", "count",
         # builtin functions and the infix operator name

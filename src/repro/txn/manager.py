@@ -61,6 +61,45 @@ class TransactionManager:
         self._suspended = False
         self.commits = 0
         self.rollbacks = 0
+        # Commit observers (subscription managers).  Each observer gets
+        # ``on_commit(txn_id, ops)`` with the committed batch -- after the
+        # transaction state is torn down, so an observer may itself mutate
+        # the database (active rules) without tripping over the open txn.
+        # Rolled-back transactions notify nothing.
+        self._observers: List[object] = []
+        self._txn_lock = threading.Lock()
+        self.last_txn_id = 0
+
+    # ------------------------------------------------------------------ #
+    # commit observers
+    # ------------------------------------------------------------------ #
+
+    def add_observer(self, observer) -> None:
+        """Register ``observer.on_commit(txn_id, ops)`` for committed batches."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify(self, ops: List[Op]) -> None:
+        """Deliver a committed batch to observers with a fresh monotone id.
+
+        Catalog ``declare`` ops carry no subscriber-visible data (they can
+        arrive from reader threads during compile) and are filtered out; a
+        batch that nets to nothing relevant is not delivered at all.
+        """
+        if not self._observers:
+            return
+        data_ops = [op for op in ops if op[0] in ("insert", "delete", "drop")]
+        if not data_ops:
+            return
+        with self._txn_lock:
+            self.last_txn_id += 1
+            txn_id = self.last_txn_id
+        for observer in list(self._observers):
+            observer.on_commit(txn_id, data_ops)
 
     def _owns_open_txn(self) -> bool:
         """True when the calling thread's mutations belong to the open txn."""
@@ -100,9 +139,11 @@ class TransactionManager:
     def _emit(self, op: Op) -> None:
         if self._owns_open_txn():
             self._redo.append(op)
-        elif self.wal is not None:
+        else:
             # Autocommit: each standalone mutation is its own batch.
-            self.wal.append_commit([op])
+            if self.wal is not None:
+                self.wal.append_commit([op])
+            self._notify([op])
 
     # ------------------------------------------------------------------ #
     # transaction boundaries
@@ -126,11 +167,14 @@ class TransactionManager:
             raise TransactionError("no transaction is active")
         if self.wal is not None and self._redo:
             self.wal.append_commit(self._redo)
+        batch = self._redo
         self._active = False
         self._owner = None
         self._undo = []
         self._redo = []
         self.commits += 1
+        if batch:
+            self._notify(batch)
 
     def rollback(self) -> None:
         """Undo the open transaction's mutations, newest first."""

@@ -44,6 +44,7 @@ from repro.lang.ast import (
     UnchangedCond,
     UnionSubgoal,
     UpdateSubgoal,
+    WatchDecl,
 )
 from repro.opt import optimize as plan_body
 from repro.opt.literal import classify_join_columns
@@ -244,6 +245,8 @@ class ProgramCompiler:
                     compiled.rules.append(item)
                 elif isinstance(item, EdbDecl):
                     compiled.edb_decls.append((item.name, item.arity))
+                elif isinstance(item, WatchDecl):
+                    compiled.watches.append(item)
                 elif isinstance(item, (AssignStmt, RepeatStmt)):
                     raise CompileError(
                         f"module {module.name}: statements must live inside procedures"
@@ -258,6 +261,8 @@ class ProgramCompiler:
                 compiled.rules.append(item)
             elif isinstance(item, EdbDecl):
                 compiled.edb_decls.append((item.name, item.arity))
+            elif isinstance(item, WatchDecl):
+                compiled.watches.append(item)
             elif isinstance(item, AssignStmt):
                 compiled.script.append(self._compile_stmt(item, global_scope, None))
             elif isinstance(item, RepeatStmt):

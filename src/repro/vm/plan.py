@@ -830,6 +830,9 @@ class CompiledProgram:
     rules: List[RuleDecl] = field(default_factory=list)
     script: List[object] = field(default_factory=list)  # loose compiled stmts
     edb_decls: List[Tuple[str, int]] = field(default_factory=list)
+    #: ``watch`` declarations (active rules); the system facade registers
+    #: them with its SubscriptionManager after compilation.
+    watches: List[object] = field(default_factory=list)
     statement_count: int = 0
     compiler: object = None  # the ProgramCompiler, for run-time variants
 

@@ -1,0 +1,77 @@
+"""Unit tests for the bounded delivery queue and the notification frame."""
+
+from repro.sub.queue import (
+    OP_INSERT,
+    OP_RESYNC,
+    DeliveryQueue,
+    Notification,
+)
+
+
+def note(seq: int, op: str = OP_INSERT, dropped: int = 0) -> Notification:
+    return Notification(
+        sub_id=1, seq=seq, predicate="edge/2", op=op,
+        rows=(), txn_id=7, dropped=dropped,
+    )
+
+
+class TestNotification:
+    def test_payload_fields(self):
+        payload = note(3).payload()
+        assert payload["sub"] == 1
+        assert payload["seq"] == 3
+        assert payload["predicate"] == "edge/2"
+        assert payload["op"] == OP_INSERT
+        assert payload["txn"] == 7
+        assert payload["dropped"] == 0
+
+    def test_rows_are_immutable_tuples(self):
+        n = Notification(sub_id=1, seq=1, predicate="p/1", op=OP_INSERT,
+                         rows=((1,), (2,)), txn_id=1)
+        assert n.rows == ((1,), (2,))
+
+
+class TestDeliveryQueue:
+    def test_fifo_order(self):
+        queue = DeliveryQueue(capacity=8)
+        for seq in range(1, 4):
+            assert queue.push(note(seq), lambda lost: note(99, OP_RESYNC, lost))
+        assert [n.seq for n in queue.drain()] == [1, 2, 3]
+        assert queue.pop() is None
+
+    def test_pop_one_at_a_time(self):
+        queue = DeliveryQueue(capacity=8)
+        queue.push(note(1), lambda lost: note(99, OP_RESYNC, lost))
+        assert queue.pop().seq == 1
+        assert queue.pop() is None
+
+    def test_overflow_drops_backlog_and_leaves_resync(self):
+        queue = DeliveryQueue(capacity=2)
+        make_resync = lambda lost: note(99, OP_RESYNC, dropped=lost)  # noqa: E731
+        assert queue.push(note(1), make_resync)
+        assert queue.push(note(2), make_resync)
+        # The third push overflows: the backlog (2 notes + the new one)
+        # is replaced by a single resync marker.
+        assert not queue.push(note(3), make_resync)
+        remaining = queue.drain()
+        assert len(remaining) == 1
+        assert remaining[0].op == OP_RESYNC
+        assert remaining[0].dropped == 3
+        assert queue.dropped == 3
+
+    def test_recovers_after_overflow(self):
+        queue = DeliveryQueue(capacity=2)
+        make_resync = lambda lost: note(99, OP_RESYNC, dropped=lost)  # noqa: E731
+        for seq in range(1, 5):
+            queue.push(note(seq), make_resync)
+        queue.drain()
+        assert queue.push(note(10), make_resync)
+        assert [n.seq for n in queue.drain()] == [10]
+
+    def test_never_blocks(self):
+        # Push far past capacity: every call returns immediately.
+        queue = DeliveryQueue(capacity=4)
+        make_resync = lambda lost: note(99, OP_RESYNC, dropped=lost)  # noqa: E731
+        for seq in range(100):
+            queue.push(note(seq), make_resync)
+        assert len(queue) <= 4
