@@ -30,6 +30,7 @@ from repro.terms.printer import tuple_to_str
 
 
 def _build_system(args) -> GlueNailSystem:
+    workers = getattr(args, "workers", None)
     options = dict(
         strict=args.strict,
         optimize=not args.no_optimize,
@@ -37,6 +38,8 @@ def _build_system(args) -> GlueNailSystem:
         dedup_on_break=not args.no_dedup,
         join_mode=getattr(args, "join_mode", "hash"),
         order_mode=getattr(args, "order_mode", "cost"),
+        parallel_mode="partition" if workers is not None and workers > 1 else "serial",
+        workers=workers,
     )
     if getattr(args, "db", None):
         system = GlueNailSystem.open(args.db, **options)
@@ -139,10 +142,15 @@ def cmd_repl(args) -> int:
     from repro.core.repl import Repl
     from repro.core.system import GlueNailSystem
 
+    workers = getattr(args, "workers", None)
+    options = dict(
+        parallel_mode="partition" if workers is not None and workers > 1 else "serial",
+        workers=workers,
+    )
     if getattr(args, "db", None):
-        system = GlueNailSystem.open(args.db)
+        system = GlueNailSystem.open(args.db, **options)
     else:
-        system = GlueNailSystem()
+        system = GlueNailSystem(**options)
     if args.program:
         system.load_file(args.program)
     if args.edb:
@@ -166,6 +174,7 @@ def cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         sync=not args.no_sync,
+        workers=args.workers,
     )
     if args.edb:
         from repro.storage.persist import load_database
@@ -295,6 +304,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--order-mode", choices=("cost", "program"), default="cost",
         help="how bodies are ordered: the cost-based planner or program order",
     )
+    parser.add_argument(
+        "--workers", type=int, metavar="N",
+        help="evaluate large joins across N worker threads "
+             "(partition-parallel mode; 1 or unset = serial)",
+    )
     parser.add_argument("--stats", action="store_true", help="print cost counters")
     parser.add_argument(
         "--trace-json",
@@ -350,6 +364,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_repl.add_argument("--edb", help="EDB dump to load first")
     p_repl.add_argument("--db", metavar="DIR",
                         help="durable database directory (recovered on open)")
+    p_repl.add_argument("--workers", type=int, metavar="N",
+                        help="partition-parallel evaluation across N threads")
     p_repl.set_defaults(fn=cmd_repl)
 
     p_serve = sub.add_parser("serve", help="run the concurrent TCP query server")
@@ -361,6 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--port", type=int, default=7411)
     p_serve.add_argument("--no-sync", action="store_true",
                          help="skip fsync on commit (faster, less durable)")
+    p_serve.add_argument("--workers", type=int, metavar="N",
+                        help="partition-parallel evaluation across N threads")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_connect = sub.add_parser("connect", help="REPL against a live server")

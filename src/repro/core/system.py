@@ -62,6 +62,9 @@ class GlueNailSystem:
         adaptive_reorder: bool = False,
         join_mode: str = "hash",
         order_mode: str = "cost",
+        parallel_mode: str = "serial",
+        workers: Optional[int] = None,
+        parallel: Optional[object] = None,
         trace: Union[bool, TraceSink] = False,
     ):
         self.db = db if db is not None else Database()
@@ -87,6 +90,28 @@ class GlueNailSystem:
         if order_mode not in ("cost", "program"):
             raise ValueError(f"unknown order mode {order_mode!r}")
         self.order_mode = order_mode
+        # Partition-parallel evaluation (repro.par): "partition" runs
+        # seminaive joins and Glue statement bodies across a worker pool,
+        # hash-partitioned on the planner's probe keys; "serial" is the
+        # single-threaded baseline with zero parallel machinery attached.
+        if parallel_mode not in ("serial", "partition"):
+            raise ValueError(f"unknown parallel mode {parallel_mode!r}")
+        self.parallel_mode = parallel_mode
+        self.parallel = None
+        if parallel is not None:
+            # An externally owned ParallelContext (the query server shares
+            # one across sessions); adopt it without taking ownership.
+            self.parallel_mode = "partition"
+            self.parallel = parallel
+            self.parallel.adopt(self.db)
+            self._owns_parallel = False
+        elif parallel_mode == "partition":
+            from repro.par import ParallelContext
+
+            self.parallel = ParallelContext(workers=workers, db=self.db)
+            self._owns_parallel = True
+        else:
+            self._owns_parallel = False
 
         self._programs: List[Program] = []
         self._foreign: List[Tuple[ForeignSig, ForeignProc]] = []
@@ -204,6 +229,7 @@ class GlueNailSystem:
             adaptive_reorder=self.adaptive_reorder,
             join_mode=self.join_mode,
             order_mode=self.order_mode,
+            parallel=self.parallel,
         )
         for _, proc in self._foreign:
             ctx.register_foreign(proc)
@@ -213,6 +239,7 @@ class GlueNailSystem:
         engine = NailEngine(
             self.db, compiled.rules, strategy=self.nail_strategy, check_safety=False,
             join_mode=self.join_mode, order_mode=self.order_mode,
+            parallel=self.parallel,
         )
         ctx.nail_engine = engine
         for name, arity in compiled.edb_decls:
@@ -359,10 +386,40 @@ class GlueNailSystem:
         return self.store.checkpoint()
 
     def close(self) -> None:
-        """Release the durable store (if any); safe to call twice."""
+        """Release the durable store and worker pool (if any); idempotent."""
         if self.store is not None:
             self.store.close()
             self.store = None
+        if self.parallel is not None and self._owns_parallel:
+            self.parallel.shutdown()
+
+    def set_workers(self, workers: Optional[int]) -> "GlueNailSystem":
+        """Resize (or enable/disable) the partition-parallel worker pool.
+
+        ``workers`` <= 1 (or None with one core) drops back to serial
+        evaluation; anything larger builds a fresh :class:`ParallelContext`
+        and recompiles so the engine and VM pick it up.  The REPL's
+        ``.workers N`` and the CLI's ``--workers`` land here.
+        """
+        if self.parallel is not None and self._owns_parallel:
+            self.parallel.shutdown()
+        self.parallel = None
+        self._owns_parallel = False
+        if workers is not None and workers <= 1:
+            self.parallel_mode = "serial"
+        else:
+            from repro.par import ParallelContext
+
+            context = ParallelContext(workers=workers, db=self.db)
+            if context.workers > 1:
+                self.parallel = context
+                self._owns_parallel = True
+                self.parallel_mode = "partition"
+            else:
+                context.shutdown()
+                self.parallel_mode = "serial"
+        self._invalidate()
+        return self
 
     # ------------------------------------------------------------------ #
     # tracing
@@ -597,7 +654,7 @@ class GlueNailSystem:
                 answers, _engine = magic_query(
                     self.db, self._compiled.rules, subgoal.pred, subgoal.args,
                     strategy=self.nail_strategy, join_mode=self.join_mode,
-                    order_mode=self.order_mode,
+                    order_mode=self.order_mode, parallel=self.parallel,
                 )
             except MagicTransformError:
                 return self._resolve_query(subgoal)

@@ -167,6 +167,21 @@ class _IterSource:
             self._set = set(self.rows)
         return tuple(row) in self._set
 
+    # Pre-builds for partition-parallel probing (see repro.par): probe()
+    # and contains() build lazily without synchronization, so the
+    # coordinator forces the state before fanning out.
+
+    def ensure_table(self, cols: Tuple[int, ...]) -> None:
+        if cols not in self._tables:
+            table: dict = {}
+            for row in self.rows:
+                table.setdefault(tuple(row[c] for c in cols), []).append(row)
+            self._tables[cols] = table
+
+    def ensure_set(self) -> None:
+        if self._set is None:
+            self._set = set(self.rows)
+
 
 def _as_source(obj):
     """Adapt whatever ``rows_fn`` returned to the join-source protocol."""
@@ -331,6 +346,91 @@ def _antijoin_group(
     return "anti-static"
 
 
+def _run_partition(runner, chunk, source, plan):
+    """One worker's share of a grouped join: a private output list."""
+    out: List[Bindings] = []
+    strategy = runner(chunk, source, plan, out)
+    return out, strategy
+
+
+def _parallel_group(
+    parallel, group, source, plan: LiteralPlan, runner, out, tracer, label
+) -> Optional[str]:
+    """Try to run one homogeneous binding group split across the pool.
+
+    Returns the strategy label on success, or None to fall back to the
+    serial join.  Only per-binding strategies split (probe / probe+match /
+    member / anti-probe / anti-match / scan+match): each worker runs the
+    *same* ``runner`` code over its share of the bindings, so a parallel
+    join performs exactly the probes a serial join performs and the cost
+    counters come out identical.  The group-level strategies (broadcast /
+    anti-static compute one shared fragment set) and HiLog
+    predicate-variable literals stay serial -- see the fallback matrix in
+    docs/PERFORMANCE.md.
+    """
+    if not parallel.active or len(group) < 2 * parallel.min_partition_rows:
+        return None
+    residual = bool(plan.complex_cols) and (plan.complex_has_bound or plan.has_var_keys)
+    if not plan.has_var_keys and not residual:
+        return None  # broadcast / anti-static: group-level work
+    from repro.par import (
+        Partitioner,
+        choose_exchange,
+        prepare_contains_source,
+        prepare_probe_source,
+    )
+
+    anti = runner is _antijoin_group
+    member = anti and not residual and plan.covers_all_columns
+    if member:
+        if not prepare_contains_source(source):
+            return None
+    elif not prepare_probe_source(source, plan.probe_cols):
+        return None
+    decision = choose_exchange(
+        source, () if member else plan.probe_cols, parallel.broadcast_rows
+    )
+    partitioner = Partitioner(parallel.partition_count(len(group)))
+    if decision.strategy == "shuffle":
+        key_cols = plan.key_cols
+        parts = [
+            p
+            for p in partitioner.hash_split(
+                group, lambda b: _probe_key(key_cols, b)
+            )
+            if p
+        ]
+    else:
+        parts = partitioner.chunk_split(group)
+    if len(parts) < 2:
+        return None
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "exchange",
+            label,
+            strategy=decision.strategy,
+            source=len(source),
+            bindings=len(group),
+            partitions=len(parts),
+            est_rows=decision.est_matches,
+        )
+    results = parallel.run_region(
+        [
+            (lambda chunk=chunk: _run_partition(runner, chunk, source, plan))
+            for chunk in parts
+        ],
+        label=label,
+        tracer=tracer,
+        strategy=decision.strategy,
+        partition_rows=[len(p) for p in parts],
+    )
+    strategy = None
+    for chunk_out, chunk_strategy in results:
+        out.extend(chunk_out)
+        strategy = chunk_strategy
+    return f"{strategy}+{decision.strategy}"
+
+
 def _grouped_literal(
     bindings_list: List[Bindings],
     index: int,
@@ -340,6 +440,7 @@ def _grouped_literal(
     tracer,
     runner,
     est_rows: Optional[float] = None,
+    parallel=None,
 ) -> List[Bindings]:
     """Run ``runner`` (join or anti-join) per homogeneous binding group.
 
@@ -395,7 +496,14 @@ def _grouped_literal(
         else:
             source = _as_source(rows_fn(subgoal.pred, plan.arity))
             before = len(out)
-            strategy = runner(group, source, plan, out)
+            strategy = None
+            if parallel is not None:
+                strategy = _parallel_group(
+                    parallel, group, source, plan, runner, out, tracer,
+                    f"{subgoal.pred}/{plan.arity}",
+                )
+            if strategy is None:
+                strategy = runner(group, source, plan, out)
             if tracer is not None and tracer.enabled:
                 added = len(out) - before
                 tracer.event(
@@ -630,6 +738,7 @@ def eval_rule_body(
     tracer=None,
     join_mode: str = "hash",
     order_mode: str = "cost",
+    parallel=None,
 ) -> List[Bindings]:
     """Evaluate a rule body left to right; returns the final binding set.
 
@@ -645,7 +754,10 @@ def eval_rule_body(
     ``"program"`` (the written order plus the legacy delta-first rotation
     -- the differential baseline).  ``tracer``, when given and enabled,
     receives one ``join`` event per (literal, binding group) with the
-    strategy the engine chose and estimated vs. actual rows.
+    strategy the engine chose and estimated vs. actual rows.  ``parallel``
+    (a :class:`repro.par.ParallelContext`, or None) splits large binding
+    groups across the worker pool; aggregate rules -- where binding
+    multiplicity and order carry meaning -- always evaluate serially.
     """
     if isinstance(rule, RuleInfo):
         decl = rule.rule
@@ -659,6 +771,8 @@ def eval_rule_body(
         raise ValueError(f"unknown join mode {join_mode!r}")
     if order_mode not in ("cost", "program"):
         raise ValueError(f"unknown order mode {order_mode!r}")
+    if parallel is not None and isinstance(rule, RuleInfo) and rule.has_aggregate:
+        parallel = None  # serial fallback: multiplicity-sensitive bodies
     var_order = planner.var_order if planner is not None else ()
 
     # Cost-based ordering applies to prepared, aggregate-free rules under
@@ -721,7 +835,7 @@ def eval_rule_body(
                 if planner is not None:
                     bindings_list = _grouped_literal(
                         bindings_list, index, subgoal, rows_fn, planner, tracer,
-                        _antijoin_group, est_of.get(index),
+                        _antijoin_group, est_of.get(index), parallel,
                     )
                 else:
                     bindings_list = _filter_negation(bindings_list, subgoal, rows_fn)
@@ -730,7 +844,7 @@ def eval_rule_body(
                 if planner is not None:
                     bindings_list = _grouped_literal(
                         bindings_list, index, subgoal, fn, planner, tracer,
-                        _join_group, est_of.get(index),
+                        _join_group, est_of.get(index), parallel,
                     )
                 else:
                     bindings_list = _join_literal(bindings_list, subgoal, fn)

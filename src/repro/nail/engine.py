@@ -75,6 +75,7 @@ class NailEngine:
         extra_edb: Optional[Database] = None,
         join_mode: str = "hash",
         order_mode: str = "cost",
+        parallel=None,
     ):
         if strategy not in ("seminaive", "naive"):
             raise ValueError(f"unknown NAIL! strategy {strategy!r}")
@@ -87,6 +88,9 @@ class NailEngine:
         self.strategy = strategy
         self.join_mode = join_mode
         self.order_mode = order_mode
+        # A repro.par.ParallelContext (or None): partition-parallel join
+        # execution, threaded through exactly like the mode flags above.
+        self.parallel = parallel
         self.rule_infos: List[RuleInfo] = prepare_rules(rules, check_safety=check_safety)
         self.dep = build_dependency_graph([info.rule for info in self.rule_infos])
         self.strata: List[Stratum] = stratify(self.dep)
@@ -259,6 +263,7 @@ class NailEngine:
                         strategy=self.strategy,
                         join_mode=self.join_mode,
                         order_mode=self.order_mode,
+                        parallel=self.parallel,
                     )
                 except MagicTransformError as exc:
                     if self.can_materialize(name, arity):
@@ -472,6 +477,7 @@ class NailEngine:
                 rounds, new_rows = incremental_eval(
                     relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
                     join_mode=self.join_mode, order_mode=self.order_mode,
+                    parallel=self.parallel,
                 )
             else:
                 with tracer.span(
@@ -480,7 +486,7 @@ class NailEngine:
                     rounds, new_rows = incremental_eval(
                         relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
                         tracer=tracer, join_mode=self.join_mode,
-                        order_mode=self.order_mode,
+                        order_mode=self.order_mode, parallel=self.parallel,
                     )
                     span.attrs["rounds"] = rounds
             counters.idb_delta_repairs += 1
@@ -586,6 +592,7 @@ class NailEngine:
             self.rounds_run = naive_eval(
                 relevant, rows_fn, self.idb, tracer=tracer,
                 join_mode=self.join_mode, order_mode=self.order_mode,
+                parallel=self.parallel,
             )
         else:
             self.rounds_run = seminaive_eval(
@@ -596,6 +603,7 @@ class NailEngine:
                 tracer=tracer,
                 join_mode=self.join_mode,
                 order_mode=self.order_mode,
+                parallel=self.parallel,
             )
 
     def _seed_from_edb(self, skeletons) -> None:
@@ -679,6 +687,7 @@ def magic_query(
     strategy: str = "seminaive",
     join_mode: str = "hash",
     order_mode: str = "cost",
+    parallel=None,
 ) -> Tuple[List[Row], "NailEngine"]:
     """Answer ``pred(args)`` demand-driven via the magic-sets rewrite.
 
@@ -704,6 +713,7 @@ def magic_query(
         extra_edb=seed_db,
         join_mode=join_mode,
         order_mode=order_mode,
+        parallel=parallel,
     )
     tracer = db.tracer
     if not tracer.enabled:

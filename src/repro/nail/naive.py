@@ -25,6 +25,7 @@ def naive_eval(
     tracer=None,
     join_mode: str = "hash",
     order_mode: str = "cost",
+    parallel=None,
 ) -> int:
     """Run all rules to fixpoint, full re-derivation each pass.
 
@@ -40,11 +41,14 @@ def naive_eval(
         if passes > max_passes:
             raise RuntimeError("naive evaluation did not converge")
         if tracer is None:
-            added = _run_pass(rule_infos, rows_fn, idb, join_mode, order_mode)
+            added = _run_pass(
+                rule_infos, rows_fn, idb, join_mode, order_mode, parallel=parallel
+            )
         else:
             with tracer.span("pass", f"pass {passes}") as span:
                 added = _run_pass(
-                    rule_infos, rows_fn, idb, join_mode, order_mode, tracer
+                    rule_infos, rows_fn, idb, join_mode, order_mode, tracer,
+                    parallel=parallel,
                 )
                 span.rows = added
         if added == 0:
@@ -58,10 +62,14 @@ def _run_pass(
     join_mode: str = "hash",
     order_mode: str = "cost",
     tracer=None,
+    parallel=None,
 ) -> int:
     added = 0
     for info in rule_infos:
-        bindings_list = eval_rule_body(info, rows_fn, tracer=tracer, join_mode=join_mode, order_mode=order_mode)
+        bindings_list = eval_rule_body(
+            info, rows_fn, tracer=tracer, join_mode=join_mode,
+            order_mode=order_mode, parallel=parallel,
+        )
         for name, row in derive_heads(info, bindings_list):
             if idb.relation(name, len(row)).insert(row):
                 added += 1

@@ -85,6 +85,25 @@ class DeltaRelation:
             return True
         return False
 
+    # Pre-builds for partition-parallel probing (see repro.par): the lazy
+    # builds above are unsynchronized, so the coordinator forces them
+    # before fanning a join out.  Charges match a first serial probe.
+
+    def ensure_table(self, cols: Tuple[int, ...]) -> None:
+        if cols in self._tables:
+            return
+        table: dict = {}
+        for row in self.rows:
+            table.setdefault(tuple(row[c] for c in cols), []).append(row)
+        self._tables[cols] = table
+        if self.counters is not None:
+            self.counters.index_builds += 1
+            self.counters.index_build_tuples += len(self.rows)
+
+    def ensure_set(self) -> None:
+        if self._set is None:
+            self._set = set(self.rows)
+
 
 DeltaStore = Dict[Tuple[Term, int], DeltaRelation]
 
@@ -136,6 +155,7 @@ def seminaive_eval(
     tracer=None,
     join_mode: str = "hash",
     order_mode: str = "cost",
+    parallel=None,
 ) -> int:
     """Evaluate one stratum to fixpoint with seminaive iteration.
 
@@ -153,14 +173,18 @@ def seminaive_eval(
     # lower strata already provide).
     if tracer is None:
         for info in relevant:
-            bindings_list = eval_rule_body(info, rows_fn, join_mode=join_mode, order_mode=order_mode)
+            bindings_list = eval_rule_body(
+                info, rows_fn, join_mode=join_mode, order_mode=order_mode,
+                parallel=parallel,
+            )
             _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
         with tracer.span("round", "round 0", rules=len(relevant)) as span:
             for i, info in enumerate(relevant):
                 with tracer.span("rule", _rule_label(i, info)) as rule_span:
                     bindings_list = eval_rule_body(
-                        info, rows_fn, tracer=tracer, join_mode=join_mode, order_mode=order_mode
+                        info, rows_fn, tracer=tracer, join_mode=join_mode,
+                        order_mode=order_mode, parallel=parallel,
                     )
                     _merge_derivations(derive_heads(info, bindings_list), idb, delta)
                     rule_span.rows = len(bindings_list)
@@ -189,7 +213,7 @@ def seminaive_eval(
                         rows_fn,
                         delta_index=position,
                         delta_rows_fn=delta_fn,
-                        join_mode=join_mode, order_mode=order_mode,
+                        join_mode=join_mode, order_mode=order_mode, parallel=parallel,
                     )
                     _merge_derivations(
                         derive_heads(info, bindings_list), idb, new_delta
@@ -209,7 +233,7 @@ def seminaive_eval(
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
                                 tracer=tracer,
-                                join_mode=join_mode, order_mode=order_mode,
+                                join_mode=join_mode, order_mode=order_mode, parallel=parallel,
                             )
                             _merge_derivations(
                                 derive_heads(info, bindings_list), idb, new_delta
@@ -230,6 +254,7 @@ def incremental_eval(
     tracer=None,
     join_mode: str = "hash",
     order_mode: str = "cost",
+    parallel=None,
 ) -> Tuple[int, Dict[Tuple[Term, int], List[Row]]]:
     """Repair one *already-computed* stratum after monotone growth.
 
@@ -275,7 +300,7 @@ def incremental_eval(
                     rows_fn,
                     delta_index=position,
                     delta_rows_fn=seed_fn,
-                    join_mode=join_mode, order_mode=order_mode,
+                    join_mode=join_mode, order_mode=order_mode, parallel=parallel,
                 )
                 _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
@@ -293,7 +318,7 @@ def incremental_eval(
                             delta_index=position,
                             delta_rows_fn=seed_fn,
                             tracer=tracer,
-                            join_mode=join_mode, order_mode=order_mode,
+                            join_mode=join_mode, order_mode=order_mode, parallel=parallel,
                         )
                         _merge_derivations(
                             derive_heads(info, bindings_list), idb, delta
@@ -326,7 +351,7 @@ def incremental_eval(
                         rows_fn,
                         delta_index=position,
                         delta_rows_fn=delta_fn,
-                        join_mode=join_mode, order_mode=order_mode,
+                        join_mode=join_mode, order_mode=order_mode, parallel=parallel,
                     )
                     _merge_derivations(
                         derive_heads(info, bindings_list), idb, new_delta
@@ -348,7 +373,7 @@ def incremental_eval(
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
                                 tracer=tracer,
-                                join_mode=join_mode, order_mode=order_mode,
+                                join_mode=join_mode, order_mode=order_mode, parallel=parallel,
                             )
                             _merge_derivations(
                                 derive_heads(info, bindings_list), idb, new_delta

@@ -20,7 +20,8 @@ Event schema (deterministic in structure; wall-clock fields vary):
            ``pipeline_break`` | ``index_build`` | ``stratum`` |
            ``round`` | ``incremental_round`` | ``pass`` | ``rule`` |
            ``idb_cache_hit`` | ``idb_stale`` | ``demand`` | ``magic`` |
-           ``idb_resync`` | ``subscription``
+           ``idb_resync`` | ``subscription`` | ``join`` |
+           ``exchange`` | ``parallel_partition``
 ``name``   human-readable label (plan-step text, predicate name, ...)
 ``rows``   rows produced by the traced unit (``None`` when n/a)
 ``dur_ms`` wall-clock duration in milliseconds (0 for instant events)

@@ -1,0 +1,49 @@
+"""Partition-parallel evaluation (``parallel_mode="partition"``).
+
+The execution layer that hash-partitions a join's probe side on the
+planner-chosen key and fans the partitions out over a persistent worker
+pool, while keeping results *and cost-counter totals* identical to the
+serial engine:
+
+* :mod:`repro.par.pool` -- the persistent, process-pool-shaped
+  :class:`WorkerPool` (thread-backed in this PR).
+* :mod:`repro.par.partition` -- :class:`Partitioner`: key-hash (shuffle)
+  and contiguous (chunked/broadcast) splits, aligned with ``HashIndex``
+  buckets so build-side partitioning is bucket assignment, not re-hashing.
+* :mod:`repro.par.exchange` -- the shuffle-vs-broadcast decision from
+  ``Relation.stats_snapshot()`` cardinalities.
+* :mod:`repro.par.runtime` -- :class:`ParallelContext`: counter folding
+  (``Counters.merge``), nested-fan-out guard, ``parallel_partition``
+  tracer spans.
+
+Selected via ``GlueNailSystem(parallel_mode="partition", workers=N)`` and
+threaded through ``NailEngine`` / ``ExecContext`` like the existing
+``join_mode`` / ``order_mode`` flags; the serial engine remains the
+differential baseline.  See docs/PERFORMANCE.md for the decision rule and
+the serial-fallback matrix.
+"""
+
+from repro.par.exchange import BROADCAST_MAX_ROWS, ExchangeDecision, choose_exchange
+from repro.par.partition import (
+    Partitioner,
+    partition_count,
+    prepare_contains_source,
+    prepare_probe_source,
+    source_buckets,
+)
+from repro.par.pool import WorkerPool
+from repro.par.runtime import ParallelContext, ensure_thread_local_counters
+
+__all__ = [
+    "BROADCAST_MAX_ROWS",
+    "ExchangeDecision",
+    "ParallelContext",
+    "Partitioner",
+    "WorkerPool",
+    "choose_exchange",
+    "ensure_thread_local_counters",
+    "partition_count",
+    "prepare_contains_source",
+    "prepare_probe_source",
+    "source_buckets",
+]

@@ -1,0 +1,72 @@
+"""The exchange operator: choose how a join's inputs move to the workers.
+
+Raco-style distinction (see ROADMAP): a partitioned join either
+**shuffles** -- both sides partitioned on the shared key, each worker
+probing only its own key range -- or **broadcasts** -- the small build
+side replicated (here: shared read-only) while the probe side is split
+into contiguous chunks.
+
+The decision is the classic cost-model one, fed by the same
+:meth:`~repro.storage.relation.Relation.stats_snapshot` cardinalities the
+``repro.opt`` planner orders joins with: replicating the build side costs
+``workers x |build|``; shuffling costs repartitioning both sides but keeps
+each worker's build share at ``|build| / K``.  In shared memory
+replication is free until the build side stops fitting hot caches, so the
+rule reduces to a cardinality threshold -- small sources broadcast, large
+sources shuffle.  Joins with no probe key cannot shuffle and always
+broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# Build sides at or below this many rows are broadcast (shared) rather
+# than shuffled.  Chosen as the point where a per-worker build share
+# would stop being meaningfully smaller than the whole table.
+BROADCAST_MAX_ROWS = 4096
+
+
+class ExchangeDecision:
+    """What the exchange operator decided for one join."""
+
+    __slots__ = ("strategy", "source_rows", "est_matches")
+
+    def __init__(
+        self,
+        strategy: str,
+        source_rows: int,
+        est_matches: Optional[float] = None,
+    ):
+        self.strategy = strategy  # "shuffle" | "broadcast"
+        self.source_rows = source_rows
+        self.est_matches = est_matches
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Exchange {self.strategy} source={self.source_rows}>"
+
+
+def choose_exchange(
+    source,
+    probe_cols: Tuple[int, ...],
+    broadcast_rows: int = BROADCAST_MAX_ROWS,
+) -> ExchangeDecision:
+    """Pick shuffle vs broadcast for one join against ``source``.
+
+    ``source`` is a join source in the :mod:`repro.nail.bodyeval` sense;
+    when it wraps a stored :class:`~repro.storage.relation.Relation`, the
+    estimate of matches per probe key comes from its statistics snapshot
+    (the ``repro.opt`` selectivity model); other sources are judged by
+    size alone.
+    """
+    rows = len(source)
+    est: Optional[float] = None
+    if probe_cols:
+        relation = getattr(source, "relation", None)
+        if relation is not None and hasattr(relation, "stats_snapshot"):
+            snapshot = relation.stats_snapshot()
+            rows = snapshot.rows
+            est = snapshot.est_matches(probe_cols)
+    if not probe_cols or rows <= broadcast_rows:
+        return ExchangeDecision("broadcast", rows, est)
+    return ExchangeDecision("shuffle", rows, est)

@@ -1,0 +1,96 @@
+"""The persistent worker pool behind partition-parallel evaluation.
+
+Thread-backed today: the hot join loops are dict/set probes over Python
+objects, so a :class:`~concurrent.futures.ThreadPoolExecutor` buys overlap
+only where the interpreter releases the GIL -- the pool's job in this PR
+is to be *correct* and cheap enough that ``workers=N`` costs nothing when
+cores are scarce.  The surface is deliberately process-pool-shaped (submit
+a batch of zero-argument callables, collect results in task order,
+propagate the first failure, explicit shutdown) so a later PR can slot a
+process/shared-memory backend behind the same API.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+
+class WorkerPool:
+    """A persistent, reusable pool executing batches of tasks.
+
+    Workers are started lazily on the first batch and persist across
+    batches (fixpoint rounds reuse the same threads).  ``run`` is the
+    whole execution interface: no futures escape, which is what keeps the
+    abstraction swappable for a process pool.
+    """
+
+    def __init__(self, workers: int, name: str = "gluenail-par"):
+        if workers < 1:
+            raise ValueError(f"worker pool needs at least 1 worker, got {workers}")
+        self.workers = workers
+        self._name = name
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix=self._name
+                )
+            return self._executor
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Execute every task; results come back in task order.
+
+        Every task runs to completion even when one fails -- a partial
+        cancellation would leave shared join state half-built -- and the
+        first failure (in task order) is then re-raised, so the caller's
+        fixpoint loop sees the worker's exception exactly where a serial
+        evaluation would have raised it.  The pool stays usable after a
+        failed batch.
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1 or self.workers == 1:
+            # Inline fast path: no cross-thread hop for degenerate batches.
+            return [task() for task in tasks]
+        executor = self._ensure_executor()
+        futures = [executor.submit(task) for task in tasks]
+        results: List[object] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; the pool cannot be restarted afterwards."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False

@@ -1,0 +1,214 @@
+"""Run-time coordination for partition-parallel evaluation.
+
+:class:`ParallelContext` is the object threaded through
+``GlueNailSystem`` -> ``NailEngine`` / ``ExecContext`` -> the join
+evaluators, the way ``join_mode`` / ``order_mode`` flags already flow.  It
+owns the persistent :class:`~repro.par.pool.WorkerPool` and implements the
+two invariants that make ``parallel_mode="partition"`` differential-exact:
+
+* **Counter folding.**  Workers count into their own thread-local
+  :class:`~repro.storage.stats.CostCounters` block (the context converts
+  the database to :class:`~repro.storage.stats.ThreadLocalCounters` on
+  adoption).  Around every task the wrapper snapshots the worker's block,
+  computes the task's delta, *removes* it from the worker block and hands
+  it to the coordinator, which folds it into the calling thread's block
+  via ``Counters.merge``.  Net effect: every increment lands exactly once,
+  on the thread that owns the query -- a parallel run reports the same
+  counter totals as a serial run, and per-task deltas double as the
+  per-worker skew report.
+
+* **Reentrancy.**  A task that reaches another parallel join runs it
+  serially (the ``active`` flag is false inside a worker), so a bounded
+  pool can never deadlock on nested fan-out.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, List, Optional, Sequence
+
+from repro.par.pool import WorkerPool
+from repro.storage.stats import COUNTER_FIELDS, CostCounters, ThreadLocalCounters
+
+# The indexes into an ``as_tuple`` snapshot that make up
+# ``CostCounters.total_tuple_touches`` -- the scalar used for skew.
+_TOUCH_FIELDS = (
+    "tuples_scanned",
+    "index_probe_tuples",
+    "index_build_tuples",
+    "inserts",
+    "deletes",
+    "materialized_tuples",
+)
+_TOUCH_INDEXES = tuple(COUNTER_FIELDS.index(name) for name in _TOUCH_FIELDS)
+
+# Floors keeping per-task Python overhead amortized: a probe side smaller
+# than this is not worth a cross-thread hop.
+DEFAULT_MIN_PARTITION_ROWS = 64
+# How many supplementary rows the Glue VM accumulates per parallel batch
+# (the VM is a row generator; batching is what turns it set-at-a-time).
+DEFAULT_GLUE_BATCH = 4096
+
+
+def ensure_thread_local_counters(db) -> ThreadLocalCounters:
+    """Convert a database's counters to per-thread blocks, in place.
+
+    Relations capture the counters object by reference at creation, so the
+    conversion re-points every existing relation (and the tracer) at the
+    facade; the previous totals seed the calling thread's block.  A
+    database already running on :class:`ThreadLocalCounters` (the query
+    server's) is returned unchanged.
+    """
+    counters = db.counters
+    if isinstance(counters, ThreadLocalCounters):
+        return counters
+    wrapper = ThreadLocalCounters()
+    wrapper.merge(counters.as_tuple())
+    db.counters = wrapper
+    if getattr(db.tracer, "counters", None) is counters:
+        db.tracer.counters = wrapper
+    for _key, relation in db.snapshot_relations():
+        relation.counters = wrapper
+    return wrapper
+
+
+class ParallelContext:
+    """Pool + policy + accounting for one system's parallel execution."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        db=None,
+        min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+        broadcast_rows: Optional[int] = None,
+        glue_batch: int = DEFAULT_GLUE_BATCH,
+        pool: Optional[WorkerPool] = None,
+    ):
+        from repro.par.exchange import BROADCAST_MAX_ROWS
+
+        self.workers = max(1, int(workers if workers is not None else os.cpu_count() or 1))
+        self.min_partition_rows = max(1, min_partition_rows)
+        self.broadcast_rows = BROADCAST_MAX_ROWS if broadcast_rows is None else broadcast_rows
+        self.glue_batch = max(self.min_partition_rows, glue_batch)
+        self.pool = pool if pool is not None else WorkerPool(self.workers)
+        self.counters = None  # set by adopt(); None disables folding
+        self._tls = threading.local()
+        self._stats_lock = threading.Lock()
+        self.regions = 0  # parallel joins executed
+        self.tasks = 0  # partition tasks dispatched
+        if db is not None:
+            self.adopt(db)
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def adopt(self, db) -> "ParallelContext":
+        """Attach to a database: makes its counters thread-partitioned so
+        worker increments neither race nor double-count."""
+        self.counters = ensure_thread_local_counters(db)
+        return self
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    @property
+    def active(self) -> bool:
+        """Is parallel fan-out worthwhile and safe from this thread?
+        False with one worker, after shutdown, and *inside a pool task*
+        (nested fan-out runs serially -- the deadlock guard)."""
+        return (
+            self.workers > 1
+            and not self.pool.closed
+            and not getattr(self._tls, "inside", False)
+        )
+
+    def partition_count(self, n_items: int) -> int:
+        from repro.par.partition import partition_count
+
+        return partition_count(n_items, self.workers, self.min_partition_rows)
+
+    def stats(self) -> dict:
+        """Pool/region numbers for ``.profile`` and the server stats op."""
+        with self._stats_lock:
+            return {
+                "mode": "partition" if self.workers > 1 else "serial",
+                "workers": self.workers,
+                "parallel_joins": self.regions,
+                "parallel_tasks": self.tasks,
+            }
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _wrap(self, thunk: Callable[[], object]) -> Callable[[], tuple]:
+        """Wrap a task to capture its counter delta on the worker thread."""
+        counters = self.counters
+
+        def run():
+            tls = self._tls
+            outer = getattr(tls, "inside", False)
+            tls.inside = True
+            try:
+                if counters is None:
+                    return thunk(), None
+                before = counters.as_tuple()
+                result = thunk()
+                after = counters.as_tuple()
+                delta = tuple(a - b for a, b in zip(after, before))
+                if any(delta):
+                    # Withdraw the delta from this worker's block; the
+                    # coordinator re-deposits it exactly once.  (A task
+                    # executed inline on the coordinator nets to zero.)
+                    counters.merge(tuple(-d for d in delta))
+                return result, delta
+            finally:
+                tls.inside = outer
+
+        return run
+
+    def run_region(
+        self,
+        thunks: Sequence[Callable[[], object]],
+        label: str = "",
+        tracer=None,
+        strategy: Optional[str] = None,
+        partition_rows: Optional[List[int]] = None,
+    ) -> List[object]:
+        """Run one parallel join region; returns per-task results in order.
+
+        Folds every worker's counter delta into the calling thread's block,
+        charges the ``parallel_joins`` / ``parallel_tasks`` counters, and
+        emits one ``parallel_partition`` tracer event carrying partition
+        counts and the per-worker tuple-touch skew.
+        """
+        outcomes = self.pool.run([self._wrap(thunk) for thunk in thunks])
+        counters = self.counters
+        touches: List[int] = []
+        for _result, delta in outcomes:
+            if delta is None:
+                touches.append(0)
+                continue
+            touches.append(sum(delta[i] for i in _TOUCH_INDEXES))
+            if counters is not None and any(delta):
+                counters.merge(delta)
+        if counters is not None:
+            counters.parallel_joins += 1
+            counters.parallel_tasks += len(thunks)
+        with self._stats_lock:
+            self.regions += 1
+            self.tasks += len(thunks)
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "parallel_partition",
+                label,
+                rows=None,
+                workers=self.workers,
+                partitions=len(thunks),
+                partition_rows=partition_rows,
+                worker_touches=touches,
+                strategy=strategy,
+            )
+        return [result for result, _delta in outcomes]

@@ -80,7 +80,7 @@ class Session:
         self.name = f"session-{session_id}"
         self.closed = False
         self._holds_write = False
-        self.system = GlueNailSystem(db=server.db)
+        self.system = GlueNailSystem(db=server.db, parallel=server.parallel)
         self.system.store = server.store
         self.system._txn = server.txn
         if server.base_program:
@@ -235,6 +235,10 @@ class Session:
         if self.server.store is not None:
             payload["wal_commits"] = self.server.store.wal.commits
         payload["subscriptions"] = self.server.subscriptions.stats()
+        if self.server.parallel is not None:
+            payload["parallel"] = self.server.parallel.stats()
+        else:
+            payload["parallel"] = {"mode": "serial", "workers": 1}
         return payload
 
     def op_trace(self, request: dict) -> dict:
@@ -498,10 +502,19 @@ class GlueNailServer:
         port: int = 0,
         sync: bool = True,
         db: Optional[Database] = None,
+        workers: Optional[int] = None,
     ):
         if db is None:
             db = Database(counters=ThreadLocalCounters())
         self.db = db
+        # One shared worker pool for every session (partition-parallel
+        # evaluation); the server's counters are already thread-local, so
+        # adoption is a no-op conversion.
+        self.parallel = None
+        if workers is not None and workers > 1:
+            from repro.par import ParallelContext
+
+            self.parallel = ParallelContext(workers=workers, db=self.db)
         if db_dir is not None:
             from repro.txn.store import DurableStore
 
@@ -570,6 +583,8 @@ class GlueNailServer:
         if self.store is not None:
             self.store.close()
             self.store = None
+        if self.parallel is not None:
+            self.parallel.shutdown()
 
     def __enter__(self) -> "GlueNailServer":
         return self

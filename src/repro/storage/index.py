@@ -63,6 +63,15 @@ class HashIndex:
     def probe_count(self, key: Row) -> int:
         return len(self._buckets.get(key, ()))
 
+    def buckets_view(self) -> dict:
+        """The live ``{key: rows}`` bucket mapping (read-only by contract).
+
+        The parallel partitioner assigns whole buckets to partitions by
+        hashing the bucket *keys* -- this accessor is what lets it do that
+        without re-hashing any stored row.
+        """
+        return self._buckets
+
     def probe_many(self, keys: Iterable[Row]) -> Iterator[Row]:
         """Rows for a batch of keys, bucket by bucket (bulk bucket access).
 

@@ -69,6 +69,7 @@ class ExecContext:
         adaptive_reorder: bool = False,
         join_mode: str = "hash",
         order_mode: str = "cost",
+        parallel=None,
     ):
         if strategy not in ("pipelined", "materialized"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -78,6 +79,9 @@ class ExecContext:
             raise ValueError(f"unknown order mode {order_mode!r}")
         self.db = db if db is not None else Database()
         self.counters: CostCounters = self.db.counters
+        # A repro.par.ParallelContext (or None): statement-body joins split
+        # large supplementary batches across its worker pool.
+        self.parallel = parallel
         self.strategy = strategy
         self.dedup_on_break = dedup_on_break
         self.out = out if out is not None else sys.stdout

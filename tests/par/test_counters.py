@@ -1,0 +1,88 @@
+"""Counter folding: ``merge`` correctness and thread isolation."""
+
+import threading
+
+from repro.storage.database import Database
+from repro.storage.stats import COUNTER_FIELDS, CostCounters, ThreadLocalCounters
+from repro.par.runtime import ensure_thread_local_counters
+
+
+def test_merge_accepts_another_block():
+    a = CostCounters(inserts=3, tuples_scanned=10)
+    b = CostCounters(inserts=2, index_lookups=7)
+    a.merge(b)
+    assert a.inserts == 5
+    assert a.tuples_scanned == 10
+    assert a.index_lookups == 7
+    # The source block is untouched.
+    assert b.inserts == 2
+
+
+def test_merge_accepts_tuple_and_dict_snapshots():
+    a = CostCounters()
+    a.merge(CostCounters(inserts=4, deletes=1).as_tuple())
+    a.merge({"inserts": 1, "dedup_removed": 2})
+    assert a.inserts == 5
+    assert a.deletes == 1
+    assert a.dedup_removed == 2
+
+
+def test_negative_merge_withdraws():
+    # The coordinator withdraws a worker's task delta and re-deposits it;
+    # a negated snapshot must cancel exactly.
+    a = CostCounters(inserts=9, tuples_scanned=3)
+    delta = CostCounters(inserts=9, tuples_scanned=3).as_tuple()
+    a.merge(tuple(-d for d in delta))
+    assert a.as_tuple() == CostCounters().as_tuple()
+
+
+def test_concurrent_merges_lose_nothing():
+    """Eight threads each fold many deltas into one shared facade.
+
+    ``ThreadLocalCounters.merge`` lands on the calling thread's private
+    block, so the per-thread folds never race; ``aggregate`` (which takes
+    the facade's lock to snapshot the block list) must see every
+    increment.
+    """
+    shared = ThreadLocalCounters()
+    threads_n, merges_n = 8, 500
+    delta = CostCounters(inserts=1, tuples_scanned=2, index_lookups=3).as_tuple()
+    barrier = threading.Barrier(threads_n)
+
+    def worker():
+        barrier.wait()
+        for _ in range(merges_n):
+            shared.merge(delta)
+
+    threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = shared.aggregate()
+    assert total.inserts == threads_n * merges_n
+    assert total.tuples_scanned == 2 * threads_n * merges_n
+    assert total.index_lookups == 3 * threads_n * merges_n
+
+
+def test_ensure_thread_local_counters_repoints_everything():
+    db = Database()
+    db.facts("edge", [(1, 2), (2, 3)])
+    before = db.counters.as_tuple()
+    assert any(before)  # the inserts counted
+    wrapper = ensure_thread_local_counters(db)
+    assert isinstance(db.counters, ThreadLocalCounters)
+    # Previous totals seeded the calling thread's block.
+    assert db.counters.as_tuple() == before
+    # Existing relations count into the facade from now on.
+    relation = db.get("edge", 2)
+    assert relation.counters is wrapper
+    db.facts("edge", [(3, 4)])
+    assert db.counters.inserts == before[COUNTER_FIELDS.index("inserts")] + 1
+    # Idempotent: a second call returns the same facade.
+    assert ensure_thread_local_counters(db) is wrapper
+
+
+def test_parallel_counter_fields_exist():
+    assert "parallel_joins" in COUNTER_FIELDS
+    assert "parallel_tasks" in COUNTER_FIELDS

@@ -1,0 +1,294 @@
+"""Differential tests: ``parallel_mode="partition"`` vs serial evaluation.
+
+The partition-parallel layer promises *exactness*, not just set equality:
+workers execute the same probes a serial run executes, so every workload
+here must agree on result rows AND on every cost counter except the
+``parallel_*`` pair (which exists only to say that fan-out happened).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import rows_to_python
+from repro.core.system import GlueNailSystem
+from repro.par import ParallelContext
+from repro.storage.stats import COUNTER_FIELDS
+
+# Counter positions that must match serial exactly (everything except the
+# parallel-only bookkeeping pair).
+_CORE = tuple(
+    i for i, name in enumerate(COUNTER_FIELDS) if not name.startswith("parallel_")
+)
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y) & edge(Y, Z).
+"""
+
+UNREACHABLE = PATH + """
+node(X) :- edge(X, _).
+node(Y) :- edge(_, Y).
+unreachable(X, Y) :- node(X) & node(Y) & !path(X, Y).
+"""
+
+DEGREE = """
+deg(X, N) :- edge(X, _) & group_by(X) & N = count(X).
+"""
+
+
+def make_parallel(source="", workers=4, min_partition_rows=2, **kwargs):
+    """A system whose parallel floor is low enough for test-sized data."""
+    context = ParallelContext(workers=workers, min_partition_rows=min_partition_rows)
+    system = GlueNailSystem(parallel=context, **kwargs)
+    if source:
+        system.load(source)
+    return system
+
+
+def make_serial(source="", **kwargs):
+    system = GlueNailSystem(**kwargs)
+    if source:
+        system.load(source)
+    return system
+
+
+def core_counters(system):
+    snapshot = system.counters.as_tuple()
+    return tuple(snapshot[i] for i in _CORE)
+
+
+def random_edges(nodes, edges, seed):
+    rng = random.Random(seed)
+    out = set()
+    while len(out) < edges:
+        out.add((rng.randrange(nodes), rng.randrange(nodes)))
+    return sorted(out)
+
+
+def run_pair(source, facts, out_preds, script=False, **kwargs):
+    """Evaluate a workload serially and partition-parallel; assert both
+    row sets and core counters agree; return the parallel system."""
+    results = {}
+    systems = {}
+    for mode, factory in (("serial", make_serial), ("parallel", make_parallel)):
+        system = factory(source, **kwargs)
+        for name, rows in facts.items():
+            system.facts(name, rows)
+        if script:
+            system.run_script()
+        results[mode] = {
+            (name, arity): sorted(
+                rows_to_python(system.rows(name, arity).rows)
+            )
+            for name, arity in out_preds
+        }
+        systems[mode] = system
+    assert results["parallel"] == results["serial"]
+    assert core_counters(systems["parallel"]) == core_counters(systems["serial"])
+    systems["parallel"].close()
+    return systems["parallel"], results["parallel"]
+
+
+# ------------------------------------------------------------------ #
+# NAIL! fixpoints
+# ------------------------------------------------------------------ #
+
+
+class TestNailDifferential:
+    def test_chain_closure(self):
+        system, results = run_pair(
+            PATH, {"edge": [(i, i + 1) for i in range(200)]}, [("path", 2)]
+        )
+        assert len(results[("path", 2)]) == 200 * 201 // 2
+        # The differential is not vacuous: fan-out actually happened.
+        assert system.counters.parallel_joins > 0
+
+    def test_random_graph_closure(self):
+        system, _ = run_pair(
+            PATH, {"edge": random_edges(60, 300, seed=11)}, [("path", 2)]
+        )
+        assert system.counters.parallel_joins > 0
+
+    def test_negation_stratum(self):
+        system, results = run_pair(
+            UNREACHABLE,
+            {"edge": random_edges(40, 40, seed=5)},
+            [("path", 2), ("unreachable", 2)],
+        )
+        assert results[("unreachable", 2)]
+        assert system.counters.parallel_joins > 0
+
+    def test_aggregates_fall_back_to_serial(self):
+        system, results = run_pair(
+            DEGREE, {"edge": random_edges(40, 400, seed=7)}, [("deg", 2)]
+        )
+        assert results[("deg", 2)]
+
+    def test_incremental_repair(self):
+        serial = make_serial(PATH)
+        parallel = make_parallel(PATH)
+        base = random_edges(40, 150, seed=13)
+        extra = [(i + 40, i + 41) for i in range(80)]
+        for system in (serial, parallel):
+            system.facts("edge", base)
+            system.rows("path", 2)  # materialize, then repair after deltas
+            system.facts("edge", extra)
+        first = sorted(rows_to_python(serial.rows("path", 2).rows))
+        second = sorted(rows_to_python(parallel.rows("path", 2).rows))
+        assert first == second
+        assert core_counters(parallel) == core_counters(serial)
+        assert parallel.counters.idb_delta_repairs > 0
+        parallel.close()
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            min_size=0,
+            max_size=40,
+        ),
+        with_negation=st.booleans(),
+        workers=st.sampled_from([2, 3, 4, 8]),
+    )
+    def test_property_differential(self, edges, with_negation, workers):
+        source = UNREACHABLE if with_negation else PATH
+        preds = [("path", 2)] + ([("unreachable", 2)] if with_negation else [])
+        run_pair(source, {"edge": sorted(set(edges))}, preds, workers=workers)
+
+
+# ------------------------------------------------------------------ #
+# Glue statement joins
+# ------------------------------------------------------------------ #
+
+
+class TestGlueDifferential:
+    def test_two_way_statement_join(self):
+        system, results = run_pair(
+            "out(X, Z) := r(X, Y) & s(Y, Z).",
+            {"r": random_edges(25, 200, seed=1), "s": random_edges(25, 200, seed=2)},
+            [("out", 2)],
+            script=True,
+        )
+        assert results[("out", 2)]
+        assert system.counters.parallel_joins > 0
+
+    def test_statement_negation(self):
+        run_pair(
+            "no_link(X, Y) := node(X) & node(Y) & !edge(X, Y).",
+            {
+                "node": [(i,) for i in range(25)],
+                "edge": random_edges(25, 100, seed=4),
+            },
+            [("no_link", 2)],
+            script=True,
+        )
+
+    def test_keyed_update_order_is_preserved(self):
+        # `+=[K]` keeps the *last* writer per key; the chunked split is
+        # order-preserving, so the parallel winner must equal the serial
+        # winner even with many colliding keys.
+        rows = [(i % 10, i) for i in range(500)]
+        run_pair(
+            "best(K, V) +=[K] src(K, V).",
+            {"src": rows},
+            [("best", 2)],
+            script=True,
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        r=st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=30),
+        s=st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=30),
+    )
+    def test_property_statement_join(self, r, s):
+        run_pair(
+            "out(X, Z) := r(X, Y) & s(Y, Z).",
+            {"r": sorted(set(r)), "s": sorted(set(s))},
+            [("out", 2)],
+            script=True,
+        )
+
+
+# ------------------------------------------------------------------ #
+# observability
+# ------------------------------------------------------------------ #
+
+
+class TestTracing:
+    def test_exchange_and_partition_events(self):
+        system = make_parallel(PATH, trace=True)
+        system.facts("edge", [(i, i + 1) for i in range(150)])
+        result = system.rows("path", 2)
+        kinds = {event.kind for event in result.trace}
+        assert "exchange" in kinds
+        assert "parallel_partition" in kinds
+        regions = [e for e in result.trace if e.kind == "parallel_partition"]
+        for event in regions:
+            assert event.attrs["partitions"] >= 2
+            assert len(event.attrs["worker_touches"]) == event.attrs["partitions"]
+        exchanges = [e for e in result.trace if e.kind == "exchange"]
+        assert all(e.attrs["strategy"] in ("shuffle", "broadcast") for e in exchanges)
+        system.close()
+
+    def test_explain_analyze_renders_parallel_table(self):
+        system = make_parallel(PATH)
+        system.facts("edge", [(i, i + 1) for i in range(150)])
+        report = system.explain_analyze("path(0, Y)?")
+        assert "Parallel regions" in report
+        system.close()
+
+
+# ------------------------------------------------------------------ #
+# failure and shutdown behavior
+# ------------------------------------------------------------------ #
+
+
+class TestRobustness:
+    def test_worker_exception_propagates_and_pool_survives(self):
+        context = ParallelContext(workers=3, min_partition_rows=1)
+
+        def boom():
+            raise ValueError("worker exploded")
+
+        with pytest.raises(ValueError, match="worker exploded"):
+            context.run_region([lambda: 1, boom, lambda: 3])
+        # The pool is still usable for the next region...
+        assert context.run_region([lambda: 10, lambda: 20]) == [10, 20]
+        # ...and a real evaluation on top of the same context still works.
+        system = GlueNailSystem(parallel=context)
+        system.load(PATH)
+        system.facts("edge", [(i, i + 1) for i in range(50)])
+        assert len(system.rows("path", 2).rows) == 50 * 51 // 2
+        system.close()
+
+    def test_close_falls_back_to_serial(self):
+        # An owned pool (parallel_mode=...) is shut down by close().
+        system = GlueNailSystem(parallel_mode="partition", workers=4)
+        system.load(PATH)
+        system.facts("edge", [(i, i + 1) for i in range(100)])
+        system.close()  # shuts the pool down
+        assert not system.parallel.active
+        # Queries still answer (serial fallback), with correct results.
+        assert len(system.rows("path", 2).rows) == 100 * 101 // 2
+
+    def test_no_fanout_inside_a_worker(self):
+        context = ParallelContext(workers=2, min_partition_rows=1)
+        inside = context.run_region([lambda: context.active, lambda: context.active])
+        assert inside == [False, False]
+        assert context.active  # back on the coordinator
+        context.shutdown()
+
+    def test_set_workers_switches_modes(self):
+        system = GlueNailSystem()
+        assert system.parallel is None
+        system.set_workers(4)
+        assert system.parallel is not None and system.parallel.workers == 4
+        system.load(PATH)
+        system.facts("edge", [(i, i + 1) for i in range(150)])
+        assert len(system.rows("path", 2).rows) == 150 * 151 // 2
+        system.set_workers(1)
+        assert system.parallel is None and system.parallel_mode == "serial"
+        assert len(system.rows("path", 2).rows) == 150 * 151 // 2

@@ -1,0 +1,90 @@
+"""Partitioning and exchange policy."""
+
+from repro.par.exchange import BROADCAST_MAX_ROWS, choose_exchange
+from repro.par.partition import Partitioner, partition_count
+from repro.storage.database import Database
+
+
+def test_chunk_split_preserves_order_and_balance():
+    p = Partitioner(3)
+    parts = p.chunk_split(list(range(10)))
+    assert [len(c) for c in parts] == [4, 3, 3]
+    assert [x for chunk in parts for x in chunk] == list(range(10))
+
+
+def test_chunk_split_fewer_items_than_parts():
+    parts = Partitioner(4).chunk_split([1, 2])
+    assert [x for chunk in parts for x in chunk] == [1, 2]
+    assert all(len(c) <= 1 for c in parts)
+
+
+def test_hash_split_is_deterministic_and_complete():
+    p = Partitioner(4)
+    items = [(i, i % 7) for i in range(100)]
+    parts = p.hash_split(items, key_fn=lambda item: item[1])
+    assert sorted(x for chunk in parts for x in chunk) == sorted(items)
+    assert parts == p.hash_split(items, key_fn=lambda item: item[1])
+    # Equal keys land in the same partition (the co-location invariant
+    # that makes shuffled probes see exactly their partition's buckets).
+    for chunk in parts:
+        keys_here = {item[1] for item in chunk}
+        for other in parts:
+            if other is not chunk:
+                assert keys_here.isdisjoint({item[1] for item in other})
+
+
+def test_hash_split_matches_bucket_assignment():
+    """``hash_split`` on the probe key and ``bucket_sizes`` on the stored
+    index use the same ``hash(key) % parts`` rule, so probe rows and their
+    matching bucket rows land in the same partition."""
+    db = Database()
+    rows = [(i % 5, i) for i in range(50)]
+    db.facts("r", rows)
+    relation = db.get("r", 2)
+    index = relation.build_index((0,))
+    p = Partitioner(3)
+    sizes = p.bucket_sizes(index.buckets_view())
+    assert sum(sizes) == len(rows)
+    # Splitting the stored rows themselves on the key columns must land
+    # every row in the partition its bucket was assigned to.
+    parts = p.hash_split(relation.rows(), key_fn=lambda row: (row[0],))
+    assert [len(c) for c in parts] == sizes
+
+
+def test_partition_count_respects_floor():
+    assert partition_count(10, workers=4, min_partition_rows=64) == 1
+    assert partition_count(128, workers=4, min_partition_rows=64) == 2
+    assert partition_count(10_000, workers=4, min_partition_rows=64) == 4
+    assert partition_count(0, workers=4, min_partition_rows=64) == 1
+
+
+def test_choose_exchange_broadcasts_small_sources():
+    db = Database()
+    db.facts("small", [(i,) for i in range(10)])
+    source_rel = db.get("small", 1)
+
+    class Source:
+        relation = source_rel
+
+        def __len__(self):
+            return len(source_rel)
+
+    decision = choose_exchange(Source(), probe_cols=(0,))
+    assert decision.strategy == "broadcast"
+    assert decision.source_rows == 10
+
+
+def test_choose_exchange_shuffles_large_sources():
+    db = Database()
+    db.facts("big", [(i,) for i in range(BROADCAST_MAX_ROWS + 1)])
+    source_rel = db.get("big", 1)
+
+    class Source:
+        relation = source_rel
+
+        def __len__(self):
+            return len(source_rel)
+
+    assert choose_exchange(Source(), probe_cols=(0,)).strategy == "shuffle"
+    # Without a probe key there is nothing to shuffle on.
+    assert choose_exchange(Source(), probe_cols=()).strategy == "broadcast"

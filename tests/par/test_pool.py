@@ -1,0 +1,86 @@
+"""The worker pool: ordering, error propagation, clean shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.par.pool import WorkerPool
+
+
+def test_results_come_back_in_task_order():
+    with WorkerPool(4) as pool:
+        results = pool.run([(lambda i=i: i * i) for i in range(20)])
+    assert results == [i * i for i in range(20)]
+
+
+def test_single_task_runs_inline():
+    with WorkerPool(4) as pool:
+        thread_ids = []
+        pool.run([lambda: thread_ids.append(threading.get_ident())])
+    assert thread_ids == [threading.get_ident()]
+
+
+def test_one_worker_runs_inline():
+    pool = WorkerPool(1)
+    thread_ids = []
+    pool.run([lambda: thread_ids.append(threading.get_ident())] * 3)
+    assert set(thread_ids) == {threading.get_ident()}
+    pool.shutdown()
+
+
+def test_tasks_actually_fan_out():
+    # With enough slow tasks, more than one pool thread must get involved.
+    barrier = threading.Barrier(2, timeout=5)
+    with WorkerPool(2) as pool:
+        results = pool.run([lambda: barrier.wait() >= 0] * 2)
+    assert results == [True, True]
+
+
+def test_first_exception_in_task_order_wins():
+    ran = []
+
+    def ok(i):
+        ran.append(i)
+        return i
+
+    def boom(message):
+        raise ValueError(message)
+
+    pool = WorkerPool(3)
+    with pytest.raises(ValueError, match="first"):
+        pool.run([
+            lambda: ok(0),
+            lambda: boom("first"),
+            lambda: ok(2),
+            lambda: boom("second"),
+        ])
+    # Every task ran to completion before the error was re-raised: no
+    # half-finished partitions left behind.
+    assert sorted(ran) == [0, 2]
+    pool.shutdown()
+
+
+def test_pool_is_reusable_after_a_failure():
+    pool = WorkerPool(2)
+    with pytest.raises(RuntimeError):
+        pool.run([lambda: (_ for _ in ()).throw(RuntimeError("x"))])
+    assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+    pool.shutdown()
+
+
+def test_shutdown_is_clean_and_idempotent():
+    pool = WorkerPool(2)
+    assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+    assert not pool.closed
+    pool.shutdown()
+    assert pool.closed
+    pool.shutdown()  # second call is a no-op
+    assert pool.closed
+
+
+def test_worker_threads_exit_after_shutdown():
+    pool = WorkerPool(2, name="pool-exit-test")
+    pool.run([lambda: time.sleep(0.01)] * 4)
+    pool.shutdown(wait=True)
+    assert not [t for t in threading.enumerate() if t.name.startswith("pool-exit-test")]
