@@ -28,6 +28,30 @@ def random_graph(nodes: int, edges: int, seed: int = 7) -> List[Tuple[int, int]]
     return sorted(out)
 
 
+def layered_chain_edges(levels: int, width: int) -> List[Tuple[int, int]]:
+    """A chain of complete bipartite bundles: ``levels`` layers of ``width``
+    nodes each, every node wired to every node of the next layer.  Closure
+    over it is chain-shaped (bounded rounds) but each round moves
+    ``width``-sized batches through every probe, which is the shape batch
+    kernels amortize best."""
+    out = []
+    for lvl in range(levels):
+        for a in range(width):
+            for b in range(width):
+                out.append((lvl * width + a, (lvl + 1) * width + b))
+    return out
+
+
+def skewed_star_facts(n: int, hubs: int) -> Dict[str, List[Tuple[int, int]]]:
+    """A skewed two-relation star: ``n`` spokes on each side funneled
+    through ``hubs`` shared hub values, so the join fans out ``(n/hubs)``
+    ways per probe and the output is ``n * n / hubs`` rows."""
+    return {
+        "big_a": [(i, i % hubs) for i in range(n)],
+        "big_b": [(j % hubs, j) for j in range(n)],
+    }
+
+
 def binary_tree_edges(depth: int) -> List[Tuple[int, int]]:
     out = []
     for node in range(2 ** depth - 1):
@@ -39,6 +63,10 @@ def binary_tree_edges(depth: int) -> List[Tuple[int, int]]:
 PATH_RULES = """
 path(X, Y) :- edge(X, Y).
 path(X, Z) :- path(X, Y) & edge(Y, Z).
+"""
+
+STAR_RULES = """
+q(X, Z) :- big_a(X, Y) & big_b(Y, Z).
 """
 
 GLUE_TC = """

@@ -32,10 +32,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks._workloads import (  # noqa: E402
     PATH_RULES,
+    STAR_RULES,
     binary_tree_edges,
     chain_edges,
     db_with,
+    layered_chain_edges,
     random_graph,
+    skewed_star_facts,
 )
 from repro.lang.parser import parse_program  # noqa: E402
 from repro.nail.engine import NailEngine, magic_query  # noqa: E402
@@ -58,6 +61,27 @@ tc(G)(X, Z) :- tc(G)(X, Y) & e(G, Y, Z).
 
 def rules_of(text):
     return list(parse_program(text).items)
+
+
+def _runtime_info() -> dict:
+    """Interpreter provenance for BENCH entries.
+
+    Wall-clock numbers are not comparable across Python versions or
+    across GIL vs free-threaded builds of the same version, so every
+    results document records which interpreter produced it.
+    """
+    import os
+    import platform
+    import sysconfig
+
+    is_gil = getattr(sys, "_is_gil_enabled", None)
+    return {
+        "python_version": platform.python_version(),
+        "free_threaded_build": bool(sysconfig.get_config_var("Py_GIL_DISABLED")),
+        "gil_enabled": bool(is_gil()) if is_gil is not None else True,
+        "cores": os.cpu_count(),
+    }
+
 
 
 def _materialize(db, rules, pred, arity, strategy="seminaive", join_mode="hash"):
@@ -240,6 +264,7 @@ def main_mixed(args) -> int:
         except json.JSONDecodeError:
             pass
     doc["quick"] = args.quick
+    doc.update(_runtime_info())
     doc["workloads"] = {name: stats}
     if args.label:
         doc.setdefault("history", []).append(
@@ -360,6 +385,7 @@ def main_glue(args) -> int:
         except json.JSONDecodeError:
             pass
     doc["quick"] = args.quick
+    doc.update(_runtime_info())
     doc["workloads"] = results
     if args.label:
         doc.setdefault("history", []).append(
@@ -479,6 +505,7 @@ def main_ordering(args) -> int:
         except json.JSONDecodeError:
             pass
     doc["quick"] = args.quick
+    doc.update(_runtime_info())
     doc["workloads"] = results
     if args.label:
         doc.setdefault("history", []).append(
@@ -630,6 +657,7 @@ def main_subscriptions(args) -> int:
         except json.JSONDecodeError:
             pass
     doc["quick"] = args.quick
+    doc.update(_runtime_info())
     doc["workloads"] = {name: stats}
     if args.label:
         doc.setdefault("history", []).append(
@@ -702,7 +730,7 @@ def main_parallel(args) -> int:
     divergences = []
     for name, edges in sizes.items():
         serial_stats, serial_rows, serial_core = _run_closure_once(edges, 1)
-        entry = {"edges": len(edges), "cores": os.cpu_count(), "workers": {}}
+        entry = {"edges": len(edges), **_runtime_info(), "workers": {}}
         entry["workers"]["1"] = serial_stats
         line = f"{name:28s} rows={serial_stats['rows']:<7d} serial={serial_stats['wall_s']:<8.4f}"
         for workers in worker_counts:
@@ -736,6 +764,7 @@ def main_parallel(args) -> int:
         except json.JSONDecodeError:
             pass
     doc["quick"] = args.quick
+    doc.update(_runtime_info())
     doc["cores"] = os.cpu_count()
     doc["workloads"] = results
     if args.label:
@@ -746,6 +775,201 @@ def main_parallel(args) -> int:
     print(f"\nwrote {out_path}")
     if divergences:
         print(f"DIVERGENCE parallel vs serial on: {', '.join(divergences)}")
+        return 1
+    return 0
+
+
+def _run_batchmode_once(source, facts, goal, arity, batch_mode, reps=2):
+    """Materializations through the system facade under one batch mode.
+
+    Times ``engine.materialize`` only: row fetching and sorting are shared
+    presentation costs identical in both modes, and folding them into the
+    timer flattens the kernel-speedup ratio the workload exists to
+    measure.  Best wall of ``reps`` fresh runs (each run is a fresh
+    system, so rows and counters are deterministic across reps).  The full
+    counter snapshot rides along so ``--check`` can assert
+    counter-exactness, not just result equality.
+    """
+    from repro.core.system import GlueNailSystem
+    from repro.storage.stats import COUNTER_FIELDS
+
+    best_wall = None
+    for _ in range(reps):
+        system = GlueNailSystem(batch_mode=batch_mode)
+        system.load(source)
+        for name, rows in facts.items():
+            system.facts(name, rows)
+        system.compile()
+        system.reset_counters()
+        t0 = time.perf_counter()
+        relation = system.engine.materialize(Atom(goal), arity)
+        wall = time.perf_counter() - t0
+        rows = set(relation.rows())
+        counters = dict(zip(COUNTER_FIELDS, system.db.counters.as_tuple()))
+        system.close()
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    stats = {
+        "rows": len(rows),
+        "wall_s": round(best_wall, 4),
+        "tuples_scanned": counters["tuples_scanned"],
+        "index_lookups": counters["index_lookups"],
+        "index_probe_tuples": counters["index_probe_tuples"],
+    }
+    return stats, rows, counters
+
+
+def _kernel_microbench(quick: bool) -> dict:
+    """Per-tuple overhead of the join hot path, kernels vs row engine.
+
+    Evaluates the skewed-star body directly through
+    :func:`~repro.nail.bodyeval.eval_rule_body_batch` -- no head
+    materialization, no fixpoint bookkeeping -- so the wall clock divided
+    by tuple touches (scans + lookups + probed tuples, identical across
+    modes by the counter-parity contract) is the interpreter overhead per
+    tuple of actual join work.  Best of three runs per mode.
+    """
+    from repro.col import Batch
+    from repro.nail.bodyeval import eval_rule_body_batch
+    from repro.nail.rules import prepare_rules
+
+    n, hubs = (1200, 20) if quick else (4000, 40)
+    db = Database()
+    facts = skewed_star_facts(n, hubs)
+    for name, rows in facts.items():
+        db.declare(name, 2).insert_many(
+            tuple(Num(v) for v in row) for row in rows
+        )
+    info = prepare_rules([parse_program(STAR_RULES).items[0]])[0]
+
+    def rows_fn(pred, arity):
+        return db.get(pred.name, arity)
+
+    touch_keys = ("tuples_scanned", "index_lookups", "index_probe_tuples")
+
+    def best_of(mode, reps=3):
+        best = None
+        for _ in range(reps):
+            db.counters.reset()
+            t0 = time.perf_counter()
+            out = eval_rule_body_batch(info, rows_fn, batch_mode=mode)
+            wall = time.perf_counter() - t0
+            length = out.length if isinstance(out, Batch) else len(out)
+            touches = sum(getattr(db.counters, k) for k in touch_keys)
+            if best is None or wall < best[0]:
+                best = (wall, length, touches)
+        return best
+
+    row_wall, row_n, row_touches = best_of("row")
+    col_wall, col_n, col_touches = best_of("columnar")
+    assert row_n == col_n and row_touches == col_touches
+    return {
+        "workload": f"star-{n}x{hubs}-body",
+        "bindings": row_n,
+        "tuple_touches": row_touches,
+        "row_wall_s": round(row_wall, 4),
+        "columnar_wall_s": round(col_wall, 4),
+        "row_ns_per_tuple": round(row_wall / row_touches * 1e9, 1),
+        "columnar_ns_per_tuple": round(col_wall / col_touches * 1e9, 1),
+        "overhead_reduction": round(row_wall / max(col_wall, 1e-9), 2),
+    }
+
+
+def main_columnar(args) -> int:
+    """The columnar batch-execution workload: batch-friendly closures and
+    joins under ``batch_mode="columnar"`` vs the row engine, plus the
+    kernel microbenchmark isolating per-tuple interpreter overhead.
+
+    ``--check`` asserts the differential contract: identical row sets AND
+    identical values on every counter field between the two modes.
+    """
+    # The star head projects the join down to its spokes: the 100-way hub
+    # fan-out is full join work for both modes, but the output dedup runs
+    # over id arrays in the columnar engine and over binding dicts in the
+    # row engine.  (A head keeping all 400k bindings is insert-bound --
+    # inserts are shared storage cost -- and measures storage, not the
+    # kernels; see docs/PERFORMANCE.md.)
+    star_proj = "q(X) :- big_a(X, Y) & big_b(Y, Z).\n"
+    if args.quick:
+        macro = {
+            "chain-closure-12x6": (PATH_RULES,
+                                   {"edge": layered_chain_edges(12, 6)},
+                                   "path", 2),
+            "star-skewed-800x16": (star_proj, skewed_star_facts(800, 16),
+                                   "q", 1),
+        }
+    else:
+        macro = {
+            "chain-closure-30x10": (PATH_RULES,
+                                    {"edge": layered_chain_edges(30, 10)},
+                                    "path", 2),
+            "star-skewed-4000x40": (star_proj, skewed_star_facts(4000, 40),
+                                    "q", 1),
+        }
+    results = {}
+    divergences = []
+    for name, (source, facts, goal, arity) in macro.items():
+        row_stats, row_rows, row_counters = _run_batchmode_once(
+            source, facts, goal, arity, "row"
+        )
+        col_stats, col_rows, col_counters = _run_batchmode_once(
+            source, facts, goal, arity, "columnar"
+        )
+        entry = {
+            "rows": col_stats["rows"],
+            "row_wall_s": row_stats["wall_s"],
+            "columnar_wall_s": col_stats["wall_s"],
+            "speedup": round(
+                row_stats["wall_s"] / max(col_stats["wall_s"], 1e-9), 2
+            ),
+            "tuples_scanned": col_stats["tuples_scanned"],
+            "index_lookups": col_stats["index_lookups"],
+            "index_probe_tuples": col_stats["index_probe_tuples"],
+        }
+        line = (
+            f"{name:28s} rows={entry['rows']:<7d} row={entry['row_wall_s']:<8.4f} "
+            f"col={entry['columnar_wall_s']:<8.4f} speedup={entry['speedup']:.2f}x"
+        )
+        if args.check:
+            ok = row_rows == col_rows and row_counters == col_counters
+            line += "  check=" + ("OK" if ok else "DIVERGED")
+            if not ok:
+                divergences.append(name)
+        results[name] = entry
+        print(line)
+
+    micro = _kernel_microbench(args.quick)
+    print(
+        f"{micro['workload']:28s} bindings={micro['bindings']:<7d} "
+        f"row={micro['row_ns_per_tuple']}ns/tuple "
+        f"col={micro['columnar_ns_per_tuple']}ns/tuple "
+        f"reduction={micro['overhead_reduction']:.2f}x"
+    )
+
+    out_path = Path(
+        args.out
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+    )
+    doc = {"workloads": {}, "history": []}
+    if out_path.exists():
+        try:
+            doc = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["quick"] = args.quick
+    doc.update(_runtime_info())
+    doc["workloads"] = results
+    doc["kernel_microbench"] = micro
+    if args.label:
+        doc.setdefault("history", []).append(
+            {"label": args.label, "quick": args.quick, "workloads": results,
+             "kernel_microbench": micro}
+        )
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    if divergences:
+        print(f"DIVERGENCE columnar vs row on: {', '.join(divergences)}")
         return 1
     return 0
 
@@ -823,6 +1047,15 @@ def main(argv=None) -> int:
         "serial on rows and all non-parallel_* counters",
     )
     parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="run the columnar batch-execution workload instead "
+        "(batch-friendly chain closure and skewed star under the columnar "
+        "kernels vs the row engine, plus the per-tuple kernel "
+        "microbenchmark); writes BENCH_columnar.json by default; --check "
+        "asserts identical rows and identical counters across modes",
+    )
+    parser.add_argument(
         "--workers",
         default="1,2,4,8",
         help="comma-separated worker counts for --parallel (default 1,2,4,8)",
@@ -851,6 +1084,8 @@ def main(argv=None) -> int:
         return main_subscriptions(args)
     if args.parallel:
         return main_parallel(args)
+    if args.columnar:
+        return main_columnar(args)
     if args.out is None:
         args.out = str(Path(__file__).resolve().parent.parent / "BENCH_joins.json")
 
@@ -884,6 +1119,7 @@ def main(argv=None) -> int:
         except json.JSONDecodeError:
             pass
     doc["quick"] = args.quick
+    doc.update(_runtime_info())
     doc["workloads"] = results
     if args.label:
         doc.setdefault("history", []).append(

@@ -1,0 +1,32 @@
+"""repro.col: columnar batch execution for the join hot path.
+
+Flat relations are encoded as parallel arrays of interned term ids (one
+:class:`AtomTable` shared per database), rule-body binding streams become
+:class:`Batch` objects, and the dominant join kernels -- hash build,
+probe/extract, eq-check filter, dedup, membership -- run as plan-
+specialized batch operators instead of per-tuple ``dict[var, Term]``
+shuffling.  ``batch_mode="row"`` keeps the row engine as the differential
+baseline; a columnar run charges bit-identical cost counters (see
+:mod:`repro.col.kernels` for the parity contract) so the two modes are
+interchangeable everywhere, including under ``parallel_mode="partition"``.
+"""
+
+from repro.col.atoms import AtomTable
+from repro.col.batch import Batch, encode_dicts, project_batch
+from repro.col.kernels import (
+    ColumnarContext,
+    run_broadcast,
+    run_member,
+    run_probe,
+)
+
+__all__ = [
+    "AtomTable",
+    "Batch",
+    "ColumnarContext",
+    "encode_dicts",
+    "project_batch",
+    "run_broadcast",
+    "run_member",
+    "run_probe",
+]

@@ -1,0 +1,75 @@
+"""Term interning: the dictionary encoding behind columnar batches.
+
+A columnar batch stores integer ids, not Term objects; the
+:class:`AtomTable` is the shared two-way mapping.  One table is shared per
+:class:`~repro.storage.database.Database` (the engine's IDB shares its
+EDB's table), because ids from different relations meet in join keys and
+must be comparable.
+
+Interning uses plain dict semantics over Term hash/equality, so two terms
+that compare equal (``Num(2)`` and ``Num(2.0)``) receive the same id --
+exactly the grouping a Term-keyed hash bucket gives the row engine.
+Decoding returns the first-interned representative, which is ``==`` to
+every term it stands for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class AtomTable:
+    """Bidirectional Term <-> int id map (append-only)."""
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self):
+        self._ids: dict = {}
+        self._terms: list = []
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def intern(self, term) -> int:
+        i = self._ids.get(term)
+        if i is None:
+            i = len(self._terms)
+            self._ids[term] = i
+            self._terms.append(term)
+        return i
+
+    def intern_row(self, row) -> Tuple[int, ...]:
+        ids = self._ids
+        terms = self._terms
+        out = []
+        for term in row:
+            i = ids.get(term)
+            if i is None:
+                i = len(terms)
+                ids[term] = i
+                terms.append(term)
+            out.append(i)
+        return tuple(out)
+
+    def intern_column(self, rows, col: int) -> List[int]:
+        """Encode one column of an iterable of rows."""
+        ids = self._ids
+        terms = self._terms
+        out = []
+        for row in rows:
+            term = row[col]
+            i = ids.get(term)
+            if i is None:
+                i = len(terms)
+                ids[term] = i
+                terms.append(term)
+            out.append(i)
+        return out
+
+    def term(self, i: int):
+        return self._terms[i]
+
+    def decode(self, column) -> list:
+        """Id column -> Term list (representatives)."""
+        terms = self._terms
+        return [terms[i] for i in column]

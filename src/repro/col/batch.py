@@ -1,0 +1,142 @@
+"""The columnar binding batch: parallel id arrays, one per variable.
+
+A :class:`Batch` is the set-at-a-time replacement for the NAIL! body
+evaluator's ``List[dict[var, Term]]``: every row binds exactly the same
+variables (homogeneous by construction), each variable's values live in
+one flat list of :class:`~repro.col.atoms.AtomTable` ids, and row order /
+multiplicity match what the row engine would have produced -- the batch is
+a *representation* change, never a semantics change.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Batch:
+    """Homogeneous bindings as parallel id columns."""
+
+    __slots__ = ("vars", "cols", "length", "atoms")
+
+    def __init__(
+        self,
+        vars: Sequence[str],
+        cols: Sequence[list],
+        length: Optional[int] = None,
+        atoms=None,
+    ):
+        self.vars: Tuple[str, ...] = tuple(vars)
+        self.cols: List[list] = list(cols)
+        if length is None:
+            length = len(self.cols[0]) if self.cols else 0
+        self.length = length
+        self.atoms = atoms
+
+    @classmethod
+    def unit(cls, atoms=None) -> "Batch":
+        """The seed batch: one row binding nothing (``[{}]``)."""
+        return cls((), (), 1, atoms)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def col(self, name: str) -> list:
+        return self.cols[self.vars.index(name)]
+
+    def take(self, indexes: Sequence[int]) -> "Batch":
+        """Row selection/replication by index list, order-preserving."""
+        return Batch(
+            self.vars,
+            [[col[i] for i in indexes] for col in self.cols],
+            len(indexes),
+            self.atoms,
+        )
+
+    def to_dicts(self, atoms=None) -> list:
+        """Decode to the row engine's binding dicts (order/multiplicity
+        preserved) -- the per-literal fallback boundary."""
+        atoms = atoms if atoms is not None else self.atoms
+        names = self.vars
+        if not names:
+            return [{} for _ in range(self.length)]
+        decoded = [atoms.decode(col) for col in self.cols]
+        return [dict(zip(names, values)) for values in zip(*decoded)]
+
+    def concat(self, other: "Batch") -> "Batch":
+        """Append another batch with the same variable set (parallel merge)."""
+        if other.vars != self.vars:
+            raise ValueError("cannot concat batches with different variables")
+        return Batch(
+            self.vars,
+            [a + b for a, b in zip(self.cols, other.cols)],
+            self.length + other.length,
+            self.atoms,
+        )
+
+    def slices(self, bounds: Sequence[Tuple[int, int]]) -> List["Batch"]:
+        """Contiguous row slices (the batch-aware partition split)."""
+        return [
+            Batch(self.vars, [col[lo:hi] for col in self.cols], hi - lo, self.atoms)
+            for lo, hi in bounds
+        ]
+
+
+def encode_dicts(bindings_list, atoms) -> Optional[Batch]:
+    """Encode homogeneous binding dicts into a batch; None if mixed.
+
+    ``[{}]`` seeds become the unit batch.  A heterogeneous list (several
+    bound-variable signatures, as magic seeds occasionally produce) stays
+    on the row path.
+    """
+    if not bindings_list:
+        return Batch((), (), 0, atoms)
+    first = bindings_list[0]
+    names = tuple(first)
+    for b in bindings_list:
+        if len(b) != len(names):
+            return None
+    if len(bindings_list) > 1:
+        keys = set(names)
+        for b in bindings_list:
+            if set(b) != keys:
+                return None
+    if not names:
+        return Batch((), (), len(bindings_list), atoms)
+    intern = atoms.intern
+    cols = [[intern(b[name]) for b in bindings_list] for name in names]
+    return Batch(names, cols, len(bindings_list), atoms)
+
+
+def project_batch(batch: Batch, live: Sequence[str]) -> Batch:
+    """Projection push-down on a batch: drop dead columns, dedup rows.
+
+    Mirrors ``repro.nail.bodyeval._project_bindings`` exactly: the dedup
+    key is the live-variable projection (variables absent from the batch
+    are a constant ``None`` for every row, so they never split a class),
+    and the first occurrence survives in input order.  Charges nothing,
+    like the row version.
+    """
+    keep = [i for i, name in enumerate(batch.vars) if name in live]
+    names = tuple(batch.vars[i] for i in keep)
+    cols = [batch.cols[i] for i in keep]
+    if not cols:
+        return Batch(names, (), 1 if batch.length else 0, batch.atoms)
+    seen = set()
+    indexes = []
+    if len(cols) == 1:
+        col = cols[0]
+        for i in range(batch.length):
+            key = col[i]
+            if key not in seen:
+                seen.add(key)
+                indexes.append(i)
+    else:
+        for i, key in enumerate(zip(*cols)):
+            if key not in seen:
+                seen.add(key)
+                indexes.append(i)
+    if len(indexes) == batch.length:
+        return Batch(names, cols, batch.length, batch.atoms)
+    return Batch(
+        names, [[col[i] for i in indexes] for col in cols], len(indexes), batch.atoms
+    )

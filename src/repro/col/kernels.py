@@ -1,0 +1,289 @@
+"""Plan-specialized batch kernels and their per-database cache.
+
+The kernel generator specializes the generic join interpreter against the
+plan shapes both engines already compute -- a NAIL!
+:class:`~repro.opt.literal.LiteralPlan` or a Glue
+:class:`~repro.vm.plan.StmtJoinShape`: key columns, constant positions,
+extraction templates and eq-checks are baked in as tuple indexes, and the
+per-tuple work becomes one dict lookup plus list appends over id arrays.
+
+**Counter parity is the contract.**  Every kernel charges exactly the
+:class:`~repro.storage.stats.CostCounters` increments the row engine
+charges for the same logical work -- probes charge ``index_lookups`` per
+input row and ``index_probe_tuples`` by *raw* (pre-eq-check) bucket size,
+scans charge through the source's own ``scan()``, index builds go through
+``Relation.build_index`` (cached, so the build is charged once either
+way).  Kernel-cache hits and batch sizes are reported only through
+``batch_kernel`` trace events, never through counters, so a columnar run
+and a row run are differentially identical on all counter fields.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.col.atoms import AtomTable
+from repro.col.batch import Batch
+
+# Bounds keeping the per-database caches from growing without limit on
+# pathological plan churn; real programs have a few dozen shapes.
+_MAX_TABLES = 1024
+_MAX_GLUE_TABLES = 256
+
+
+class ColumnarContext:
+    """Shared per-database columnar state: the atom table + kernel caches.
+
+    One context is shared by a database and every database evaluating
+    against it (the NAIL! engine's IDB adopts its EDB's context), because
+    ids from different relations meet in join keys.  Cached state is keyed
+    by the relation's ``(uid, version)`` fingerprint -- ``uid`` is globally
+    unique, so frame-local Glue relations cache safely too -- and a version
+    bump invalidates by key miss (full re-encode, no changelog replay).
+    """
+
+    __slots__ = ("atoms", "_tables", "_rowsets", "_glue_tables", "hits", "misses")
+
+    def __init__(self):
+        self.atoms = AtomTable()
+        # (uid, probe_cols, extract_cols, eq_checks) -> (version, table)
+        self._tables: dict = {}
+        # uid -> (version, frozenset of id-rows)
+        self._rowsets: dict = {}
+        # (uid, probe_cols, extract_cols, eq_checks) -> (version, table)
+        self._glue_tables: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "atoms": len(self.atoms),
+            "tables": len(self._tables) + len(self._glue_tables),
+            "rowsets": len(self._rowsets),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+        }
+
+    # ------------------------------------------------------------------ #
+    # NAIL! kernel state
+    # ------------------------------------------------------------------ #
+
+    def probe_table(self, relation, plan) -> Tuple[dict, bool]:
+        """The probe-side hash state for one (relation, literal plan).
+
+        Maps a probe key (scalar id for single-column keys, id tuple
+        otherwise) to ``(raw_bucket_len, match_count, extract_columns)``
+        with eq-checks pre-applied.  Built by iterating the relation's own
+        persistent ``HashIndex`` buckets, so the index build is charged
+        (once) exactly as a row-engine probe would charge it, and bucket
+        insertion order -- hence output order -- is identical.
+        """
+        extract_cols = tuple(col for col, _name in plan.extract)
+        key = (relation.uid, plan.probe_cols, extract_cols, plan.eq_checks)
+        version = relation.fingerprint[1]
+        entry = self._tables.get(key)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1], True
+        self.misses += 1
+        index = relation.build_index(plan.probe_cols)
+        atoms = self.atoms
+        intern = atoms.intern
+        intern_row = atoms.intern_row
+        eq_checks = plan.eq_checks
+        scalar = len(plan.probe_cols) == 1
+        table: dict = {}
+        for bucket_key, rows in index.buckets_view().items():
+            raw = len(rows)
+            new_cols: list = [[] for _ in extract_cols]
+            matched = 0
+            for row in rows:
+                if eq_checks and any(row[c] != row[c0] for c, c0 in eq_checks):
+                    continue
+                for j, c in enumerate(extract_cols):
+                    new_cols[j].append(intern(row[c]))
+                matched += 1
+            k = intern(bucket_key[0]) if scalar else intern_row(bucket_key)
+            table[k] = (raw, matched, new_cols)
+        if len(self._tables) > _MAX_TABLES:
+            self._tables.clear()
+        self._tables[key] = (version, table)
+        return table, False
+
+    def rowset(self, relation) -> Tuple[set, bool]:
+        """The relation's rows as a set of id tuples (membership kernel).
+
+        Building charges nothing, mirroring the row engine's ``contains``
+        path (a plain set-membership test over the stored row dict).
+        """
+        version = relation.fingerprint[1]
+        entry = self._rowsets.get(relation.uid)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1], True
+        self.misses += 1
+        intern_row = self.atoms.intern_row
+        rows = frozenset(intern_row(row) for row in relation.rows())
+        if len(self._rowsets) > _MAX_TABLES:
+            self._rowsets.clear()
+        self._rowsets[relation.uid] = (version, rows)
+        return rows, False
+
+    # ------------------------------------------------------------------ #
+    # Glue kernel state
+    # ------------------------------------------------------------------ #
+
+    def glue_probe_table(self, target, shape) -> Tuple[dict, bool]:
+        """Suffix table for a Glue scan step: probe key -> suffix rows.
+
+        Keys are Term tuples (scalar Terms for single-column keys) and the
+        values are ``(raw_bucket_len, [suffix Term tuples])`` with the
+        eq-checks and extraction template pre-applied, so the emit closure
+        is one lookup and one list comprehension per supplementary row.
+        Term-level (no interning): frame-local relations need no shared id
+        space, and the emitted rows feed straight into Term-tuple storage.
+        """
+        extract = shape.extract_cols
+        key = (target.uid, shape.probe_cols, extract, shape.eq_checks)
+        version = target.fingerprint[1]
+        entry = self._glue_tables.get(key)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1], True
+        self.misses += 1
+        index = target.build_index(shape.probe_cols)
+        eq_checks = shape.eq_checks
+        scalar = len(shape.probe_cols) == 1
+        table: dict = {}
+        for bucket_key, rows in index.buckets_view().items():
+            if eq_checks:
+                suffixes = [
+                    tuple(row[c] for c in extract)
+                    for row in rows
+                    if all(row[c] == row[c0] for c, c0 in eq_checks)
+                ]
+            else:
+                suffixes = [tuple(row[c] for c in extract) for row in rows]
+            table[bucket_key[0] if scalar else bucket_key] = (len(rows), suffixes)
+        if len(self._glue_tables) > _MAX_GLUE_TABLES:
+            self._glue_tables.clear()
+        self._glue_tables[key] = (version, table)
+        return table, False
+
+
+# ---------------------------------------------------------------------- #
+# NAIL! batch kernels
+# ---------------------------------------------------------------------- #
+
+
+def run_probe(batch: Batch, plan, table: dict, counters, atoms: AtomTable) -> Batch:
+    """Vectorized hash probe + extraction over one batch.
+
+    Row-engine parity: one ``index_lookups`` per input row (misses
+    included), ``index_probe_tuples`` by raw bucket length, output rows in
+    (input row, bucket insertion) order.
+    """
+    key_cols = plan.key_cols
+    n = batch.length
+    if len(key_cols) == 1:
+        _col, kind, value = key_cols[0]
+        keys = batch.col(value) if kind == "var" else [atoms.intern(value)] * n
+    else:
+        parts = [
+            batch.col(value) if kind == "var" else [atoms.intern(value)] * n
+            for _col, kind, value in key_cols
+        ]
+        keys = zip(*parts)
+    get = table.get
+    rep: list = []
+    append = rep.append
+    new_cols: list = [[] for _ in plan.extract]
+    probed = 0
+    i = 0
+    for key in keys:
+        entry = get(key)
+        if entry is not None:
+            raw, matched, entry_cols = entry
+            probed += raw
+            if matched == 1:
+                append(i)
+                for j, column in enumerate(entry_cols):
+                    new_cols[j].append(column[0])
+            elif matched:
+                rep.extend([i] * matched)
+                for j, column in enumerate(entry_cols):
+                    new_cols[j].extend(column)
+        i += 1
+    counters.index_lookups += n
+    counters.index_probe_tuples += probed
+    carry = [[col[i] for i in rep] for col in batch.cols]
+    names = batch.vars + tuple(name for _col, name in plan.extract)
+    return Batch(names, carry + new_cols, len(rep), atoms)
+
+
+def run_broadcast(batch: Batch, plan, source, atoms: AtomTable) -> Batch:
+    """No shared variables: compute extension fragments once, broadcast.
+
+    Candidates come from the source's own ``probe``/``scan`` (one call per
+    batch, exactly like the row engine's one call per binding group), so
+    scan and probe counters are the source's, unchanged.  Empty-extraction
+    fragments preserve multiplicity: each surviving candidate contributes
+    one copy of every input row, as the row engine's empty-fragment append
+    does.
+    """
+    if plan.probe_cols:
+        key = tuple(value for _col, _kind, value in plan.key_cols)
+        candidates = source.probe(plan.probe_cols, key)
+    else:
+        candidates = source.scan()
+    eq_checks = plan.eq_checks
+    extract = plan.extract
+    intern = atoms.intern
+    if eq_checks:
+        survivors = [
+            row
+            for row in candidates
+            if all(row[c] == row[c0] for c, c0 in eq_checks)
+        ]
+    else:
+        survivors = candidates if isinstance(candidates, list) else list(candidates)
+    # Column-at-a-time encode: one comprehension per extracted column.
+    frag_cols = [[intern(row[c]) for row in survivors] for c, _name in extract]
+    nfrag = len(survivors)
+    names = batch.vars + tuple(name for _col, name in extract)
+    n = batch.length
+    if nfrag == 0:
+        return Batch(names, [[] for _ in names], 0, atoms)
+    if nfrag == 1:
+        carry = [list(col) for col in batch.cols]
+    else:
+        carry = [
+            [value for value in col for _ in range(nfrag)] for col in batch.cols
+        ]
+    new_cols = [col * n for col in frag_cols]
+    return Batch(names, carry + new_cols, n * nfrag, atoms)
+
+
+def run_member(batch: Batch, plan, rowset, counters, atoms: AtomTable) -> Batch:
+    """Negated fully-covered literal: batch anti-membership filter.
+
+    Row-engine parity: ``index_probe_tuples`` += 1 per *hit* only (the
+    ``contains`` charge), survivors keep input order.
+    """
+    key_cols = plan.key_cols
+    n = batch.length
+    parts = [
+        batch.col(value) if kind == "var" else [atoms.intern(value)] * n
+        for _col, kind, value in key_cols
+    ]
+    keep: list = []
+    hits = 0
+    for i, key in enumerate(zip(*parts)):
+        if key in rowset:
+            hits += 1
+        else:
+            keep.append(i)
+    counters.index_probe_tuples += hits
+    if len(keep) == n:
+        return batch
+    return batch.take(keep)

@@ -38,6 +38,7 @@ def _build_system(args) -> GlueNailSystem:
         dedup_on_break=not args.no_dedup,
         join_mode=getattr(args, "join_mode", "hash"),
         order_mode=getattr(args, "order_mode", "cost"),
+        batch_mode=getattr(args, "batch_mode", "columnar"),
         parallel_mode="partition" if workers is not None and workers > 1 else "serial",
         workers=workers,
     )
@@ -146,6 +147,7 @@ def cmd_repl(args) -> int:
     options = dict(
         parallel_mode="partition" if workers is not None and workers > 1 else "serial",
         workers=workers,
+        batch_mode=getattr(args, "batch_mode", "columnar"),
     )
     if getattr(args, "db", None):
         system = GlueNailSystem.open(args.db, **options)
@@ -175,6 +177,7 @@ def cmd_serve(args) -> int:
         port=args.port,
         sync=not args.no_sync,
         workers=args.workers,
+        batch_mode=getattr(args, "batch_mode", "columnar"),
     )
     if args.edb:
         from repro.storage.persist import load_database
@@ -305,6 +308,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="how bodies are ordered: the cost-based planner or program order",
     )
     parser.add_argument(
+        "--batch-mode", choices=("columnar", "row"), default="columnar",
+        help="how bodies execute: columnar batch kernels or the row baseline",
+    )
+    parser.add_argument(
         "--workers", type=int, metavar="N",
         help="evaluate large joins across N worker threads "
              "(partition-parallel mode; 1 or unset = serial)",
@@ -366,6 +373,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="durable database directory (recovered on open)")
     p_repl.add_argument("--workers", type=int, metavar="N",
                         help="partition-parallel evaluation across N threads")
+    p_repl.add_argument("--batch-mode", choices=("columnar", "row"),
+                        default="columnar",
+                        help="columnar batch kernels or the row baseline")
     p_repl.set_defaults(fn=cmd_repl)
 
     p_serve = sub.add_parser("serve", help="run the concurrent TCP query server")
@@ -379,6 +389,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="skip fsync on commit (faster, less durable)")
     p_serve.add_argument("--workers", type=int, metavar="N",
                         help="partition-parallel evaluation across N threads")
+    p_serve.add_argument("--batch-mode", choices=("columnar", "row"),
+                        default="columnar",
+                        help="columnar batch kernels or the row baseline")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_connect = sub.add_parser("connect", help="REPL against a live server")

@@ -44,6 +44,7 @@ Commands:
   .profile on|off      trace queries (`.last` then shows the trace tree)
   .last                stats (and trace, with .profile on) of the last query
   .strategy NAME       pipelined | materialized
+  .batch columnar|row  columnar batch kernels or the row baseline
   .workers N           partition-parallel evaluation across N threads (1 = serial)
   .stats               cost counters since the last .stats
   .save FILE / .load FILE   EDB persistence
@@ -219,6 +220,7 @@ class Repl:
             ".profile": self._cmd_profile,
             ".last": self._cmd_last,
             ".strategy": self._cmd_strategy,
+            ".batch": self._cmd_batch,
             ".workers": self._cmd_workers,
             ".stats": self._cmd_stats,
             ".save": self._cmd_save,
@@ -323,6 +325,17 @@ class Repl:
         self.system.strategy = arg
         self.system._invalidate()
         self._print(f"strategy = {arg}")
+
+    def _cmd_batch(self, arg: str) -> None:
+        if not arg:
+            self._print(f"batch mode = {self.system.batch_mode}")
+            return
+        if arg not in ("columnar", "row"):
+            self._print("usage: .batch columnar|row")
+            return
+        self.system.batch_mode = arg
+        self.system._invalidate()
+        self._print(f"batch mode = {arg}")
 
     def _cmd_workers(self, arg: str) -> None:
         if not arg:

@@ -62,6 +62,7 @@ class GlueNailSystem:
         adaptive_reorder: bool = False,
         join_mode: str = "hash",
         order_mode: str = "cost",
+        batch_mode: str = "columnar",
         parallel_mode: str = "serial",
         workers: Optional[int] = None,
         parallel: Optional[object] = None,
@@ -90,6 +91,12 @@ class GlueNailSystem:
         if order_mode not in ("cost", "program"):
             raise ValueError(f"unknown order mode {order_mode!r}")
         self.order_mode = order_mode
+        # One batch-execution mode for the whole program: "columnar" runs
+        # rule bodies and Glue probes through the repro.col batch kernels,
+        # "row" keeps the binding-dict engine (the differential baseline).
+        if batch_mode not in ("columnar", "row"):
+            raise ValueError(f"unknown batch mode {batch_mode!r}")
+        self.batch_mode = batch_mode
         # Partition-parallel evaluation (repro.par): "partition" runs
         # seminaive joins and Glue statement bodies across a worker pool,
         # hash-partitioned on the planner's probe keys; "serial" is the
@@ -230,6 +237,7 @@ class GlueNailSystem:
             join_mode=self.join_mode,
             order_mode=self.order_mode,
             parallel=self.parallel,
+            batch_mode=self.batch_mode,
         )
         for _, proc in self._foreign:
             ctx.register_foreign(proc)
@@ -239,7 +247,7 @@ class GlueNailSystem:
         engine = NailEngine(
             self.db, compiled.rules, strategy=self.nail_strategy, check_safety=False,
             join_mode=self.join_mode, order_mode=self.order_mode,
-            parallel=self.parallel,
+            parallel=self.parallel, batch_mode=self.batch_mode,
         )
         ctx.nail_engine = engine
         for name, arity in compiled.edb_decls:
@@ -655,6 +663,7 @@ class GlueNailSystem:
                     self.db, self._compiled.rules, subgoal.pred, subgoal.args,
                     strategy=self.nail_strategy, join_mode=self.join_mode,
                     order_mode=self.order_mode, parallel=self.parallel,
+                    batch_mode=self.batch_mode,
                 )
             except MagicTransformError:
                 return self._resolve_query(subgoal)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.bindings import expr_has_agg
+from repro.col import Batch, encode_dicts, project_batch, run_broadcast, run_member, run_probe
 from repro.errors import GlueRuntimeError
 from repro.glue.aggregates import apply_aggregate
 from repro.glue.builtins import compare_terms, eval_function, term_arith
@@ -42,6 +43,7 @@ from repro.lang.ast import (
 from repro.nail.rules import JoinPlanner, RuleInfo
 from repro.opt import LiteralPlan, Plan
 from repro.opt import optimize as _optimize
+from repro.par.partition import chunk_bounds
 from repro.terms.matching import instantiate, match, match_tuple, substitute
 from repro.terms.term import Atom, Num, Term, Var, is_ground
 
@@ -688,6 +690,201 @@ def _apply_aggregate_compare(
     return out
 
 
+# ---------------------------------------------------------------------- #
+# columnar batch execution (batch_mode="columnar", see repro.col)
+# ---------------------------------------------------------------------- #
+
+
+def _find_columnar_context(decl: RuleDecl, rows_fn: RowsFn):
+    """The shared per-database columnar context for this rule body.
+
+    Ids from different relations meet in join keys, so every kernel in one
+    body must encode through the same atom table; the first ground literal
+    whose source is a database-owned Relation supplies it.  Bodies with no
+    such literal (all deltas, iterables, or HiLog names) stay on the row
+    engine.
+    """
+    for subgoal in decl.body:
+        if not isinstance(subgoal, PredSubgoal):
+            continue
+        if not is_ground(subgoal.pred):
+            continue
+        obj = rows_fn(subgoal.pred, len(subgoal.args))
+        ctx = getattr(obj, "columnar", None)
+        if ctx is not None:
+            return ctx
+    return None
+
+
+def _empty_batch(batch: Batch, plan: LiteralPlan) -> Batch:
+    names = batch.vars + tuple(name for _col, name in plan.extract)
+    return Batch(names, [[] for _ in names], 0, batch.atoms)
+
+
+def _parallel_probe_kernel(
+    parallel, batch: Batch, plan, table, counters, atoms, tracer, label, source_size
+) -> Optional[Batch]:
+    """Batch-aware partition split: the probe kernel over column slices.
+
+    The coordinator builds (or reuses) the kernel table, splits the batch
+    into contiguous column slices, and runs the same ``run_probe`` code per
+    slice on the worker pool -- so a parallel columnar join performs
+    exactly the probes a serial one performs and the folded cost counters
+    come out identical.  Returns None (serial fallback) below the
+    partition floor.
+    """
+    n = batch.length
+    parts = parallel.partition_count(n)
+    if parts < 2:
+        return None
+    bounds = chunk_bounds(n, parts)
+    if len(bounds) < 2:
+        return None
+    # Pre-intern constant key components on the coordinator: worker-side
+    # kernel runs then only *read* the shared atom table.
+    for _col, kind, value in plan.key_cols:
+        if kind == "const":
+            atoms.intern(value)
+    slices = batch.slices(bounds)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "exchange",
+            label,
+            strategy="broadcast",
+            source=source_size,
+            bindings=n,
+            partitions=len(slices),
+        )
+    outs = parallel.run_region(
+        [
+            (lambda s=s: run_probe(s, plan, table, counters, atoms))
+            for s in slices
+        ],
+        label=label,
+        tracer=tracer,
+        strategy="chunked",
+        partition_rows=[len(s) for s in slices],
+    )
+    out = outs[0]
+    for chunk in outs[1:]:
+        out = out.concat(chunk)
+    return out
+
+
+def _columnar_literal(
+    batch: Batch,
+    index: int,
+    subgoal: PredSubgoal,
+    fn: RowsFn,
+    planner: JoinPlanner,
+    ctx,
+    tracer,
+    est_rows: Optional[float],
+    parallel,
+) -> Optional[Batch]:
+    """Evaluate one literal against a batch with a specialized kernel.
+
+    Returns the output batch, or None when this literal falls back to the
+    row engine (HiLog predicate variables, compound-term residue, delta /
+    iterable probes, anti-probes) -- the caller then decodes the batch and
+    continues on the row path.  Kernels charge exactly the counters the
+    row strategies charge and emit the same unified ``join`` trace events,
+    plus one ``batch_kernel`` event carrying kernel-cache and batch-size
+    detail.
+    """
+    plan = planner.plan_for(index, frozenset(batch.vars))
+    if plan.pred_vars or plan.complex_cols:
+        return None
+    source = _as_source(fn(subgoal.pred, plan.arity))
+    atoms = ctx.atoms
+    cached: Optional[bool] = None
+    parallel_label = None
+    if subgoal.negated:
+        if isinstance(source, _EmptySource):
+            # Nothing to match: every binding survives, nothing is charged
+            # (the row strategies agree on both points for absent sources).
+            out = batch
+            strategy = (
+                ("member" if plan.covers_all_columns else "anti-probe")
+                if plan.has_var_keys
+                else "anti-static"
+            )
+        elif plan.has_var_keys:
+            if not plan.covers_all_columns:
+                return None  # anti-probe keeps the row engine's residual checks
+            if not isinstance(source, _RelationSource) or source.relation.columnar is not ctx:
+                return None
+            rowset, cached = ctx.rowset(source.relation)
+            out = run_member(batch, plan, rowset, source.relation.counters, atoms)
+            strategy = "member"
+        else:
+            # Group-level test: one probe/scan decides for the whole batch.
+            if plan.probe_cols:
+                candidates = source.probe(
+                    plan.probe_cols, _probe_key(plan.key_cols, {})
+                )
+            else:
+                candidates = source.scan()
+            if any(_row_survives(row, plan) for row in candidates):
+                out = Batch(batch.vars, [[] for _ in batch.vars], 0, batch.atoms)
+            else:
+                out = batch
+            strategy = "anti-static"
+    elif plan.has_var_keys:
+        if isinstance(source, _EmptySource):
+            out = _empty_batch(batch, plan)
+        else:
+            if not isinstance(source, _RelationSource) or source.relation.columnar is not ctx:
+                return None  # delta/iterable probes keep the row engine
+            relation = source.relation
+            table, cached = ctx.probe_table(relation, plan)
+            out = None
+            if (
+                parallel is not None
+                and parallel.active
+                and batch.length >= 2 * parallel.min_partition_rows
+            ):
+                parallel_label = f"{subgoal.pred}/{plan.arity}"
+                out = _parallel_probe_kernel(
+                    parallel, batch, plan, table, relation.counters, atoms,
+                    tracer, parallel_label, len(source),
+                )
+                if out is None:
+                    parallel_label = None
+            if out is None:
+                out = run_probe(batch, plan, table, relation.counters, atoms)
+        strategy = "probe"
+    else:
+        # Broadcast: candidates come through the source's own probe/scan
+        # (one call per batch), so delta scans charge ``tuples_scanned``
+        # exactly as the row engine's group-level scan does.
+        out = run_broadcast(batch, plan, source, atoms)
+        strategy = "broadcast"
+    if tracer is not None and tracer.enabled:
+        label = f"{subgoal.pred}/{plan.arity}"
+        added = out.length
+        tracer.event(
+            "join",
+            label,
+            rows=added,
+            strategy=strategy + "+chunked" if parallel_label else strategy,
+            bindings=batch.length,
+            source=len(source),
+            key=list(plan.probe_cols),
+            est_rows=est_rows,
+            actual_rows=added,
+        )
+        tracer.event(
+            "batch_kernel",
+            label,
+            rows=added,
+            kernel=strategy,
+            batch=batch.length,
+            cache=(None if cached is None else ("hit" if cached else "miss")),
+        )
+    return out
+
+
 def _cost_plan(
     rule: RuleInfo,
     decl: RuleDecl,
@@ -729,7 +926,7 @@ def _cost_plan(
     return plan
 
 
-def eval_rule_body(
+def eval_rule_body_batch(
     rule: Union[RuleDecl, RuleInfo],
     rows_fn: RowsFn,
     delta_index: Optional[int] = None,
@@ -739,25 +936,16 @@ def eval_rule_body(
     join_mode: str = "hash",
     order_mode: str = "cost",
     parallel=None,
-) -> List[Bindings]:
-    """Evaluate a rule body left to right; returns the final binding set.
+    batch_mode: str = "columnar",
+) -> Union[List[Bindings], Batch]:
+    """Evaluate a rule body; the result may still be a columnar batch.
 
-    ``rule`` may be a bare :class:`RuleDecl` or a prepared
-    :class:`~repro.nail.rules.RuleInfo` (whose cached join planner is then
-    reused across calls).  ``delta_index`` (an index into the body)
-    redirects that single positive literal to ``delta_rows_fn`` -- the
-    seminaive trick.  ``join_mode`` selects ``"hash"`` (the planned
-    hash-join engine) or ``"nested"`` (the pre-hash-join nested-loop
-    baseline, kept for differential testing and cost comparisons).
-    ``order_mode`` selects ``"cost"`` (the shared ``repro.opt`` planner
-    chooses the join order per call, with projection push-down) or
-    ``"program"`` (the written order plus the legacy delta-first rotation
-    -- the differential baseline).  ``tracer``, when given and enabled,
-    receives one ``join`` event per (literal, binding group) with the
-    strategy the engine chose and estimated vs. actual rows.  ``parallel``
-    (a :class:`repro.par.ParallelContext`, or None) splits large binding
-    groups across the worker pool; aggregate rules -- where binding
-    multiplicity and order carry meaning -- always evaluate serially.
+    The engine-facing variant of :func:`eval_rule_body`: under
+    ``batch_mode="columnar"`` the returned bindings may be a
+    :class:`~repro.col.batch.Batch` (decode with ``to_dicts()``, or hand
+    it straight to :func:`derive_heads`, which consumes batches without
+    materializing binding dicts).  Everything else matches
+    :func:`eval_rule_body`.
     """
     if isinstance(rule, RuleInfo):
         decl = rule.rule
@@ -771,9 +959,23 @@ def eval_rule_body(
         raise ValueError(f"unknown join mode {join_mode!r}")
     if order_mode not in ("cost", "program"):
         raise ValueError(f"unknown order mode {order_mode!r}")
+    if batch_mode not in ("columnar", "row"):
+        raise ValueError(f"unknown batch mode {batch_mode!r}")
     if parallel is not None and isinstance(rule, RuleInfo) and rule.has_aggregate:
         parallel = None  # serial fallback: multiplicity-sensitive bodies
     var_order = planner.var_order if planner is not None else ()
+
+    # Columnar batches apply to planned (hash) bodies without aggregates;
+    # the kernels themselves fall back per literal for HiLog names,
+    # compound residue, delta probes and anti-probes -- see the fallback
+    # matrix in docs/PERFORMANCE.md.
+    col_ctx = None
+    if (
+        batch_mode == "columnar"
+        and planner is not None
+        and not (isinstance(rule, RuleInfo) and rule.has_aggregate)
+    ):
+        col_ctx = _find_columnar_context(decl, rows_fn)
 
     # Cost-based ordering applies to prepared, aggregate-free rules under
     # the hash engine; everything else (aggregates -- whose group_by scope
@@ -818,12 +1020,53 @@ def eval_rule_body(
             order.remove(delta_index)
             order.insert(0, delta_index)
 
-    bindings_list: List[Bindings] = seeds if seeds is not None else [{}]
+    bindings_list: Union[List[Bindings], Batch] = (
+        seeds if seeds is not None else [{}]
+    )
+    if col_ctx is not None:
+        encoded = encode_dicts(bindings_list, col_ctx.atoms)
+        if encoded is not None:
+            bindings_list = encoded
     group_vars: List[str] = []
     for index in order:
         subgoal = decl.body[index]
         if not bindings_list:
             return []
+        if isinstance(bindings_list, Batch):
+            if (
+                isinstance(subgoal, PredSubgoal)
+                and not subgoal.args
+                and subgoal.pred in (_TRUE, _FALSE)
+            ):
+                holds = subgoal.pred == _TRUE
+                if subgoal.negated:
+                    holds = not holds
+                if not holds:
+                    return []
+                continue
+            stepped = None
+            if isinstance(subgoal, PredSubgoal):
+                fn = (
+                    delta_rows_fn
+                    if index == delta_index and not subgoal.negated
+                    else rows_fn
+                )
+                stepped = _columnar_literal(
+                    bindings_list, index, subgoal, fn, planner, col_ctx,
+                    tracer, est_of.get(index), parallel,
+                )
+            if stepped is not None:
+                bindings_list = stepped
+                if not subgoal.negated:
+                    live = project_of.get(index)
+                    if live is not None and bindings_list.length:
+                        bindings_list = project_batch(bindings_list, live)
+                continue
+            # Per-literal fallback: decode once and continue on the row
+            # engine (comparisons, aggregates, residual literals).
+            bindings_list = bindings_list.to_dicts(col_ctx.atoms)
+            if not bindings_list:
+                return []
         if isinstance(subgoal, PredSubgoal):
             if not subgoal.args and subgoal.pred in (_TRUE, _FALSE):
                 holds = subgoal.pred == _TRUE
@@ -866,11 +1109,99 @@ def eval_rule_body(
     return bindings_list
 
 
+def eval_rule_body(
+    rule: Union[RuleDecl, RuleInfo],
+    rows_fn: RowsFn,
+    delta_index: Optional[int] = None,
+    delta_rows_fn: Optional[RowsFn] = None,
+    seeds: Optional[List[Bindings]] = None,
+    tracer=None,
+    join_mode: str = "hash",
+    order_mode: str = "cost",
+    parallel=None,
+    batch_mode: str = "columnar",
+) -> List[Bindings]:
+    """Evaluate a rule body left to right; returns the final binding set.
+
+    ``rule`` may be a bare :class:`RuleDecl` or a prepared
+    :class:`~repro.nail.rules.RuleInfo` (whose cached join planner is then
+    reused across calls).  ``delta_index`` (an index into the body)
+    redirects that single positive literal to ``delta_rows_fn`` -- the
+    seminaive trick.  ``join_mode`` selects ``"hash"`` (the planned
+    hash-join engine) or ``"nested"`` (the pre-hash-join nested-loop
+    baseline, kept for differential testing and cost comparisons).
+    ``order_mode`` selects ``"cost"`` (the shared ``repro.opt`` planner
+    chooses the join order per call, with projection push-down) or
+    ``"program"`` (the written order plus the legacy delta-first rotation
+    -- the differential baseline).  ``batch_mode`` selects ``"columnar"``
+    (plan-specialized batch kernels over interned id arrays, see
+    ``repro.col``) or ``"row"`` (the dict-per-binding engine, kept as the
+    differential baseline); both charge identical cost counters.
+    ``tracer``, when given and enabled, receives one ``join`` event per
+    (literal, binding group) with the strategy the engine chose and
+    estimated vs. actual rows.  ``parallel`` (a
+    :class:`repro.par.ParallelContext`, or None) splits large binding
+    groups -- and columnar batches -- across the worker pool; aggregate
+    rules, where binding multiplicity and order carry meaning, always
+    evaluate serially.
+    """
+    out = eval_rule_body_batch(
+        rule,
+        rows_fn,
+        delta_index=delta_index,
+        delta_rows_fn=delta_rows_fn,
+        seeds=seeds,
+        tracer=tracer,
+        join_mode=join_mode,
+        order_mode=order_mode,
+        parallel=parallel,
+        batch_mode=batch_mode,
+    )
+    if isinstance(out, Batch):
+        return out.to_dicts()
+    return out
+
+
+def _derive_heads_batch(
+    decl: RuleDecl, batch: Batch
+) -> Optional[List[Tuple[Term, Row]]]:
+    """Columnar head derivation: decode each head column once.
+
+    Applies when the head predicate is ground and every head argument is
+    either a ground term or a plain variable bound by the batch; compound
+    head arguments fall back to per-binding instantiation (None).
+    """
+    if not is_ground(decl.head_pred):
+        return None
+    atoms = batch.atoms
+    if atoms is None:
+        return None
+    columns = []
+    for arg in decl.head_args:
+        if isinstance(arg, Var):
+            if arg.name not in batch.vars:
+                return None
+            columns.append(atoms.decode(batch.col(arg.name)))
+        elif isinstance(arg, Term) and is_ground(arg):
+            columns.append([arg] * batch.length)
+        else:
+            return None
+    name = decl.head_pred
+    if not columns:
+        return [(name, ())] * batch.length
+    return [(name, row) for row in zip(*columns)]
+
+
 def derive_heads(
-    rule: Union[RuleDecl, RuleInfo], bindings_list: List[Bindings]
+    rule: Union[RuleDecl, RuleInfo], bindings_list: Union[List[Bindings], Batch]
 ) -> List[Tuple[Term, Row]]:
     """Instantiate the rule head for each binding: (relation name, row)."""
     decl = rule.rule if isinstance(rule, RuleInfo) else rule
+    if isinstance(bindings_list, Batch):
+        derived = _derive_heads_batch(decl, bindings_list)
+        if derived is not None:
+            return derived
+        bindings_list = bindings_list.to_dicts()
     out: List[Tuple[Term, Row]] = []
     for b in bindings_list:
         name = instantiate(decl.head_pred, b)

@@ -63,7 +63,10 @@ class NailEngine:
     baseline, kept for differential testing and cost comparisons).
     ``order_mode`` selects how rule bodies are ordered: ``"cost"`` (the
     :mod:`repro.opt` pass pipeline) or ``"program"`` (source order, the
-    differential baseline).
+    differential baseline).  ``batch_mode`` selects the body executor:
+    ``"columnar"`` (plan-specialized batch kernels over interned id
+    arrays, :mod:`repro.col`) or ``"row"`` (the binding-dict engine, the
+    differential baseline); both charge identical cost counters.
     """
 
     def __init__(
@@ -76,6 +79,7 @@ class NailEngine:
         join_mode: str = "hash",
         order_mode: str = "cost",
         parallel=None,
+        batch_mode: str = "columnar",
     ):
         if strategy not in ("seminaive", "naive"):
             raise ValueError(f"unknown NAIL! strategy {strategy!r}")
@@ -83,6 +87,8 @@ class NailEngine:
             raise ValueError(f"unknown NAIL! join mode {join_mode!r}")
         if order_mode not in ("cost", "program"):
             raise ValueError(f"unknown NAIL! order mode {order_mode!r}")
+        if batch_mode not in ("columnar", "row"):
+            raise ValueError(f"unknown NAIL! batch mode {batch_mode!r}")
         self.db = db
         self.extra_edb = extra_edb
         self.strategy = strategy
@@ -91,6 +97,7 @@ class NailEngine:
         # A repro.par.ParallelContext (or None): partition-parallel join
         # execution, threaded through exactly like the mode flags above.
         self.parallel = parallel
+        self.batch_mode = batch_mode
         self.rule_infos: List[RuleInfo] = prepare_rules(rules, check_safety=check_safety)
         self.dep = build_dependency_graph([info.rule for info in self.rule_infos])
         self.strata: List[Stratum] = stratify(self.dep)
@@ -99,7 +106,7 @@ class NailEngine:
             for skeleton in stratum.skeletons:
                 self._stratum_of[skeleton] = stratum.index
         self.tracer = db.tracer
-        self.idb = Database(counters=db.counters, tracer=db.tracer)
+        self.idb = Database(counters=db.counters, tracer=db.tracer, columnar=db.columnar)
         self._stratum_safe: Dict[int, Optional[str]] = {}  # index -> error or None
         self.rounds_run = 0  # fixpoint rounds in the last full evaluation
         # --- incremental maintenance state ----------------------------- #
@@ -264,6 +271,7 @@ class NailEngine:
                         join_mode=self.join_mode,
                         order_mode=self.order_mode,
                         parallel=self.parallel,
+                        batch_mode=self.batch_mode,
                     )
                 except MagicTransformError as exc:
                     if self.can_materialize(name, arity):
@@ -477,7 +485,7 @@ class NailEngine:
                 rounds, new_rows = incremental_eval(
                     relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
                     join_mode=self.join_mode, order_mode=self.order_mode,
-                    parallel=self.parallel,
+                    parallel=self.parallel, batch_mode=self.batch_mode,
                 )
             else:
                 with tracer.span(
@@ -487,6 +495,7 @@ class NailEngine:
                         relevant, set(stratum.skeletons), rows_fn, self.idb, seed,
                         tracer=tracer, join_mode=self.join_mode,
                         order_mode=self.order_mode, parallel=self.parallel,
+                        batch_mode=self.batch_mode,
                     )
                     span.attrs["rounds"] = rounds
             counters.idb_delta_repairs += 1
@@ -592,7 +601,7 @@ class NailEngine:
             self.rounds_run = naive_eval(
                 relevant, rows_fn, self.idb, tracer=tracer,
                 join_mode=self.join_mode, order_mode=self.order_mode,
-                parallel=self.parallel,
+                parallel=self.parallel, batch_mode=self.batch_mode,
             )
         else:
             self.rounds_run = seminaive_eval(
@@ -604,6 +613,7 @@ class NailEngine:
                 join_mode=self.join_mode,
                 order_mode=self.order_mode,
                 parallel=self.parallel,
+                batch_mode=self.batch_mode,
             )
 
     def _seed_from_edb(self, skeletons) -> None:
@@ -688,6 +698,7 @@ def magic_query(
     join_mode: str = "hash",
     order_mode: str = "cost",
     parallel=None,
+    batch_mode: str = "columnar",
 ) -> Tuple[List[Row], "NailEngine"]:
     """Answer ``pred(args)`` demand-driven via the magic-sets rewrite.
 
@@ -703,7 +714,7 @@ def magic_query(
     program = magic_transform(rules, pred, args)
     # Share the caller's counters so magic-vs-full cost comparisons also
     # see the (tiny) work done against the seed relation.
-    seed_db = Database(counters=db.counters)
+    seed_db = Database(counters=db.counters, columnar=db.columnar)
     seed_db.relation(program.seed_pred, program.seed_arity).insert(program.seed_row)
     engine = NailEngine(
         db,
@@ -714,6 +725,7 @@ def magic_query(
         join_mode=join_mode,
         order_mode=order_mode,
         parallel=parallel,
+        batch_mode=batch_mode,
     )
     tracer = db.tracer
     if not tracer.enabled:

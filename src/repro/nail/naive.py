@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body
+from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body_batch
 from repro.nail.rules import RuleInfo
 from repro.storage.database import Database, pred_key
 from repro.terms.term import Term
@@ -26,6 +26,7 @@ def naive_eval(
     join_mode: str = "hash",
     order_mode: str = "cost",
     parallel=None,
+    batch_mode: str = "columnar",
 ) -> int:
     """Run all rules to fixpoint, full re-derivation each pass.
 
@@ -33,7 +34,7 @@ def naive_eval(
     (which ``rows_fn`` must consult for IDB names).  Returns the number of
     passes run.  ``tracer``, when given, receives one ``pass`` span per
     pass whose ``rows`` is the number of genuinely new tuples.
-    ``join_mode`` is forwarded to :func:`eval_rule_body`.
+    ``join_mode`` and ``batch_mode`` are forwarded to the body evaluator.
     """
     passes = 0
     while True:
@@ -42,13 +43,14 @@ def naive_eval(
             raise RuntimeError("naive evaluation did not converge")
         if tracer is None:
             added = _run_pass(
-                rule_infos, rows_fn, idb, join_mode, order_mode, parallel=parallel
+                rule_infos, rows_fn, idb, join_mode, order_mode,
+                parallel=parallel, batch_mode=batch_mode,
             )
         else:
             with tracer.span("pass", f"pass {passes}") as span:
                 added = _run_pass(
                     rule_infos, rows_fn, idb, join_mode, order_mode, tracer,
-                    parallel=parallel,
+                    parallel=parallel, batch_mode=batch_mode,
                 )
                 span.rows = added
         if added == 0:
@@ -63,12 +65,13 @@ def _run_pass(
     order_mode: str = "cost",
     tracer=None,
     parallel=None,
+    batch_mode: str = "columnar",
 ) -> int:
     added = 0
     for info in rule_infos:
-        bindings_list = eval_rule_body(
+        bindings_list = eval_rule_body_batch(
             info, rows_fn, tracer=tracer, join_mode=join_mode,
-            order_mode=order_mode, parallel=parallel,
+            order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
         )
         for name, row in derive_heads(info, bindings_list):
             if idb.relation(name, len(row)).insert(row):

@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.scope import Skeleton, pred_skeleton
 from repro.lang.ast import PredSubgoal
-from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body
+from repro.nail.bodyeval import RowsFn, derive_heads, eval_rule_body_batch
 from repro.nail.rules import RuleInfo
 from repro.storage.database import Database
 from repro.storage.stats import CostCounters
@@ -156,6 +156,7 @@ def seminaive_eval(
     join_mode: str = "hash",
     order_mode: str = "cost",
     parallel=None,
+    batch_mode: str = "columnar",
 ) -> int:
     """Evaluate one stratum to fixpoint with seminaive iteration.
 
@@ -164,7 +165,7 @@ def seminaive_eval(
     and the current stratum's accumulating relations in ``idb``).  Returns
     the number of rounds.  ``tracer``, when given, receives one ``round``
     span per fixpoint round with per-rule ``rule`` events inside it.
-    ``join_mode`` is forwarded to :func:`eval_rule_body`.
+    ``join_mode`` and ``batch_mode`` are forwarded to the body evaluator.
     """
     relevant = [info for info in rule_infos if info.head_skeleton in stratum]
     delta: DeltaStore = {}
@@ -173,18 +174,18 @@ def seminaive_eval(
     # lower strata already provide).
     if tracer is None:
         for info in relevant:
-            bindings_list = eval_rule_body(
+            bindings_list = eval_rule_body_batch(
                 info, rows_fn, join_mode=join_mode, order_mode=order_mode,
-                parallel=parallel,
+                parallel=parallel, batch_mode=batch_mode,
             )
             _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
         with tracer.span("round", "round 0", rules=len(relevant)) as span:
             for i, info in enumerate(relevant):
                 with tracer.span("rule", _rule_label(i, info)) as rule_span:
-                    bindings_list = eval_rule_body(
+                    bindings_list = eval_rule_body_batch(
                         info, rows_fn, tracer=tracer, join_mode=join_mode,
-                        order_mode=order_mode, parallel=parallel,
+                        order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                     )
                     _merge_derivations(derive_heads(info, bindings_list), idb, delta)
                     rule_span.rows = len(bindings_list)
@@ -208,12 +209,12 @@ def seminaive_eval(
         if tracer is None:
             for info, positions in recursive:
                 for position in positions:
-                    bindings_list = eval_rule_body(
+                    bindings_list = eval_rule_body_batch(
                         info,
                         rows_fn,
                         delta_index=position,
                         delta_rows_fn=delta_fn,
-                        join_mode=join_mode, order_mode=order_mode, parallel=parallel,
+                        join_mode=join_mode, order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                     )
                     _merge_derivations(
                         derive_heads(info, bindings_list), idb, new_delta
@@ -227,13 +228,13 @@ def seminaive_eval(
                         with tracer.span(
                             "rule", _rule_label(i, info), delta_pos=position
                         ) as rule_span:
-                            bindings_list = eval_rule_body(
+                            bindings_list = eval_rule_body_batch(
                                 info,
                                 rows_fn,
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
                                 tracer=tracer,
-                                join_mode=join_mode, order_mode=order_mode, parallel=parallel,
+                                join_mode=join_mode, order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                             )
                             _merge_derivations(
                                 derive_heads(info, bindings_list), idb, new_delta
@@ -255,6 +256,7 @@ def incremental_eval(
     join_mode: str = "hash",
     order_mode: str = "cost",
     parallel=None,
+    batch_mode: str = "columnar",
 ) -> Tuple[int, Dict[Tuple[Term, int], List[Row]]]:
     """Repair one *already-computed* stratum after monotone growth.
 
@@ -295,12 +297,12 @@ def incremental_eval(
     if tracer is None:
         for info in relevant:
             for position in _seed_positions(info):
-                bindings_list = eval_rule_body(
+                bindings_list = eval_rule_body_batch(
                     info,
                     rows_fn,
                     delta_index=position,
                     delta_rows_fn=seed_fn,
-                    join_mode=join_mode, order_mode=order_mode, parallel=parallel,
+                    join_mode=join_mode, order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                 )
                 _merge_derivations(derive_heads(info, bindings_list), idb, delta)
     else:
@@ -312,13 +314,13 @@ def incremental_eval(
                     with tracer.span(
                         "rule", _rule_label(i, info), delta_pos=position
                     ) as rule_span:
-                        bindings_list = eval_rule_body(
+                        bindings_list = eval_rule_body_batch(
                             info,
                             rows_fn,
                             delta_index=position,
                             delta_rows_fn=seed_fn,
                             tracer=tracer,
-                            join_mode=join_mode, order_mode=order_mode, parallel=parallel,
+                            join_mode=join_mode, order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                         )
                         _merge_derivations(
                             derive_heads(info, bindings_list), idb, delta
@@ -346,12 +348,12 @@ def incremental_eval(
         if tracer is None:
             for info, positions in recursive:
                 for position in positions:
-                    bindings_list = eval_rule_body(
+                    bindings_list = eval_rule_body_batch(
                         info,
                         rows_fn,
                         delta_index=position,
                         delta_rows_fn=delta_fn,
-                        join_mode=join_mode, order_mode=order_mode, parallel=parallel,
+                        join_mode=join_mode, order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                     )
                     _merge_derivations(
                         derive_heads(info, bindings_list), idb, new_delta
@@ -367,13 +369,13 @@ def incremental_eval(
                         with tracer.span(
                             "rule", _rule_label(i, info), delta_pos=position
                         ) as rule_span:
-                            bindings_list = eval_rule_body(
+                            bindings_list = eval_rule_body_batch(
                                 info,
                                 rows_fn,
                                 delta_index=position,
                                 delta_rows_fn=delta_fn,
                                 tracer=tracer,
-                                join_mode=join_mode, order_mode=order_mode, parallel=parallel,
+                                join_mode=join_mode, order_mode=order_mode, parallel=parallel, batch_mode=batch_mode,
                             )
                             _merge_derivations(
                                 derive_heads(info, bindings_list), idb, new_delta

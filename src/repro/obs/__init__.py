@@ -17,6 +17,7 @@ from repro.obs.query_stats import QueryStats
 from repro.obs.report import (
     format_event,
     format_event_tree,
+    render_batch_kernel_table,
     render_explain_analyze,
     render_profile,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "Tracer",
     "format_event",
     "format_event_tree",
+    "render_batch_kernel_table",
     "render_explain_analyze",
     "render_profile",
 ]

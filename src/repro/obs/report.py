@@ -81,6 +81,41 @@ def render_joins_table(events: Sequence[TraceEvent]) -> List[str]:
     return lines
 
 
+def render_batch_kernel_table(events: Sequence[TraceEvent]) -> List[str]:
+    """Columnar kernel activity, one row per ``batch_kernel`` event.
+
+    Shows which specialized kernel ran each literal (probe / broadcast /
+    member / anti-static), the batch width it consumed, the rows it
+    produced, and whether the kernel's hash state came out of the
+    per-database cache (``hit``) or was rebuilt for a new relation
+    version (``miss``; ``-`` for stateless kernels).
+    """
+    kernels = [
+        e for e in sorted(events, key=lambda e: e.seq) if e.kind == "batch_kernel"
+    ]
+    if not kernels:
+        return []
+    table = [("literal", "kernel", "batch", "rows", "cache")]
+    for event in kernels:
+        attrs = event.attrs
+        cache = attrs.get("cache")
+        table.append(
+            (
+                event.name,
+                str(attrs.get("kernel", "?")),
+                str(attrs.get("batch", "?")),
+                "?" if event.rows is None else str(event.rows),
+                "-" if cache is None else str(cache),
+            )
+        )
+    widths = [max(len(row[col]) for row in table) for col in range(len(table[0]))]
+    lines = ["Batch kernels (columnar execution)",
+             "----------------------------------"]
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return lines
+
+
 def render_parallel_table(events: Sequence[TraceEvent]) -> List[str]:
     """Per-region partition fan-out, one row per ``parallel_partition``.
 
@@ -146,6 +181,10 @@ def render_explain_analyze(
     if joins:
         lines.append("")
         lines.extend(joins)
+    kernels = render_batch_kernel_table(events)
+    if kernels:
+        lines.append("")
+        lines.extend(kernels)
     par = render_parallel_table(events)
     if par:
         lines.append("")

@@ -75,6 +75,28 @@ class Partitioner:
         return sizes
 
 
+def chunk_bounds(n_rows: int, parts: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` row bounds covering ``n_rows`` exactly.
+
+    The batch-aware twin of :meth:`Partitioner.chunk_split`: a columnar
+    :class:`~repro.col.batch.Batch` is split by slicing its id columns at
+    these bounds (``Batch.slices``), never by materializing row lists.
+    Same size policy as ``chunk_split`` -- front partitions absorb the
+    remainder -- and concatenating the slices in order reproduces the
+    input, so the parallel kernel stays differential-exact.
+    """
+    parts = min(parts, n_rows) or 1
+    base, extra = divmod(n_rows, parts)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
 def partition_count(n_items: int, workers: int, min_partition_rows: int) -> int:
     """How many partitions a probe side of ``n_items`` rows deserves:
     one per worker, but never so many that a partition falls under the

@@ -80,7 +80,9 @@ class Session:
         self.name = f"session-{session_id}"
         self.closed = False
         self._holds_write = False
-        self.system = GlueNailSystem(db=server.db, parallel=server.parallel)
+        self.system = GlueNailSystem(
+            db=server.db, parallel=server.parallel, batch_mode=server.batch_mode
+        )
         self.system.store = server.store
         self.system._txn = server.txn
         if server.base_program:
@@ -503,10 +505,14 @@ class GlueNailServer:
         sync: bool = True,
         db: Optional[Database] = None,
         workers: Optional[int] = None,
+        batch_mode: str = "columnar",
     ):
         if db is None:
             db = Database(counters=ThreadLocalCounters())
         self.db = db
+        # Body-execution mode for every session's system (columnar batch
+        # kernels or the row baseline), mirroring the worker-pool sharing.
+        self.batch_mode = batch_mode
         # One shared worker pool for every session (partition-parallel
         # evaluation); the server's counters are already thread-local, so
         # adoption is a no-op conversion.
@@ -531,7 +537,7 @@ class GlueNailServer:
         # and its lazy ``subscriptions`` property is the same manager a
         # base-program ``watch`` declaration registers on -- one manager,
         # never two.
-        self.sub_system = GlueNailSystem(db=self.db)
+        self.sub_system = GlueNailSystem(db=self.db, batch_mode=batch_mode)
         self.sub_system.store = self.store
         self.sub_system._txn = self.txn
         if self.base_program:

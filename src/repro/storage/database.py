@@ -39,11 +39,19 @@ class Database:
         index_policy: Optional[IndexPolicy] = None,
         counters: Optional[CostCounters] = None,
         tracer: Optional[Tracer] = None,
+        columnar=None,
     ):
+        from repro.col.kernels import ColumnarContext
+
         self.index_policy = index_policy if index_policy is not None else AdaptiveIndexPolicy()
         self.counters = counters if counters is not None else CostCounters()
         # One tracing hub per database; disabled until a sink is installed.
         self.tracer = tracer if tracer is not None else Tracer(self.counters)
+        # Shared columnar state (atom table + kernel caches, see repro.col).
+        # Databases that evaluate against each other -- the NAIL! engine's
+        # IDB over this EDB -- pass the owning database's context so ids
+        # stay comparable across join keys.
+        self.columnar = columnar if columnar is not None else ColumnarContext()
         self._relations: dict = {}  # PredKey -> Relation
         self._version = 0
         self._journal = None
@@ -119,6 +127,7 @@ class Database:
                         tracer=self.tracer,
                     )
                     relation.journal = self._journal
+                    relation.columnar = self.columnar
                     self._relations[key] = relation
                     self._version += 1
                     if self._journal is not None:

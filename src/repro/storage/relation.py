@@ -22,7 +22,7 @@ from repro.storage.stats import (
     RelationStats,
 )
 from repro.terms.matching import Bindings, match_tuple, substitute
-from repro.terms.term import Term, Var, is_ground, sort_key
+from repro.terms.term import Atom, Num, Term, Var, is_ground, sort_key
 
 Row = Tuple[Term, ...]
 
@@ -79,11 +79,20 @@ class ChangeLog:
         """
         if version < self.horizon:
             return None
+        # Entry versions are strictly increasing; bisect to the first entry
+        # past ``version`` so a reader that polls every round (the planner's
+        # column profile) pays for its delta, not the whole window.
+        entries = self.entries
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] <= version:
+                lo = mid + 1
+            else:
+                hi = mid
         first: dict = {}
         last: dict = {}
-        for entry_version, kind, rows in self.entries:
-            if entry_version <= version:
-                continue
+        for _entry_version, kind, rows in entries[lo:]:
             for row in rows:
                 if row not in first:
                     first[row] = kind
@@ -141,6 +150,10 @@ class Relation:
         self.uid = _fresh_uid()
         # Row-level change journal; None until a cache calls track_changes.
         self._changelog: Optional[ChangeLog] = None
+        # The shared per-database columnar context (repro.col), set by
+        # Database.declare; None for free-standing relations, which the
+        # batch kernels then leave to the row engine.
+        self.columnar = None
 
     # ------------------------------------------------------------------ #
     # basic set operations
@@ -188,6 +201,9 @@ class Relation:
                 f"arity mismatch for {self.name}: expected {self.arity}, got {len(row)}"
             )
         for value in row:
+            cls = value.__class__
+            if cls is Num or cls is Atom:
+                continue  # ground by construction; skip the general walk
             if not isinstance(value, Term):
                 raise TypeError(f"relation values must be Terms, got {type(value).__name__}")
             if not is_ground(value):
@@ -205,14 +221,38 @@ class Relation:
         for index in self._indexes.values():
             index.add(row)
         self._changed()
+        self._profile_add((row,))
         if self._changelog is not None:
             self._changelog.record(self._version, "+", (row,))
         if self.journal is not None:
             self.journal.record_insert(self, row)
         return True
 
+    def _profile_add(self, rows) -> None:
+        """Keep a live column profile current across an insert.
+
+        Growing the per-column distinct sets here costs the same set-adds
+        the change-log replay in :meth:`column_profile` would pay later,
+        but skips re-netting the log -- the planner's every-round refresh
+        on seminaive-growing relations becomes a version check.  Deletes
+        drop the profile instead (distinct counts cannot shrink a set).
+        """
+        profile = self.stats.profile
+        if profile is not None and profile.column_values is not None:
+            columns = profile.column_values
+            for row in rows:
+                for col, value in enumerate(row):
+                    columns[col].add(value)
+            profile.version = self._version
+
     def insert_many(self, rows: Iterable[Row]) -> int:
-        return sum(1 for row in rows if self.insert(row))
+        """Insert many rows through the :meth:`insert_new` bulk path.
+
+        One version bump, one listener notification and one change-log
+        entry per batch -- so columnar invalidation and subscriptions see
+        a single delta per load instead of one per row.
+        """
+        return len(self.insert_new(rows))
 
     def insert_new(self, rows: Iterable[Row]) -> list:
         """Bulk-load: insert many rows, returning the genuinely new ones.
@@ -224,20 +264,29 @@ class Relation:
         whole deltas at once.
         """
         new: list = []
+        append = new.append
+        check = self._check_row
+        stored = self._rows
+        indexes = list(self._indexes.values())
+        journal = self.journal
+        duplicates = 0
         for row in rows:
-            row = self._check_row(row)
-            if row in self._rows:
-                self.counters.duplicate_inserts += 1
+            row = check(row)
+            if row in stored:
+                duplicates += 1
                 continue
-            self._rows[row] = None
-            new.append(row)
-            for index in self._indexes.values():
+            stored[row] = None
+            append(row)
+            for index in indexes:
                 index.add(row)
-            if self.journal is not None:
-                self.journal.record_insert(self, row)
+            if journal is not None:
+                journal.record_insert(self, row)
+        if duplicates:
+            self.counters.duplicate_inserts += duplicates
         if new:
             self.counters.inserts += len(new)
             self._changed()
+            self._profile_add(new)
             if self._changelog is not None:
                 self._changelog.record(self._version, "+", new)
         return new
@@ -250,6 +299,7 @@ class Relation:
         self.counters.deletes += 1
         for index in self._indexes.values():
             index.remove(row)
+        self.stats.profile = None  # distinct counts cannot shrink in place
         self._changed()
         if self._changelog is not None:
             self._changelog.record(self._version, "-", (row,))
@@ -270,6 +320,7 @@ class Relation:
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        self.stats.profile = None
         self._changed()
         if self._changelog is not None:
             self._changelog.record(self._version, "-", dropped)

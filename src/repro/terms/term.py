@@ -46,6 +46,11 @@ class Atom(Term):
         if not isinstance(self.name, str):
             raise TypeError(f"Atom name must be str, got {type(self.name).__name__}")
 
+    def __hash__(self) -> int:
+        # Hash the field directly: CPython caches str hashes, so this is a
+        # slot read on the hot storage paths instead of a tuple build.
+        return hash(self.name)
+
 
 @dataclass(frozen=True, slots=True)
 class Num(Term):
@@ -56,6 +61,10 @@ class Num(Term):
     def __post_init__(self) -> None:
         if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
             raise TypeError(f"Num value must be int or float, got {type(self.value).__name__}")
+
+    def __hash__(self) -> int:
+        # hash(2) == hash(2.0), matching Num(2) == Num(2.0).
+        return hash(self.value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +77,9 @@ class Var(Term):
     def __post_init__(self) -> None:
         if not self.name:
             raise TypeError("Var name must be a non-empty string")
+
+    def __hash__(self) -> int:
+        return hash(self.name)
 
     @property
     def is_anonymous(self) -> bool:

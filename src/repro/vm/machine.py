@@ -70,6 +70,7 @@ class ExecContext:
         join_mode: str = "hash",
         order_mode: str = "cost",
         parallel=None,
+        batch_mode: str = "columnar",
     ):
         if strategy not in ("pipelined", "materialized"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -77,6 +78,8 @@ class ExecContext:
             raise ValueError(f"unknown join mode {join_mode!r}")
         if order_mode not in ("cost", "program"):
             raise ValueError(f"unknown order mode {order_mode!r}")
+        if batch_mode not in ("columnar", "row"):
+            raise ValueError(f"unknown batch mode {batch_mode!r}")
         self.db = db if db is not None else Database()
         self.counters: CostCounters = self.db.counters
         # A repro.par.ParallelContext (or None): statement-body joins split
@@ -90,6 +93,9 @@ class ExecContext:
         self.adaptive_reorder = adaptive_reorder
         self.join_mode = join_mode
         self.order_mode = order_mode
+        # "columnar" precomputes cached suffix tables for hash-join scan
+        # steps (repro.col); "row" is the per-probe baseline.
+        self.batch_mode = batch_mode
         self.tracer = self.db.tracer
         self.foreign: Dict[Tuple[str, int], ForeignProc] = {}
         self.nail_engine = None  # wired by repro.core.system

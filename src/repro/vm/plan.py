@@ -357,6 +357,63 @@ class ScanStep(Step):
                     return ()
 
                 return member, "member", len(target)
+            if (
+                extract is not None
+                and rt.ctx.batch_mode == "columnar"
+                and hasattr(target, "uid")
+            ):
+                # Columnar kernel: the suffix table pre-applies eq-checks
+                # and the extraction template once per (relation version,
+                # shape), so the per-row work is one dict lookup plus a
+                # concatenation.  Counter charges match the row probe
+                # exactly: one lookup per row, probe tuples by raw bucket.
+                table, cached = rt.ctx.db.columnar.glue_probe_table(target, shape)
+                tracer = rt.ctx.tracer
+                if tracer.enabled:
+                    tracer.event(
+                        "batch_kernel",
+                        f"glue:{target.name}/{target.arity}",
+                        kernel="probe",
+                        batch=len(target),
+                        cache="hit" if cached else "miss",
+                        rows=sum(len(sfx) for _raw, sfx in table.values()),
+                    )
+                if len(key_build) == 1:
+                    pos, const = key_build[0]
+                    if pos is None:
+
+                        def probe_const(row):
+                            counters.index_lookups += 1
+                            entry = table.get(const)
+                            if entry is None:
+                                return ()
+                            raw, suffixes = entry
+                            counters.index_probe_tuples += raw
+                            return [row + sfx for sfx in suffixes]
+
+                        return probe_const, "probe", len(target)
+
+                    def probe_scalar(row):
+                        counters.index_lookups += 1
+                        entry = table.get(row[pos])
+                        if entry is None:
+                            return ()
+                        raw, suffixes = entry
+                        counters.index_probe_tuples += raw
+                        return [row + sfx for sfx in suffixes]
+
+                    return probe_scalar, "probe", len(target)
+
+                def probe_wide(row):
+                    counters.index_lookups += 1
+                    entry = table.get(_probe_key(key_build, row))
+                    if entry is None:
+                        return ()
+                    raw, suffixes = entry
+                    counters.index_probe_tuples += raw
+                    return [row + sfx for sfx in suffixes]
+
+                return probe_wide, "probe", len(target)
             index = target.build_index(shape.probe_cols)
             if extract is not None:
 
