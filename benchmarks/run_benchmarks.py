@@ -998,6 +998,171 @@ def workloads(quick: bool):
     }
 
 
+def _percentile(values, q):
+    if not values:
+        return None
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def _run_mvcc_mode(mvcc, txns, rows_per_txn, readers, hold_s):
+    """One write-heavy mix against a live server: a writer holding chunky
+    transactions while reader sessions time every ``rows`` request.
+
+    Returns per-request read latencies, the observed row counts (for the
+    consistency check: with one writer committing whole batches, every
+    read must land on a committed multiple of ``rows_per_txn``), the final
+    extension, and the server's MVCC stats.
+    """
+    import threading
+
+    from repro.server.server import GlueNailServer
+
+    batches_per_txn = 3
+    chunk = rows_per_txn // batches_per_txn
+    with GlueNailServer(port=0, mvcc=mvcc).start() as server:
+        stop = threading.Event()
+        latencies = []
+        observed = []
+        failures = []
+
+        def read_loop():
+            try:
+                session = server._new_session()
+                local_lat, local_obs = [], []
+                while not stop.is_set():
+                    t0 = time.perf_counter()
+                    reply = session.dispatch(
+                        {"op": "rows", "name": "edge", "arity": 2}
+                    )
+                    local_lat.append(time.perf_counter() - t0)
+                    local_obs.append(len(reply["rows"]))
+                    # Paced arrivals: without this, a reader stalled
+                    # behind the write lock stops sampling while fast
+                    # between-window reads pile up -- coordinated
+                    # omission that hides the stall from the p99.
+                    time.sleep(0.001)
+                latencies.extend(local_lat)
+                observed.extend(local_obs)
+            except Exception as exc:  # noqa: BLE001 - surface, don't hang
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=read_loop) for _ in range(readers)]
+        for t in threads:
+            t.start()
+        writer = server._new_session()
+        try:
+            for txn in range(txns):
+                writer.dispatch({"op": "begin"})
+                base = txn * rows_per_txn
+                for b in range(batches_per_txn):
+                    rows = [
+                        [base + b * chunk + j, j] for j in range(chunk)
+                    ]
+                    writer.dispatch({"op": "facts", "name": "edge", "rows": rows})
+                    # The write window the paper's readers stall behind:
+                    # the transaction stays open (write lock held) while
+                    # the writer prepares its next batch.
+                    time.sleep(hold_s)
+                writer.dispatch({"op": "commit"})
+                time.sleep(0.005)  # a between-transactions breather
+        finally:
+            stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not failures, failures
+        final = sorted(
+            tuple(v) for v in writer.dispatch(
+                {"op": "rows", "name": "edge", "arity": 2}
+            )["values"]
+        )
+        mvcc_stats = server.mvcc_store.stats() if server.mvcc_store else {}
+    return latencies, observed, final, mvcc_stats
+
+
+def run_mvcc(quick, check):
+    txns = 4 if quick else 12
+    rows_per_txn = 90
+    readers = 2 if quick else 4
+    hold_s = 0.02 if quick else 0.03
+
+    results = {}
+    finals = {}
+    divergences = []
+    for mode, mvcc in (("lock", False), ("snapshot", True)):
+        latencies, observed, final, mvcc_stats = _run_mvcc_mode(
+            mvcc, txns, rows_per_txn, readers, hold_s
+        )
+        finals[mode] = final
+        if check:
+            torn = [n for n in observed if n % rows_per_txn != 0]
+            if torn:
+                divergences.append(
+                    f"{mode}: {len(torn)} reads saw uncommitted rows"
+                )
+        results[mode] = {
+            "reads": len(latencies),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "max_ms": round(max(latencies) * 1e3, 3),
+        }
+        if mvcc_stats:
+            results[mode]["snapshot_publishes"] = mvcc_stats["publishes"]
+    if check and finals["lock"] != finals["snapshot"]:
+        divergences.append("final extensions differ between modes")
+
+    stats = {
+        "txns": txns,
+        "rows_per_txn": rows_per_txn,
+        "readers": readers,
+        "write_hold_s": hold_s,
+        "rows": len(finals["snapshot"]),
+        "lock": results["lock"],
+        "snapshot": results["snapshot"],
+        "p99_speedup": round(
+            results["lock"]["p99_ms"] / max(results["snapshot"]["p99_ms"], 1e-6),
+            1,
+        ),
+    }
+    return stats, divergences
+
+
+def main_mvcc(args) -> int:
+    stats, divergences = run_mvcc(args.quick, args.check)
+    name = f"mvcc-readers-{stats['readers']}x"
+    print(
+        f"{name:28s} rows={stats['rows']:<7d} "
+        f"lock_p99={stats['lock']['p99_ms']:<9.3f} "
+        f"snap_p99={stats['snapshot']['p99_ms']:<9.3f} "
+        f"speedup={stats['p99_speedup']}x"
+        + ("  check=" + ("DIVERGED" if divergences else "OK") if args.check else "")
+    )
+    out_path = Path(
+        args.out
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_mvcc.json"
+    )
+    doc = {"workloads": {}, "history": []}
+    if out_path.exists():
+        try:
+            doc = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    doc["quick"] = args.quick
+    doc.update(_runtime_info())
+    doc["workloads"] = {name: stats}
+    if args.label:
+        doc.setdefault("history", []).append(
+            {"label": args.label, "quick": args.quick, "workloads": {name: stats}}
+        )
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    if divergences:
+        print(f"DIVERGENCE lock vs snapshot reads: {', '.join(divergences)}")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small CI-sized workloads")
@@ -1056,6 +1221,15 @@ def main(argv=None) -> int:
         "asserts identical rows and identical counters across modes",
     )
     parser.add_argument(
+        "--mvcc",
+        action="store_true",
+        help="run the snapshot-read workload instead (reader sessions "
+        "timing requests while a writer holds chunky transactions; MVCC "
+        "snapshot pins vs the read/write-lock baseline); writes "
+        "BENCH_mvcc.json by default; --check asserts readers only ever "
+        "saw committed states and both modes converge to identical rows",
+    )
+    parser.add_argument(
         "--workers",
         default="1,2,4,8",
         help="comma-separated worker counts for --parallel (default 1,2,4,8)",
@@ -1086,6 +1260,8 @@ def main(argv=None) -> int:
         return main_parallel(args)
     if args.columnar:
         return main_columnar(args)
+    if args.mvcc:
+        return main_mvcc(args)
     if args.out is None:
         args.out = str(Path(__file__).resolve().parent.parent / "BENCH_joins.json")
 

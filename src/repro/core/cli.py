@@ -178,6 +178,7 @@ def cmd_serve(args) -> int:
         sync=not args.no_sync,
         workers=args.workers,
         batch_mode=getattr(args, "batch_mode", "columnar"),
+        mvcc=not args.no_mvcc,
     )
     if args.edb:
         from repro.storage.persist import load_database
@@ -392,6 +393,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument("--batch-mode", choices=("columnar", "row"),
                         default="columnar",
                         help="columnar batch kernels or the row baseline")
+    p_serve.add_argument("--no-mvcc", action="store_true",
+                         help="serve reads under the read/write lock instead "
+                              "of MVCC snapshots (the serialized baseline)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_connect = sub.add_parser("connect", help="REPL against a live server")

@@ -361,6 +361,47 @@ class GlueNailSystem:
         return self.enable_transactions().transaction()
 
     # ------------------------------------------------------------------ #
+    # MVCC snapshot reads (see repro.mvcc and docs/PERFORMANCE.md)
+    # ------------------------------------------------------------------ #
+
+    def enable_snapshots(self, store=None):
+        """Give this system an MVCC snapshot read path; returns the store.
+
+        Wraps ``self.db`` in a :class:`~repro.mvcc.SnapshotRouter` (a
+        ``Database``-shaped facade), so every layer that reaches storage
+        through the system's database handle -- the NAIL! engine, the Glue
+        VM, the optimizer, the columnar kernels -- evaluates against a
+        pinned immutable snapshot whenever one is active on the calling
+        thread.  Pass ``store`` to share one :class:`VersionStore` across
+        systems over the same database (the query server does this so all
+        sessions pin the same published versions).  Idempotent.
+        """
+        from repro.mvcc import SnapshotRouter
+
+        if isinstance(self.db, SnapshotRouter):
+            return self.db.store
+        router = SnapshotRouter(self.db, store=store)
+        self.db = router
+        # Compiled state closed over the bare database handle; recompile
+        # lazily so evaluation resolves rows through the router.
+        self._invalidate()
+        return router.store
+
+    def snapshot(self):
+        """Pin the latest published snapshot (enabling snapshots on first
+        use): ``with system.snapshot() as snap: system.query(...)`` runs
+        the block's queries against one immutable version, regardless of
+        concurrent writers."""
+        store = self.enable_snapshots()
+        snapshot = store.pin()
+        if snapshot is None:
+            raise GlueRuntimeError(
+                "no published snapshot available (a write window is open "
+                "and nothing was published yet)"
+            )
+        return self.db.pinned(snapshot)
+
+    # ------------------------------------------------------------------ #
     # subscriptions (see repro.sub and docs/SUBSCRIPTIONS.md)
     # ------------------------------------------------------------------ #
 
@@ -487,6 +528,10 @@ class GlueNailSystem:
         collector = self._collector
         start = len(collector.events) if collector is not None else 0
         before = self.db.counters.as_tuple()
+        if getattr(self.db, "snapshot_active", False):
+            # Charged after ``before`` so the read shows up in this query's
+            # counter delta (and hence EXPLAIN ANALYZE).
+            self.db.counters.snapshot_reads += 1
         t0 = perf_counter()
         if tracer.enabled:
             with tracer.span(kind, label) as span:

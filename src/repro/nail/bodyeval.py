@@ -138,6 +138,14 @@ class _RelationSource:
             return True
         return False
 
+    def broadcast_columns(self, ctx, extract_cols: Tuple[int, ...]):
+        """Cached-encode broadcast (see ``run_broadcast``): charges the
+        full scan exactly like ``scan()``, then reuses the context's
+        version-keyed interned columns for the actual encode."""
+        relation = self.relation
+        relation.counters.tuples_scanned += len(relation)
+        return ctx.broadcast_columns(relation, extract_cols)
+
 
 class _IterSource:
     """A plain iterable of rows as a join source (tests, ad-hoc callers)."""
@@ -858,7 +866,7 @@ def _columnar_literal(
         # Broadcast: candidates come through the source's own probe/scan
         # (one call per batch), so delta scans charge ``tuples_scanned``
         # exactly as the row engine's group-level scan does.
-        out = run_broadcast(batch, plan, source, atoms)
+        out = run_broadcast(batch, plan, source, atoms, ctx)
         strategy = "broadcast"
     if tracer is not None and tracer.enabled:
         label = f"{subgoal.pred}/{plan.arity}"

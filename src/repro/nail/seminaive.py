@@ -38,19 +38,24 @@ class DeltaRelation:
     same as relation scans), hash builds and probes to the index ledgers.
     """
 
-    __slots__ = ("rows", "counters", "_tables", "_set")
+    __slots__ = ("rows", "counters", "_tables", "_set", "_id_cols")
 
     def __init__(self, counters: Optional[CostCounters] = None):
         self.rows: List[Row] = []
         self.counters = counters
         self._tables: Dict[Tuple[int, ...], dict] = {}
         self._set = None
+        # Interned broadcast columns (see broadcast_columns), invalidated
+        # whenever the delta grows -- like the lazy hash tables above.
+        self._id_cols: dict = {}
 
     def extend(self, rows: Iterable[Row]) -> None:
         self.rows.extend(rows)
         if self._tables:
             self._tables = {}
         self._set = None
+        if self._id_cols:
+            self._id_cols = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -84,6 +89,29 @@ class DeltaRelation:
                 self.counters.index_probe_tuples += 1
             return True
         return False
+
+    def broadcast_columns(self, ctx, extract_cols: Tuple[int, ...]):
+        """Interned id-columns for broadcasting this delta (see
+        ``repro.col.kernels.run_broadcast``).
+
+        Every rule in a round that broadcasts the same (unchanged) delta
+        re-used to re-intern it from scratch -- pure overhead, since the
+        columns only change when the delta grows.  Each call still charges
+        one full scan, exactly like ``scan()``, so the cache never shows
+        up in the counters (parity with the row engine's per-group scan).
+        """
+        if self.counters is not None:
+            self.counters.tuples_scanned += len(self.rows)
+        atoms = ctx.atoms
+        key = (id(atoms), extract_cols)
+        cached = self._id_cols.get(key)
+        if cached is None:
+            intern = atoms.intern
+            cached = tuple(
+                [intern(row[c]) for row in self.rows] for c in extract_cols
+            )
+            self._id_cols[key] = cached
+        return cached
 
     # Pre-builds for partition-parallel probing (see repro.par): the lazy
     # builds above are unsynchronized, so the coordinator forces them

@@ -70,10 +70,13 @@ def _listed_to_tuple(value):
 class ClientNotification:
     """One pushed delta: ``sub``, ``seq``, ``predicate``, ``op``
     (``insert`` / ``delete`` / ``resync``), ``rows`` (tuples), ``txn``,
+    ``version`` (the published database version this delta brought the
+    predicate to -- the version an MVCC snapshot reader pins to see it),
     and ``dropped`` (how many notifications a slow consumer lost before a
     ``resync``)."""
 
-    __slots__ = ("sub", "seq", "predicate", "op", "rows", "txn", "dropped")
+    __slots__ = ("sub", "seq", "predicate", "op", "rows", "txn", "version",
+                 "dropped")
 
     def __init__(self, frame: dict):
         self.sub: int = frame.get("sub", 0)
@@ -85,6 +88,7 @@ class ClientNotification:
             for row in frame.get("rows", [])
         ]
         self.txn: int = frame.get("txn", 0)
+        self.version: int = frame.get("version", 0)
         self.dropped: int = frame.get("dropped", 0)
 
     def __repr__(self) -> str:

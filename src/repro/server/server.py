@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 import socketserver
 import threading
+from contextlib import contextmanager
 from io import StringIO
 from typing import Optional
 
@@ -85,6 +86,11 @@ class Session:
         )
         self.system.store = server.store
         self.system._txn = server.txn
+        if server.mvcc_store is not None:
+            # Route this session's reads through the shared version store:
+            # read-only requests pin a published snapshot instead of
+            # taking the read lock (see repro.mvcc).
+            self.system.enable_snapshots(store=server.mvcc_store)
         if server.base_program:
             self.system.load(server.base_program)
         self._repl = None
@@ -107,30 +113,96 @@ class Session:
     def _locked(self, write: bool):
         if self._holds_write:
             return _NULL_LOCK
-        lock = self.server.lock
-        return lock.write_locked() if write else lock.read_locked()
+        if write:
+            return self.server.write_window()
+        return self.server.lock.read_locked()
+
+    def _acquire_write(self) -> None:
+        """Take the write lock and open a write window (explicit txn)."""
+        self.server.lock.acquire_write()
+        store = self.server.mvcc_store
+        if store is not None:
+            store.begin_window()
+
+    def _release_write(self) -> None:
+        """Publish the window's result and release the write lock."""
+        store = self.server.mvcc_store
+        if store is not None:
+            store.publish()
+        self.server.lock.release_write()
+
+    @contextmanager
+    def _read_context(self):
+        """The read-side bracket: a pinned snapshot when the version store
+        can hand one out (no lock at all), the read lock otherwise."""
+        if self._holds_write:
+            yield
+            return
+        store = self.server.mvcc_store
+        snapshot = store.pin() if store is not None else None
+        if snapshot is None:
+            with self.server.lock.read_locked():
+                yield
+        else:
+            with self.system.db.pinned(snapshot):
+                yield
 
     def _run_classified(self, classify_write, run):
-        """Classify a request under the read lock, then run it under the
-        side the classification picked.
+        """Classify a request, then run it read-side or write-side.
 
-        Classification may compile, and compiling declares EDB relations on
-        the shared catalog -- a mutation that must never overlap another
-        session's write-lock window (it would otherwise be journaled into
-        that session's open transaction).  So the classifier itself runs
-        inside the read lock; a write verdict upgrades by releasing the
-        read side and taking the write side.
+        With the version store (snapshot mode) classification takes no
+        lock: compile-time declares are safe against concurrent writers
+        (the catalog lock serializes them, and the transaction manager
+        autocommits foreign-thread mutations instead of journaling them
+        into another session's open transaction).  A read verdict pins a
+        published snapshot and *re-validates* under the pin -- the
+        classifier looked at the live catalog, and a concurrent drop can
+        flip a read-only query onto the mutating procedure-fallback path,
+        which must never run outside the write lock.  A write verdict (or
+        a flipped one) runs inside a write window; the classifier is
+        re-run there so it observes the post-upgrade catalog rather than
+        whatever it compiled against before the gap.
+
+        In lock mode (``mvcc=False``) the classifier runs under the read
+        lock and a read verdict executes without releasing it, so
+        classification and execution are atomic; a write verdict upgrades
+        and likewise re-validates after the gap.
         """
         if self._holds_write:
             return run()
-        lock = self.server.lock
-        lock.acquire_read()
-        try:
+        store = self.server.mvcc_store
+        if store is not None:
             if not classify_write():
-                return run()
-        finally:
-            lock.release_read()
-        with lock.write_locked():
+                hook = self.server._classify_hook
+                if hook is not None:
+                    hook(self)  # test injection point: the classify->pin gap
+                snapshot = store.pin()
+                if snapshot is None:
+                    # Mid-window with nothing published yet: fall back to
+                    # the read lock (counted as snapshot_fallbacks).
+                    lock = self.server.lock
+                    lock.acquire_read()
+                    try:
+                        if not classify_write():
+                            return run()
+                    finally:
+                        lock.release_read()
+                else:
+                    with self.system.db.pinned(snapshot):
+                        if not classify_write():
+                            return run()
+                    # The verdict flipped under the pinned catalog; fall
+                    # through to the write path.
+        else:
+            lock = self.server.lock
+            lock.acquire_read()
+            try:
+                if not classify_write():
+                    return run()
+            finally:
+                lock.release_read()
+        with self.server.write_window():
+            classify_write()  # re-validate against the post-upgrade catalog
             return run()
 
     def _query_is_readonly(self, text: str) -> bool:
@@ -202,16 +274,17 @@ class Session:
     def op_rows(self, request: dict) -> dict:
         name = request.get("name", "")
         arity = int(request.get("arity", 0))
-        with self._locked(False):
+        with self._read_context():
             result = self.system.rows(name, arity)
         return rows_payload(result)
 
     def op_rels(self, request: dict) -> dict:
-        with self._locked(False):
+        db = self.system.db  # resolves through the pinned snapshot, if any
+        with self._read_context():
             catalog = [
                 {"name": str(name), "arity": arity,
-                 "rows": len(self.server.db.get(name, arity))}
-                for name, arity in self.server.db.sorted_keys()
+                 "rows": len(db.get(name, arity))}
+                for name, arity in db.sorted_keys()
             ]
         return {"relations": catalog}
 
@@ -232,10 +305,13 @@ class Session:
         if self.system._compiled is not None:
             # Only meaningful once this session has compiled rules; the
             # engine (and its stratum caches) are per-session state.
-            with self._locked(False):
+            with self._read_context():
                 payload["idb_cache"] = self.system.idb_cache_info()
+        if self.server.mvcc_store is not None:
+            payload["mvcc"] = self.server.mvcc_store.stats()
         if self.server.store is not None:
             payload["wal_commits"] = self.server.store.wal.commits
+            payload["wal_fsyncs"] = self.server.store.wal.fsyncs
         payload["subscriptions"] = self.server.subscriptions.stats()
         if self.server.parallel is not None:
             payload["parallel"] = self.server.parallel.stats()
@@ -372,11 +448,11 @@ class Session:
     def op_begin(self, request: dict) -> dict:
         if self._holds_write:
             raise GlueNailError("this session already holds a transaction")
-        self.server.lock.acquire_write()
+        self._acquire_write()
         try:
             self.system.begin()
         except BaseException:
-            self.server.lock.release_write()
+            self._release_write()
             raise
         self._holds_write = True
         return {"transaction": "open"}
@@ -388,7 +464,7 @@ class Session:
             self.system.commit()
         finally:
             self._holds_write = False
-            self.server.lock.release_write()
+            self._release_write()
         return {"transaction": "committed"}
 
     def op_rollback(self, request: dict) -> dict:
@@ -398,7 +474,7 @@ class Session:
             self.system.rollback()
         finally:
             self._holds_write = False
-            self.server.lock.release_write()
+            self._release_write()
         return {"transaction": "rolled back"}
 
     # -------------------------------------------------------------- #
@@ -445,7 +521,7 @@ class Session:
                     self.system.rollback()
             finally:
                 self._holds_write = False
-                self.server.lock.release_write()
+                self._release_write()
         if self._subs:
             self.server.subscriptions.unsubscribe_owner(self)
             self._subs.clear()
@@ -494,6 +570,12 @@ class GlueNailServer:
     directory (with crash recovery); without it the EDB is in-memory but
     still transactional.  ``program`` is Glue-Nail source preloaded into
     every session.  ``port=0`` binds an ephemeral port (see ``.port``).
+
+    ``mvcc=True`` (the default) serves read-only requests from immutable
+    published snapshots (see :mod:`repro.mvcc`): readers never touch the
+    RWLock, which degenerates to writer-writer serialization; writers
+    bracket their mutations in a *write window* and publish atomically on
+    release.  ``mvcc=False`` is the lock-serialized baseline.
     """
 
     def __init__(
@@ -506,6 +588,7 @@ class GlueNailServer:
         db: Optional[Database] = None,
         workers: Optional[int] = None,
         batch_mode: str = "columnar",
+        mvcc: bool = True,
     ):
         if db is None:
             db = Database(counters=ThreadLocalCounters())
@@ -531,6 +614,17 @@ class GlueNailServer:
             self.txn = TransactionManager(self.db)
             self.db.attach_journal(self.txn)
         self.lock = RWLock()
+        # The MVCC version store: one per server, shared by every session's
+        # SnapshotRouter so all readers pin the same published versions.
+        self.mvcc_store = None
+        if mvcc:
+            from repro.mvcc import VersionStore
+
+            self.mvcc_store = VersionStore(self.db)
+        # Test injection point: called (with the session) after a request
+        # is classified read-only, before it pins -- the window a
+        # conflicting DDL/write can race into (see tests/server).
+        self._classify_hook = None
         self.base_program = program or ""
         # One shared system hosts the subscriptions: IDB watches evaluate
         # on it (sessions' private rule sets never leak into each other),
@@ -560,6 +654,25 @@ class GlueNailServer:
             session_id = next(self._session_ids)
             self.sessions_started += 1
         return Session(self, session_id)
+
+    @contextmanager
+    def write_window(self):
+        """The writer bracket: write lock + MVCC write window.
+
+        Mutations inside run against the live relations (copy-on-write
+        keeps pinned snapshots unaffected); on exit the result is
+        published as the new read snapshot, then the lock is released --
+        so a reader can never pin a half-applied window.
+        """
+        self.lock.acquire_write()
+        if self.mvcc_store is not None:
+            self.mvcc_store.begin_window()
+        try:
+            yield
+        finally:
+            if self.mvcc_store is not None:
+                self.mvcc_store.publish()
+            self.lock.release_write()
 
     # -------------------------------------------------------------- #
 

@@ -69,6 +69,14 @@ class ChangeLog:
             self.horizon = self.entries[overflow - 1][0]
             del self.entries[:overflow]
 
+    def copy(self) -> "ChangeLog":
+        """An independent copy (frozen-snapshot clones take one at freeze
+        time, so a reader netting changes never races writer appends or
+        the overflow compaction shifting ``entries`` indices)."""
+        clone = ChangeLog(self.horizon, self.max_entries)
+        clone.entries = list(self.entries)
+        return clone
+
     def net_since(self, version: int):
         """Net row changes after ``version``: ``(inserted, deleted)`` lists,
         or ``None`` when the window no longer reaches back that far.
@@ -154,6 +162,13 @@ class Relation:
         # Database.declare; None for free-standing relations, which the
         # batch kernels then leave to the row engine.
         self.columnar = None
+        # MVCC snapshot state (see repro.mvcc): while ``_rows_shared`` a
+        # frozen clone aliases ``_rows``, so the next mutation copies the
+        # dict first; ``_frozen`` caches the clone for the current version;
+        # ``_immutable`` marks the clone itself (mutations are an error).
+        self._rows_shared = False
+        self._frozen: Optional["Relation"] = None
+        self._immutable = False
 
     # ------------------------------------------------------------------ #
     # basic set operations
@@ -187,12 +202,84 @@ class Relation:
         ``None`` when unknown (tracking off, or the window was exceeded)."""
         if self._changelog is None:
             return None
+        if version > self._version:
+            # The caller cached a NEWER state than this relation -- e.g. a
+            # live query ran, then a pinned MVCC snapshot moved time
+            # backwards.  Un-applying changes is not a delta we journal.
+            return None
         return self._changelog.net_since(version)
 
     def _changed(self) -> None:
         self._version += 1
         if self._listener is not None:
             self._listener(self)
+
+    # ------------------------------------------------------------------ #
+    # immutable snapshots (MVCC read path, see repro.mvcc)
+    # ------------------------------------------------------------------ #
+
+    def _cow(self) -> None:
+        """Copy-on-write barrier: detach from any frozen clone's rows.
+
+        Called at the top of every mutation path.  A dict copy is one
+        C-level pass over row pointers, paid once per written relation per
+        frozen generation; unwritten relations never pay it.  The live
+        indexes keep working unchanged -- they hold row tuples, not dict
+        references -- while the clone (which starts with no indexes)
+        builds its own lazily over the shared, now-immutable dict.
+        """
+        if self._immutable:
+            raise ValueError(
+                f"relation {self.name}/{self.arity} is a frozen snapshot; "
+                "mutate the live relation instead"
+            )
+        if self._rows_shared:
+            self._rows = dict(self._rows)
+            self._rows_shared = False
+
+    def freeze(self) -> "Relation":
+        """An immutable snapshot of this relation at its current version.
+
+        The clone shares this relation's row dict until the next mutation
+        copies it (:meth:`_cow`), keeps the same ``uid`` and version --
+        so fingerprint-keyed caches (the NAIL! engine's incremental IDB
+        maintenance, columnar kernel tables) treat it as the same relation
+        in the same state -- and carries a private copy of the change log,
+        letting ``changes_since`` answer across published generations.
+        Freezing also turns on change tracking on the *live* relation so
+        the next generation's clone can answer incrementally.
+
+        Repeated calls at an unchanged version return the cached clone,
+        making whole-catalog snapshots cheap between writes.  The caller
+        serializes freezes against mutations (the version store freezes
+        only while no write window is open).
+        """
+        frozen = self._frozen
+        if frozen is not None and frozen._version == self._version:
+            return frozen
+        self.track_changes()
+        clone = Relation.__new__(Relation)
+        clone.name = self.name
+        clone.arity = self.arity
+        clone.counters = self.counters
+        clone.index_policy = self.index_policy
+        clone.tracer = self.tracer
+        clone.journal = None
+        clone.stats = RelationStats()
+        clone._rows = self._rows
+        clone._indexes = {}
+        clone._index_lock = threading.RLock()
+        clone._version = self._version
+        clone._listener = None
+        clone.uid = self.uid
+        clone._changelog = self._changelog.copy()
+        clone.columnar = self.columnar
+        clone._rows_shared = False
+        clone._frozen = None
+        clone._immutable = True
+        self._rows_shared = True
+        self._frozen = clone
+        return clone
 
     def _check_row(self, row: Row) -> Row:
         row = tuple(row)
@@ -216,6 +303,7 @@ class Relation:
         if row in self._rows:
             self.counters.duplicate_inserts += 1
             return False
+        self._cow()
         self._rows[row] = None
         self.counters.inserts += 1
         for index in self._indexes.values():
@@ -263,6 +351,7 @@ class Relation:
         ``uniondiff`` and IDB seeding, where the seminaive evaluator loads
         whole deltas at once.
         """
+        self._cow()
         new: list = []
         append = new.append
         check = self._check_row
@@ -295,6 +384,7 @@ class Relation:
         row = tuple(row)
         if row not in self._rows:
             return False
+        self._cow()
         del self._rows[row]
         self.counters.deletes += 1
         for index in self._indexes.values():
@@ -314,6 +404,7 @@ class Relation:
     def clear(self) -> None:
         if not self._rows:
             return
+        self._cow()
         watched = self.journal is not None or self._changelog is not None
         dropped = list(self._rows) if watched else None
         self.counters.deletes += len(self._rows)
@@ -421,12 +512,36 @@ class Relation:
         tracking; later calls replay the change log's net inserts since the
         profiled version, so a relation that only grows (the seminaive
         common case) refreshes in time proportional to its delta.  Nets
-        with deletes, or a log window that fell behind, rebuild.
+        with deletes, or a log window that fell behind, rebuild -- but the
+        O(rows) rebuild runs *outside* ``_index_lock`` (only the row-list
+        copy is taken under it), so a post-delete stats read never stalls
+        concurrent selections, index builds, or other planners' snapshot
+        reads behind a full scan.
         """
         with self._index_lock:
-            return self._column_profile_locked()
+            distincts = self._profile_refresh_locked()
+            if distincts is not None:
+                return distincts
+            self.track_changes()
+            version = self._version
+            rows = list(self._rows)
+        values = [set() for _ in range(self.arity)]
+        for row in rows:
+            for col, value in enumerate(row):
+                values[col].add(value)
+        with self._index_lock:
+            if self._version == version:
+                self.stats.profile = CardinalityProfile(
+                    version=version, column_values=values
+                )
+            # A concurrent mutation slipped in: the computed counts still
+            # describe a consistent instant, so answer from them without
+            # installing a stale profile.
+        return tuple(len(column) for column in values)
 
-    def _column_profile_locked(self) -> Tuple[int, ...]:
+    def _profile_refresh_locked(self) -> Optional[Tuple[int, ...]]:
+        """The cheap profile paths (version hit, insert-only log replay);
+        None when a full rebuild is needed.  Caller holds ``_index_lock``."""
         profile = self.stats.profile
         if profile is not None and profile.column_values is not None:
             if profile.version == self._version:
@@ -439,23 +554,20 @@ class Relation:
                             profile.column_values[col].add(value)
                     profile.version = self._version
                     return profile.distincts()
-        self.track_changes()
-        values = [set() for _ in range(self.arity)]
-        for row in self._rows:
-            for col, value in enumerate(row):
-                values[col].add(value)
-        self.stats.profile = CardinalityProfile(
-            version=self._version, column_values=values
-        )
-        return self.stats.profile.distincts()
+        return None
 
     def stats_snapshot(self) -> RelationSnapshot:
-        """Everything the cost-based planner consults, read in a single
-        acquisition of ``_index_lock`` -- cardinality, distinct counts,
-        scan-cost ledgers and available indexes describe one instant even
-        while concurrent reads trigger adaptive index builds."""
+        """Everything the cost-based planner consults in one consistent
+        read -- cardinality, distinct counts, scan-cost ledgers and
+        available indexes.  The profile is refreshed first (a full rebuild,
+        when one is due, runs outside ``_index_lock``); the remaining
+        fields are then read in a single lock acquisition, so they describe
+        one instant even while concurrent reads trigger adaptive index
+        builds.  ``distincts`` may lag the reported ``version`` by whatever
+        mutations landed during an unlocked rebuild -- an estimate-grade
+        discrepancy the planner tolerates by design."""
+        distincts = self.column_profile()
         with self._index_lock:
-            distincts = self._column_profile_locked()
             scan_costs = {
                 cols: (ledger.cumulative_scan_cost, ledger.scans)
                 for cols, ledger in self.stats.ledgers.items()

@@ -55,6 +55,13 @@ class CostCounters:
     # across the worker pool, and the partition tasks dispatched for them.
     parallel_joins: int = 0
     parallel_tasks: int = 0
+    # MVCC snapshot reads (see repro.mvcc): read-only requests served from
+    # a pinned published version (no read-lock acquisition), catalog pins
+    # taken, and requests that had to fall back to the read lock because
+    # no published catalog was available mid-window.
+    snapshot_reads: int = 0
+    snapshot_pins: int = 0
+    snapshot_fallbacks: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -121,6 +121,9 @@ class Subscription:
         self._seq_lock = threading.Lock()
         self._next_seq = 0
         self.resyncs = 0  # resync notifications this subscription received
+        #: Database version of the last delivered commit (stamped on every
+        #: outgoing notification; see repro.mvcc).
+        self.version = 0
 
     @property
     def key(self) -> PredKey:
@@ -144,14 +147,20 @@ class Subscription:
             predicate=self.predicate,
             op=OP_RESYNC,
             txn_id=0,
+            version=self.version,
             dropped=dropped,
         )
 
-    def emit(self, op: str, rows: Sequence[Row], txn_id: int) -> Optional[Notification]:
+    def emit(
+        self, op: str, rows: Sequence[Row], txn_id: int,
+        version: Optional[int] = None,
+    ) -> Optional[Notification]:
         """Filter, frame and deliver one notification; returns it, or None
         when the pattern filtered everything out."""
         if not self.active:
             return None
+        if version is not None:
+            self.version = version
         if op == OP_RESYNC:
             matched: Tuple[Row, ...] = ()
             self.resyncs += 1
@@ -166,6 +175,7 @@ class Subscription:
             op=op,
             rows=matched,
             txn_id=txn_id,
+            version=self.version,
         )
         if self._counters is not None:
             self._counters.notifications_pushed += 1
@@ -544,24 +554,32 @@ class SubscriptionManager:
         return nets, dropped
 
     def _flush(self, txn_id: int, ops: list) -> None:
-        """Deliver one committed batch: EDB nets first, then IDB deltas."""
+        """Deliver one committed batch: EDB nets first, then IDB deltas.
+
+        Every notification is stamped with the database version of the
+        committed state (the version a write window publishes, since the
+        flush runs after the batch's last mutation): a snapshot reader
+        pinned at notification ``version`` sees exactly the rows these
+        deltas produce.
+        """
+        version = self.db.version
         nets, dropped = self._net_batch(ops)
         for key in dropped:
             for sub in self._by_key.get(key, []):
                 if sub.kind == "edb":
                     self.resyncs += 1
-                    sub.emit(OP_RESYNC, (), txn_id)
+                    sub.emit(OP_RESYNC, (), txn_id, version=version)
         for key, (inserted, deleted) in nets.items():
             for sub in self._by_key.get(key, []):
                 if sub.kind != "edb":
                     continue
                 if inserted:
-                    sub.emit(OP_INSERT, inserted, txn_id)
+                    sub.emit(OP_INSERT, inserted, txn_id, version=version)
                 if deleted:
-                    sub.emit(OP_DELETE, deleted, txn_id)
-        self._flush_idb(txn_id)
+                    sub.emit(OP_DELETE, deleted, txn_id, version=version)
+        self._flush_idb(txn_id, version)
 
-    def _flush_idb(self, txn_id: int) -> None:
+    def _flush_idb(self, txn_id: int, version: Optional[int] = None) -> None:
         idb_keys = self._idb_keys()
         if not idb_keys:
             return
@@ -584,7 +602,7 @@ class SubscriptionManager:
                     self._snapshots[key] = new
                     for sub in subs:
                         self.resyncs += 1
-                        sub.emit(OP_RESYNC, (), txn_id)
+                        sub.emit(OP_RESYNC, (), txn_id, version=version)
                     if self.db.tracer.enabled:
                         self.db.tracer.event(
                             "subscription",
@@ -613,6 +631,6 @@ class SubscriptionManager:
                 self._snapshots[key] = old
             for sub in subs:
                 if deleted:
-                    sub.emit(OP_DELETE, deleted, txn_id)
+                    sub.emit(OP_DELETE, deleted, txn_id, version=version)
                 if inserted:
-                    sub.emit(OP_INSERT, inserted, txn_id)
+                    sub.emit(OP_INSERT, inserted, txn_id, version=version)

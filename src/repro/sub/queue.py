@@ -41,6 +41,10 @@ class Notification:
     op: str  # OP_INSERT | OP_DELETE | OP_RESYNC
     rows: Tuple[Row, ...] = ()
     txn_id: int = 0
+    #: The database version the producing commit published (see
+    #: repro.mvcc): a subscriber and a snapshot reader pinned at the same
+    #: version agree exactly on what this notification's deltas apply to.
+    version: int = 0
     #: For resync markers produced by queue overflow: how many buffered
     #: notifications were discarded to make room.
     dropped: int = 0
@@ -55,6 +59,7 @@ class Notification:
             "predicate": self.predicate,
             "op": self.op,
             "txn": self.txn_id,
+            "version": self.version,
             "dropped": self.dropped,
         }
 

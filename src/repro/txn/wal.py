@@ -81,6 +81,14 @@ class WriteAheadLog:
     Transaction ids are monotone: reopening an existing log continues past
     the highest tid already on disk instead of restarting at 1, so a tid
     stays a unique identifier for tooling across restarts.
+
+    Commits *group* their fsyncs: a committing thread appends its batch
+    under the mutex (buffered write + flush only), then waits for the log
+    to be synced past its own append.  The first waiter becomes the group
+    leader, issues one fsync covering every batch appended so far, and
+    wakes the rest -- so N sessions committing concurrently pay ~1 fsync,
+    not N, while each still returns only once its own batch is durable.
+    The serial case degenerates to exactly one fsync per commit.
     """
 
     def __init__(self, path: str, sync: bool = True):
@@ -93,6 +101,14 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._handle = open(self.path, "a", encoding="utf-8")
         self.commits = 0
+        # Group-commit state: appends are numbered (``_write_seq``);
+        # ``_synced_seq`` trails it, advanced by whichever committer is
+        # elected sync leader under ``_sync_cond``.
+        self.fsyncs = 0
+        self._write_seq = 0
+        self._synced_seq = 0
+        self._syncing = False
+        self._sync_cond = threading.Condition(threading.Lock())
         if fresh:
             self._handle.write(WAL_HEADER + "\n")
             self._flush()
@@ -101,9 +117,15 @@ class WriteAheadLog:
         self._handle.flush()
         if self.sync:
             os.fsync(self._handle.fileno())
+            self.fsyncs += 1
 
     def append_commit(self, ops: List[Op]) -> Optional[int]:
-        """Durably append one committed batch; returns its txn id."""
+        """Durably append one committed batch; returns its txn id.
+
+        Returns once the batch is on disk (``sync=True``); the fsync may
+        have been issued by a concurrently committing thread's group
+        leader rather than this one.
+        """
         if not ops:
             return None
         with self._lock:
@@ -115,9 +137,46 @@ class WriteAheadLog:
             lines.extend(format_op(op) for op in ops)
             lines.append(f"% commit {tid}")
             self._handle.write("\n".join(lines) + "\n")
-            self._flush()
+            self._handle.flush()
+            self._write_seq += 1
+            my_seq = self._write_seq
             self.commits += 1
+        if self.sync:
+            self._sync_to(my_seq)
         return tid
+
+    def _sync_to(self, seq: int) -> None:
+        """Block until the log is fsynced at least past append ``seq``.
+
+        Leader-follower group commit: one waiter at a time holds the sync
+        baton, captures the current append high-water mark, fsyncs once
+        outside both locks, and publishes the new synced mark -- covering
+        every follower whose append landed before the capture.
+        """
+        with self._sync_cond:
+            while True:
+                if self._synced_seq >= seq:
+                    return
+                if not self._syncing:
+                    self._syncing = True
+                    break
+                self._sync_cond.wait()
+        try:
+            with self._lock:
+                handle = self._handle
+                target = self._write_seq
+                fd = handle.fileno() if handle is not None else None
+            if fd is not None:
+                os.fsync(fd)
+        finally:
+            with self._sync_cond:
+                self._syncing = False
+                if fd is not None:
+                    self.fsyncs += 1
+                # A closed handle (fd None) can't be synced any further;
+                # advance the mark anyway so waiters don't spin forever.
+                self._synced_seq = max(self._synced_seq, target)
+                self._sync_cond.notify_all()
 
     def reset(self) -> None:
         """Truncate to an empty log (after a checkpoint), atomically.

@@ -373,3 +373,72 @@ class TestChangeTracking:
         assert key == (Atom("edge"), 2)
         db.fact("edge", 2, 3)
         assert db.version_vector()[key][1] > vec[key][1]
+
+
+class GateAtom(Atom):
+    """An atom whose hash can be made to block once: arms a one-shot gate
+    so a test can freeze a profile rebuild mid-scan."""
+
+    import threading as _threading
+
+    armed = _threading.Event()
+    reached = _threading.Event()
+    release = _threading.Event()
+
+    def __hash__(self):
+        if GateAtom.armed.is_set():
+            GateAtom.armed.clear()
+            GateAtom.reached.set()
+            GateAtom.release.wait(5)
+        return super().__hash__()
+
+
+class TestColumnProfileDeletePath:
+    def test_delete_then_profile_rebuilds_correctly(self):
+        r = rel()
+        for i in range(5):
+            r.insert(row(i, i % 2))
+        assert r.column_profile() == (5, 2)
+        r.delete(row(4, 0))
+        assert r.column_profile() == (4, 2)
+        # Insert-only growth after the rebuild takes the cheap replay path.
+        r.insert(row(9, 9))
+        assert r.column_profile() == (5, 3)
+
+    def test_post_delete_rebuild_does_not_block_other_lock_users(self):
+        """The O(rows) profile rebuild after a delete runs outside
+        ``_index_lock``: while it is frozen mid-scan, an index build (which
+        needs that lock) must still complete."""
+        import threading
+
+        r = rel()
+        for i in range(10):
+            r.insert((GateAtom(f"a{i}"), Num(i)))
+        r.column_profile()
+        r.delete((GateAtom("a9"), Num(9)))
+
+        GateAtom.reached.clear()
+        GateAtom.release.clear()
+        distincts = []
+        GateAtom.armed.set()
+        profiler = threading.Thread(
+            target=lambda: distincts.append(r.stats_snapshot().distincts)
+        )
+        profiler.start()
+        try:
+            assert GateAtom.reached.wait(5), "rebuild never reached the gate"
+            # The profiler thread is parked inside its unlocked rebuild.
+            built = threading.Event()
+
+            def index_user():
+                r.build_index((0,))
+                built.set()
+
+            user = threading.Thread(target=index_user)
+            user.start()
+            assert built.wait(2), "index build stalled behind the rebuild"
+            user.join(5)
+        finally:
+            GateAtom.release.set()
+        profiler.join(5)
+        assert distincts == [(9, 9)]

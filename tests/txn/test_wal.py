@@ -162,3 +162,57 @@ class TestTidContinuity:
         tid = wal.append_commit([("insert", Atom("edge"), (Num(2), Num(3)))])
         wal.close()
         assert tid == 2
+
+
+class TestGroupCommit:
+    def insert(self, i):
+        return [("insert", Atom("edge"), (Num(i), Num(i + 1)))]
+
+    def test_serial_commits_fsync_once_each(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        header_syncs = wal.fsyncs  # the fresh-log header flush
+        for i in range(5):
+            wal.append_commit(self.insert(i))
+        assert wal.fsyncs == header_syncs + 5
+        wal.close()
+
+    def test_sync_false_never_fsyncs(self, wal_path):
+        wal = WriteAheadLog(wal_path, sync=False)
+        for i in range(5):
+            wal.append_commit(self.insert(i))
+        assert wal.fsyncs == 0
+        wal.close()
+
+    def test_concurrent_commits_share_fsyncs_and_all_survive(self, wal_path):
+        """Group commit: concurrent committers ride one leader's fsync.
+        Every batch must still replay -- durability is amortized, not
+        dropped."""
+        import threading
+
+        wal = WriteAheadLog(wal_path)
+        header_syncs = wal.fsyncs
+        threads_n, per_thread = 8, 10
+        start = threading.Barrier(threads_n)
+
+        def worker(base):
+            start.wait()
+            for i in range(per_thread):
+                wal.append_commit(self.insert(base * 1000 + i))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * per_thread
+        assert wal.commits == total
+        # Every committer returned only after its batch was covered by an
+        # fsync; the leader protocol never needs more syncs than commits.
+        assert 1 <= wal.fsyncs - header_syncs <= total
+        wal.close()
+        db = Database()
+        txns, ops = replay_wal(wal_path, db)
+        assert (txns, ops) == (total, total)
+        assert len(db.get("edge", 2)) == total
